@@ -1,0 +1,69 @@
+// Figure 2: the LEGW learning-rate schedule under (2.1) multi-step decay and
+// (2.2) polynomial decay, for batch sizes 1K..32K. Pure schedule traces — the
+// exact curves from the paper (this bench uses the paper's own absolute
+// numbers since no training is involved).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sched/legw.hpp"
+
+using namespace legw;
+
+namespace {
+
+void trace(const char* name, const sched::LrSchedule& s,
+           const std::vector<double>& epochs) {
+  std::printf("%-28s", name);
+  for (double e : epochs) std::printf(" %9.4f", static_cast<double>(s.lr(e)));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 2: LEGW schedules for ImageNet/ResNet50",
+                      "paper Figure 2 (2.1 multi-step, 2.2 poly decay)");
+
+  // Paper baseline: batch 1K, peak 2^2.5, warmup 0.3125 epochs, 90 epochs.
+  sched::LegwBaseline base{1024, std::pow(2.0f, 2.5f), 0.3125};
+  const std::vector<double> probe_epochs = {0.0, 0.15, 0.3125, 1.0,  5.0,
+                                            20.0, 29.9, 30.0,  59.9, 60.0,
+                                            79.9, 80.0, 89.9};
+
+  std::printf("%-28s", "epoch:");
+  for (double e : probe_epochs) std::printf(" %9.3f", e);
+  std::printf("\n");
+  bench::print_row_divider(28 + 10 * static_cast<int>(probe_epochs.size()));
+
+  std::printf("-- 2.1 multi-step decay (x0.1 at epochs 30/60/80) --\n");
+  for (i64 batch : {1024, 2048, 4096, 8192, 16384, 32768}) {
+    auto sched = sched::legw_schedule(base, batch, [](float peak) {
+      return std::make_shared<sched::MultiStepLr>(
+          peak, std::vector<double>{30.0, 60.0, 80.0}, 0.1f);
+    });
+    const auto recipe = sched::legw_scale(base, batch);
+    char label[64];
+    std::snprintf(label, sizeof label, "batch %5lld (wu %.4f ep)",
+                  static_cast<long long>(batch), recipe.warmup_epochs);
+    trace(label, *sched, probe_epochs);
+  }
+
+  std::printf("\n-- 2.2 polynomial decay (power = 2.0, 90 epochs) --\n");
+  for (i64 batch : {1024, 2048, 4096, 8192, 16384, 32768}) {
+    auto sched = sched::legw_schedule(base, batch, [](float peak) {
+      return std::make_shared<sched::PolynomialLr>(peak, 90.0, 2.0f);
+    });
+    const auto recipe = sched::legw_scale(base, batch);
+    char label[64];
+    std::snprintf(label, sizeof label, "batch %5lld (wu %.4f ep)",
+                  static_cast<long long>(batch), recipe.warmup_epochs);
+    trace(label, *sched, probe_epochs);
+  }
+
+  std::printf(
+      "\nShape check (paper): peak LR doubles per 4x batch (sqrt rule);\n"
+      "warmup epochs double per 2x batch (linear-epoch rule); decay\n"
+      "epochs/shape identical across batch sizes.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 3: the approximate local Lipschitz constant L(x, g) along the
+// gradient direction, traced over the first training iterations for several
+// batch sizes. The paper's observation: L has an early peak, and the peak
+// shifts right (roughly linearly) as batch size grows — the empirical
+// justification for linear-epoch warmup.
+//
+// Measurement detail: training runs at each batch size with the sqrt-scaled
+// LR (no warmup — the regime the warmup is meant to fix), while L is probed
+// on one fixed held-out batch so traces are comparable across batch sizes.
+#include <cstdio>
+
+#include "analysis/curvature.hpp"
+#include "bench_common.hpp"
+#include "optim/optimizer.hpp"
+
+using namespace legw;
+
+int main() {
+  bench::print_header("Figure 3: local Lipschitz constant vs iteration",
+                      "paper Figure 3 (MNIST-LSTM, batch 512..4K analog)");
+  bench::MnistWorkload w;
+  models::MnistLstmConfig mcfg = w.model;
+  mcfg.transform_dim = 24;
+  mcfg.hidden_dim = 24;
+
+  const std::vector<i64> batches = {32, 64, 128, 256};
+  const int n_iters = 24;
+
+  // Fixed probe batch: L is conditioned on one batch (paper: "approximate it
+  // using a small batch").
+  std::vector<i64> probe_idx;
+  for (i64 i = 0; i < 96; ++i) probe_idx.push_back(i);
+  core::Tensor probe_images = w.dataset.gather_images(probe_idx, false);
+  std::vector<i32> probe_labels = w.dataset.gather_labels(probe_idx, false);
+
+  std::printf("L(x,g) = |u' H u| with u = g/||g||, H-v product via central\n"
+              "finite differences on the gradient (paper §4). Sqrt-scaled LR,\n"
+              "no warmup. Every 2nd iteration shown.\n\n");
+
+  for (i64 batch : batches) {
+    models::MnistLstm model(mcfg);
+    auto opt = optim::make_optimizer("momentum", model.parameters());
+    const float lr = sched::sqrt_scaling(w.legw_base.peak_lr, w.base_batch, batch);
+    opt->set_lr(lr);
+    data::IndexBatcher batcher(w.dataset.n_train(), batch, 1234);
+
+    std::printf("batch %4lld (lr %.3f):", static_cast<long long>(batch), lr);
+    auto probe_loss = [&] { return model.loss(probe_images, probe_labels); };
+    auto train_step = [&] {
+      std::vector<i64> idx = batcher.next();
+      model.zero_grad();
+      ag::Variable loss = model.loss(w.dataset.gather_images(idx, true),
+                                     w.dataset.gather_labels(idx, true));
+      ag::backward(loss);
+      optim::clip_grad_norm(opt->params(), 5.0f);
+      opt->step();
+    };
+    auto trace = analysis::trace_curvature(model.parameters(), probe_loss,
+                                           train_step, n_iters);
+    for (std::size_t i = 0; i < trace.values.size(); i += 2) {
+      std::printf(" %6.2f", trace.values[i]);
+    }
+    std::printf("  | peak %.2f @ iter %d\n", trace.peak_value,
+                trace.peak_iteration);
+  }
+
+  std::printf(
+      "\nShape check (paper Fig. 3): each trace rises to an early peak and\n"
+      "falls; the peak iteration moves later as batch size grows — larger\n"
+      "batches need a longer (linear-in-k) warmup to cover the peak region.\n");
+  return 0;
+}

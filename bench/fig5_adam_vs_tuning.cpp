@@ -1,0 +1,119 @@
+// Figure 5: carefully-tuned Adam beats the classic manual tuning recipes as
+// batch size grows. MNIST-LSTM; recipes (paper Fig. 5.1-5.4):
+//   5.1 constant eta0 (tuned at the base batch, reused everywhere)
+//   5.2 linear scaling: eta0 * B/B0
+//   5.3 linear scaling + poly decay (power 2)
+//   5.4 linear scaling + poly decay + 5-epoch warmup
+// versus Adam with its LR tuned per batch over the paper's grid.
+#include <cstdio>
+#include <memory>
+
+#include "analysis/tuning.hpp"
+#include "bench_common.hpp"
+
+using namespace legw;
+
+int main() {
+  bench::print_header("Figure 5: Adam vs existing tuning techniques",
+                      "paper Figure 5 (MNIST-LSTM)");
+  bench::MnistWorkload w;
+  const double total_epochs = static_cast<double>(w.epochs);
+  const float eta0 = w.legw_base.peak_lr;  // tuned baseline LR
+
+  const std::vector<i64> batches = {32, 64, 128, 256, 512};
+
+  auto run_with = [&](i64 batch, const sched::LrSchedule& schedule,
+                      const std::string& solver) {
+    train::RunConfig run;
+    run.batch_size = batch;
+    run.epochs = w.epochs;
+    run.optimizer = solver;
+    run.schedule = &schedule;
+      run.final_eval_only = true;
+    return train::train_mnist(w.dataset, w.model, run);
+  };
+
+  std::printf("%-34s", "method \\ batch");
+  for (i64 b : batches) std::printf(" %9lld", static_cast<long long>(b));
+  std::printf("\n");
+  bench::print_row_divider(34 + 10 * static_cast<int>(batches.size()));
+
+  // 5.1 constant eta0.
+  std::printf("%-34s", "5.1 constant eta0 (momentum)");
+  std::fflush(stdout);
+  for (i64 batch : batches) {
+    sched::ConstantLr s(eta0);
+    auto r = run_with(batch, s, "momentum");
+    char buf[32];
+    std::printf(" %9s", bench::fmt_metric(r.final_metric, r.diverged, buf, sizeof buf));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  // 5.2 linear scaling.
+  std::printf("%-34s", "5.2 linear scaling");
+  std::fflush(stdout);
+  for (i64 batch : batches) {
+    sched::ConstantLr s(sched::linear_scaling(eta0, w.base_batch, batch));
+    auto r = run_with(batch, s, "momentum");
+    char buf[32];
+    std::printf(" %9s", bench::fmt_metric(r.final_metric, r.diverged, buf, sizeof buf));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  // 5.3 linear scaling + poly decay.
+  std::printf("%-34s", "5.3 linear + poly(2) decay");
+  std::fflush(stdout);
+  for (i64 batch : batches) {
+    sched::PolynomialLr s(sched::linear_scaling(eta0, w.base_batch, batch),
+                          total_epochs, 2.0f);
+    auto r = run_with(batch, s, "momentum");
+    char buf[32];
+    std::printf(" %9s", bench::fmt_metric(r.final_metric, r.diverged, buf, sizeof buf));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  // 5.4 linear + poly + constant-epoch warmup.
+  std::printf("%-34s", "5.4 linear + poly + const wu");
+  std::fflush(stdout);
+  for (i64 batch : batches) {
+    // Paper uses 5 epochs of 90; proportionally ~0.2 of our short budget.
+    sched::GradualWarmup s(
+        0.05 * total_epochs,
+        std::make_shared<sched::PolynomialLr>(
+            sched::linear_scaling(eta0, w.base_batch, batch), total_epochs,
+            2.0f));
+    auto r = run_with(batch, s, "momentum");
+    char buf[32];
+    std::printf(" %9s", bench::fmt_metric(r.final_metric, r.diverged, buf, sizeof buf));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  // Adam, LR tuned per batch (paper grid: {1e-4 .. 1e-3}).
+  std::printf("%-34s", "Adam (LR tuned per batch)");
+  std::fflush(stdout);
+  for (i64 batch : batches) {
+    auto grid = analysis::geometric_grid(1e-4f, 2e-3f, 4);
+    auto tune = analysis::grid_search_lr(
+        grid,
+        [&](float lr) {
+          sched::ConstantLr s(lr);
+          auto r = run_with(batch, s, "adam");
+          return std::make_pair(r.final_metric, r.diverged);
+        },
+        /*higher_better=*/true);
+    char buf[32];
+    std::printf(" %9s", bench::fmt_metric(tune.best_metric, false, buf, sizeof buf));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nShape check (paper Fig. 5): the fixed recipes fall off (or diverge)\n"
+      "as batch grows — 5.2's linearly-scaled LR without warmup is worst —\n"
+      "while tuned Adam stays high across the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 8: even when the comprehensively-tuned baselines are allowed to
+// train much longer (paper: 25->100 epochs MNIST, 13->50 epochs PTB), LEGW
+// at the standard budget still wins. Large-batch setting (640-batch analog).
+#include <cstdio>
+#include <memory>
+
+#include "analysis/tuning.hpp"
+#include "bench_common.hpp"
+
+using namespace legw;
+
+int main() {
+  bench::print_header("Figure 8: longer training does not save tuned baselines",
+                      "paper Figure 8 (640-batch analog, 4x epochs)");
+
+  // ---- 8.1 MNIST ---------------------------------------------------------------
+  {
+    bench::MnistWorkload w;
+    const i64 big_batch = 256;
+    const i64 long_epochs = w.epochs * 4;  // paper: 25 -> 100
+
+    auto legw_sched = sched::legw_constant(w.legw_base, big_batch);
+    train::RunConfig run;
+      run.final_eval_only = true;
+    run.batch_size = big_batch;
+    run.epochs = w.epochs;  // LEGW runs the *standard* budget
+    run.optimizer = "momentum";
+    run.schedule = legw_sched.get();
+    auto legw_result = train::train_mnist(w.dataset, w.model, run);
+
+    std::printf("8.1 MNIST @ batch %lld, baselines run %lldx epochs:\n",
+                static_cast<long long>(big_batch),
+                static_cast<long long>(long_epochs / w.epochs));
+    auto grid = analysis::geometric_grid(0.02f, 0.32f, 4);
+    auto tune = analysis::grid_search_lr(
+        grid,
+        [&](float lr) {
+          sched::ConstantLr s(lr);
+          train::RunConfig trun = run;
+          trun.epochs = long_epochs;
+          trun.schedule = &s;
+          auto r = train::train_mnist(w.dataset, w.model, trun);
+          char buf[32];
+          std::printf("  LR %7.4f (long run): %s\n", lr,
+                      bench::fmt_metric(r.final_metric, r.diverged, buf,
+                                        sizeof buf));
+          std::fflush(stdout);
+          return std::make_pair(r.final_metric, r.diverged);
+        },
+        true);
+    std::printf("  best tuned + 4x epochs: %.4f   |   LEGW @ 1x epochs: %.4f\n",
+                tune.best_metric, legw_result.final_metric);
+  }
+
+  // ---- 8.2 PTB -------------------------------------------------------------------
+  {
+    bench::PtbWorkload w;
+    const i64 big_batch = 64;
+    const i64 long_epochs = w.epochs * 4;  // paper: 13 -> 50
+
+    auto legw_sched = sched::legw_schedule(w.legw_base, big_batch, [&](float peak) {
+      return std::make_shared<sched::ExponentialEpochDecay>(peak, w.flat_epochs,
+                                                            w.decay_gamma);
+    });
+    train::RunConfig run;
+      run.final_eval_only = true;
+    run.batch_size = big_batch;
+    run.epochs = w.epochs;
+    run.optimizer = "momentum";
+    run.schedule = legw_sched.get();
+    auto legw_result = train::train_ptb(w.corpus, w.model, run);
+
+    std::printf("\n8.2 PTB @ batch %lld, baselines run %lldx epochs:\n",
+                static_cast<long long>(big_batch),
+                static_cast<long long>(long_epochs / w.epochs));
+    auto grid = analysis::geometric_grid(0.2f, 1.6f, 4);
+    auto tune = analysis::grid_search_lr(
+        grid,
+        [&](float lr) {
+          // The long baseline keeps its decay anchored at the original flat
+          // phase (paper: same schedule, just more epochs).
+          sched::ExponentialEpochDecay s(lr, w.flat_epochs, w.decay_gamma);
+          train::RunConfig trun = run;
+          trun.epochs = long_epochs;
+          trun.schedule = &s;
+          auto r = train::train_ptb(w.corpus, w.model, trun);
+          char buf[32];
+          std::printf("  LR %7.4f (long run): %s\n", lr,
+                      bench::fmt_metric(r.final_metric, r.diverged, buf,
+                                        sizeof buf));
+          std::fflush(stdout);
+          return std::make_pair(r.final_metric, r.diverged);
+        },
+        false);
+    std::printf("  best tuned + 4x epochs: %.2f   |   LEGW @ 1x epochs: %.2f\n",
+                tune.best_metric, legw_result.final_metric);
+  }
+
+  std::printf(
+      "\nShape check (paper Fig. 8): LEGW at the standard epoch budget\n"
+      "remains competitive with (or beats) every longer-trained tuned\n"
+      "baseline — the large-batch gap is not closed by training longer.\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Substrate micro-benchmarks (google-benchmark): GEMM, fused vs composed
+// LSTM cell (the DESIGN.md ablation), conv2d, all-reduce, and the
+// end-to-end per-step cost of each model.
+#include <benchmark/benchmark.h>
+
+#include "ag/ops.hpp"
+#include "data/translation.hpp"
+#include "dist/allreduce.hpp"
+#include "dist/compression.hpp"
+#include "models/gnmt.hpp"
+#include "models/mnist_lstm.hpp"
+#include "nn/lstm.hpp"
+
+namespace {
+
+using namespace legw;
+using core::Rng;
+using core::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = core::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LstmCellFused(benchmark::State& state) {
+  const i64 batch = state.range(0), hidden = 128;
+  Rng rng(2);
+  ag::Variable x = ag::Variable::constant(Tensor::randn({batch, hidden}, rng));
+  ag::Variable h = ag::Variable::constant(Tensor::randn({batch, hidden}, rng));
+  ag::Variable c = ag::Variable::constant(Tensor::randn({batch, hidden}, rng));
+  ag::Variable w =
+      ag::Variable::leaf(Tensor::randn({2 * hidden, 4 * hidden}, rng, 0.1f), true);
+  ag::Variable b = ag::Variable::leaf(Tensor::zeros({4 * hidden}), true);
+  for (auto _ : state) {
+    w.zero_grad();
+    b.zero_grad();
+    ag::Variable out = ag::lstm_cell(x, h, c, w, b);
+    // Loss over h only, mirroring the composed benchmark below.
+    ag::backward(ag::sum_all(ag::slice_cols(out, 0, hidden)));
+    benchmark::DoNotOptimize(w.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmCellFused)->Arg(32)->Arg(128);
+
+void BM_LstmCellComposed(benchmark::State& state) {
+  // The op-by-op reference path: quantifies what fusing the cell buys.
+  const i64 batch = state.range(0), hidden = 128;
+  Rng rng_f(3);
+  nn::LstmCellLayer layer(hidden, hidden, rng_f, 1.0f, /*use_fused=*/false);
+  ag::Variable x = ag::Variable::constant(Tensor::randn({batch, hidden}, rng_f));
+  for (auto _ : state) {
+    layer.zero_grad();
+    nn::LstmState s = layer.step(x, layer.zero_state(batch));
+    ag::backward(ag::sum_all(s.h));
+    benchmark::DoNotOptimize(layer.weight().grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmCellComposed)->Arg(32)->Arg(128);
+
+void BM_Conv2d(benchmark::State& state) {
+  const i64 batch = state.range(0);
+  Rng rng(4);
+  ag::Variable x =
+      ag::Variable::constant(Tensor::randn({batch, 16, 16, 16}, rng));
+  ag::Variable w = ag::Variable::leaf(Tensor::randn({16, 16, 3, 3}, rng, 0.1f),
+                                      true);
+  for (auto _ : state) {
+    w.zero_grad();
+    ag::Variable y = ag::conv2d(x, w, ag::Variable(), 1, 1);
+    ag::backward(ag::sum_all(y));
+    benchmark::DoNotOptimize(w.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2d)->Arg(8)->Arg(32);
+
+void BM_TreeAllreduce(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<Tensor> storage;
+  for (int i = 0; i < workers; ++i) {
+    storage.push_back(Tensor::randn({1 << 16}, rng));
+  }
+  for (auto _ : state) {
+    std::vector<Tensor*> shards;
+    for (auto& t : storage) shards.push_back(&t);
+    dist::tree_allreduce_mean(shards);
+    benchmark::DoNotOptimize(storage[0].data());
+  }
+  state.SetBytesProcessed(state.iterations() * workers * (1 << 16) *
+                          static_cast<i64>(sizeof(float)));
+}
+BENCHMARK(BM_TreeAllreduce)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_TreeAllreduceFp16(benchmark::State& state) {
+  // Compressed variant: half the wire bytes per hop, software codec cost.
+  const int workers = static_cast<int>(state.range(0));
+  Rng rng(15);
+  std::vector<Tensor> storage;
+  for (int i = 0; i < workers; ++i) {
+    storage.push_back(Tensor::randn({1 << 16}, rng));
+  }
+  for (auto _ : state) {
+    std::vector<Tensor*> shards;
+    for (auto& t : storage) shards.push_back(&t);
+    dist::tree_allreduce_mean_fp16(shards);
+    benchmark::DoNotOptimize(storage[0].data());
+  }
+  state.SetBytesProcessed(state.iterations() * workers * (1 << 16) *
+                          static_cast<i64>(sizeof(u16)));
+}
+BENCHMARK(BM_TreeAllreduceFp16)->Arg(2)->Arg(8);
+
+void BM_MnistLstmStep(benchmark::State& state) {
+  const i64 batch = state.range(0);
+  models::MnistLstmConfig cfg;
+  cfg.transform_dim = 64;
+  cfg.hidden_dim = 64;
+  models::MnistLstm model(cfg);
+  Rng rng(6);
+  Tensor images = Tensor::rand_uniform({batch, 784}, rng);
+  std::vector<i32> labels(static_cast<std::size_t>(batch));
+  for (i64 i = 0; i < batch; ++i)
+    labels[static_cast<std::size_t>(i)] = static_cast<i32>(i % 10);
+  for (auto _ : state) {
+    model.zero_grad();
+    ag::Variable loss = model.loss(images, labels);
+    ag::backward(loss);
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MnistLstmStep)->Arg(32)->Arg(256);
+
+void BM_GnmtStep(benchmark::State& state) {
+  const i64 batch = state.range(0);
+  data::TranslationConfig tcfg;
+  tcfg.n_train = 512;
+  tcfg.src_vocab = 60;
+  tcfg.tgt_vocab = 60;
+  data::SyntheticTranslation dataset(tcfg);
+  models::GnmtConfig cfg;
+  cfg.src_vocab = 60;
+  cfg.tgt_vocab = 60;
+  cfg.embed_dim = 16;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  models::Gnmt model(cfg);
+  std::vector<i64> idx;
+  for (i64 i = 0; i < batch; ++i) idx.push_back(i);
+  auto b = data::make_translation_batch(dataset.train(), idx);
+  Rng drng(7);
+  for (auto _ : state) {
+    model.zero_grad();
+    ag::Variable loss = model.loss(b, drng);
+    ag::backward(loss);
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GnmtStep)->Arg(16)->Arg(64);
+
+void BM_GnmtBeamDecode(benchmark::State& state) {
+  const i64 beam = state.range(0);
+  data::TranslationConfig tcfg;
+  tcfg.n_train = 64;
+  tcfg.src_vocab = 60;
+  tcfg.tgt_vocab = 60;
+  data::SyntheticTranslation dataset(tcfg);
+  models::GnmtConfig cfg;
+  cfg.src_vocab = 60;
+  cfg.tgt_vocab = 60;
+  cfg.embed_dim = 16;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  models::Gnmt model(cfg);
+  model.set_training(false);
+  auto b = data::make_translation_batch(dataset.train(), {0, 1, 2, 3});
+  for (auto _ : state) {
+    auto hyps = model.beam_decode(b, beam, 10);
+    benchmark::DoNotOptimize(hyps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_GnmtBeamDecode)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// LR-schedule explorer: prints any of the library's schedules — including
+// full LEGW compositions — as a CSV trace, ready for plotting.
+//
+// Run: ./build/examples/lr_schedule_explorer <kind> [args...]
+//   constant   <peak>
+//   multistep  <peak> <gamma> <milestone>...
+//   exp        <peak> <flat_epochs> <gamma>
+//   poly       <peak> <total_epochs> <power>
+//   legw       <base_batch> <base_lr> <base_warmup> <target_batch> <total_epochs>
+// Examples:
+//   lr_schedule_explorer legw 1024 5.657 0.3125 32768 90
+//   lr_schedule_explorer multistep 5.657 0.1 30 60 80
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "sched/legw.hpp"
+#include "sched/schedule.hpp"
+
+using namespace legw;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: lr_schedule_explorer <constant|multistep|exp|poly|legw> [args]\n"
+      "  constant  <peak>\n"
+      "  multistep <peak> <gamma> <milestone>...\n"
+      "  exp       <peak> <flat_epochs> <gamma>\n"
+      "  poly      <peak> <total_epochs> <power>\n"
+      "  legw      <base_batch> <base_lr> <base_warmup_ep> <target_batch> <total_ep>\n");
+}
+
+void trace(const sched::LrSchedule& s, double total_epochs) {
+  std::printf("# %s\nepoch,lr\n", s.describe().c_str());
+  const int points = 200;
+  for (int i = 0; i <= points; ++i) {
+    const double e = total_epochs * i / points;
+    std::printf("%.4f,%.6f\n", e, static_cast<double>(s.lr(e)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  const std::string kind = argv[1];
+  if (kind == "constant") {
+    sched::ConstantLr s(std::strtof(argv[2], nullptr));
+    trace(s, 10.0);
+  } else if (kind == "multistep" && argc >= 5) {
+    std::vector<double> milestones;
+    for (int i = 4; i < argc; ++i) milestones.push_back(std::strtod(argv[i], nullptr));
+    sched::MultiStepLr s(std::strtof(argv[2], nullptr), milestones,
+                         std::strtof(argv[3], nullptr));
+    trace(s, milestones.back() * 1.2);
+  } else if (kind == "exp" && argc >= 5) {
+    sched::ExponentialEpochDecay s(std::strtof(argv[2], nullptr),
+                                   std::strtod(argv[3], nullptr),
+                                   std::strtof(argv[4], nullptr));
+    trace(s, std::strtod(argv[3], nullptr) * 3.0);
+  } else if (kind == "poly" && argc >= 5) {
+    const double total = std::strtod(argv[3], nullptr);
+    sched::PolynomialLr s(std::strtof(argv[2], nullptr), total,
+                          std::strtof(argv[4], nullptr));
+    trace(s, total);
+  } else if (kind == "legw" && argc >= 7) {
+    sched::LegwBaseline base;
+    base.batch_size = std::atoll(argv[2]);
+    base.peak_lr = std::strtof(argv[3], nullptr);
+    base.warmup_epochs = std::strtod(argv[4], nullptr);
+    const i64 target = std::atoll(argv[5]);
+    const double total = std::strtod(argv[6], nullptr);
+    auto s = sched::legw_schedule(base, target, [&](float peak) {
+      return std::make_shared<sched::PolynomialLr>(peak, total, 2.0f);
+    });
+    const auto recipe = sched::legw_scale(base, target);
+    std::printf("# LEGW: k=%.2f peak=%.4f warmup=%.4f epochs\n",
+                recipe.scale_factor, recipe.peak_lr, recipe.warmup_epochs);
+    trace(*s, total);
+  } else {
+    usage();
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Gradient-noise-scale analysis (McCandlish et al. 2018) on the MNIST-LSTM:
+// estimates the critical batch size, the natural companion to LEGW — it
+// tells you *how far* batch scaling pays off before LEGW's schedule keeps
+// you converging there.
+//
+// Run: ./build/examples/noise_scale [--draws N] [--train_steps N]
+#include <cstdio>
+
+#include "analysis/gradient_noise.hpp"
+#include "core/flags.hpp"
+#include "data/images.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "models/mnist_lstm.hpp"
+#include "optim/optimizer.hpp"
+
+using namespace legw;
+
+int main(int argc, char** argv) {
+  core::Flags flags(argc, argv);
+  const int n_draws = static_cast<int>(flags.get_int("draws", 8));
+  const i64 train_steps = flags.get_int("train_steps", 30);
+
+  std::printf("Gradient noise scale of the MNIST-LSTM objective\n\n");
+  data::SyntheticMnist dataset(1024, 128, 42);
+  models::MnistLstmConfig mcfg;
+  mcfg.transform_dim = 24;
+  mcfg.hidden_dim = 24;
+  models::MnistLstm model(mcfg);
+
+  core::Rng draw_rng(11);
+  auto grad_sq_at = [&](i64 batch, int) {
+    std::vector<i64> idx;
+    idx.reserve(static_cast<std::size_t>(batch));
+    for (i64 i = 0; i < batch; ++i) {
+      idx.push_back(static_cast<i64>(
+          draw_rng.uniform_int(static_cast<u64>(dataset.n_train()))));
+    }
+    model.zero_grad();
+    ag::Variable loss = model.loss(dataset.gather_images(idx, true),
+                                   dataset.gather_labels(idx, true));
+    ag::backward(loss);
+    double sq = 0.0;
+    for (const auto& p : model.parameters()) {
+      const double n = p.grad().l2_norm();
+      sq += n * n;
+    }
+    return sq;
+  };
+
+  auto report = [&](const char* label) {
+    auto e = analysis::estimate_noise_scale_averaged(8, 256, n_draws,
+                                                     grad_sq_at);
+    if (e.valid) {
+      std::printf("%-22s tr(Sigma) %10.4f  ||G||^2 %10.6f  B_simple %8.1f\n",
+                  label, e.trace_sigma, e.grad_sq_norm, e.noise_scale);
+    } else {
+      std::printf("%-22s estimate invalid (noise dominates; take more draws)\n",
+                  label);
+    }
+  };
+
+  report("at initialisation:");
+
+  // Train briefly — the noise scale typically grows as the loss falls
+  // (gradients shrink faster than their variance).
+  auto opt = optim::make_optimizer("momentum", model.parameters());
+  opt->set_lr(0.1f);
+  data::IndexBatcher batcher(dataset.n_train(), 32, 3);
+  for (i64 s = 0; s < train_steps; ++s) {
+    std::vector<i64> idx = batcher.next();
+    model.zero_grad();
+    ag::Variable loss = model.loss(dataset.gather_images(idx, true),
+                                   dataset.gather_labels(idx, true));
+    ag::backward(loss);
+    optim::clip_grad_norm(opt->params(), 5.0f);
+    opt->step();
+  }
+  char label[64];
+  std::snprintf(label, sizeof label, "after %lld steps:",
+                static_cast<long long>(train_steps));
+  report(label);
+
+  std::printf(
+      "\nReading: batches well below B_simple average away noise (linear\n"
+      "scaling regime); beyond it returns diminish — the regime where the\n"
+      "paper's Sqrt Scaling + LEGW warmup is the right tool.\n");
+  return 0;
+}

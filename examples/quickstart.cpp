@@ -1,0 +1,59 @@
+// Quickstart: scale the batch size of an LSTM classifier with LEGW.
+//
+// Demonstrates the library's core loop in ~60 lines:
+//   1. tune (or accept) a small-batch baseline,
+//   2. derive the large-batch schedule with legw_scale / legw_constant —
+//      no extra tuning,
+//   3. train and compare.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "data/synthetic_mnist.hpp"
+#include "models/mnist_lstm.hpp"
+#include "sched/legw.hpp"
+#include "train/runners.hpp"
+
+using namespace legw;
+
+int main() {
+  std::printf("LEGW quickstart: MNIST-LSTM, batch 32 -> 256 with zero retuning\n\n");
+
+  // Synthetic MNIST stand-in (procedural, deterministic; see DESIGN.md).
+  data::SyntheticMnist dataset(/*n_train=*/2048, /*n_test=*/512, /*seed=*/42);
+
+  models::MnistLstmConfig model;
+  model.transform_dim = 32;
+  model.hidden_dim = 32;
+
+  // The tuned baseline: batch 32, peak LR 0.1, 0.2 warmup epochs.
+  const sched::LegwBaseline baseline{32, 0.1f, 0.1};
+
+  for (i64 batch : {i64{32}, i64{256}}) {
+    // LEGW derives the whole schedule from the baseline: peak LR follows
+    // the sqrt rule, warmup length the linear-epoch rule.
+    const sched::LegwRecipe recipe = sched::legw_scale(baseline, batch);
+    auto schedule = sched::legw_constant(baseline, batch);
+
+    std::printf("batch %4lld: k=%.0f, peak LR %.4f, warmup %.2f epochs\n",
+                static_cast<long long>(batch), recipe.scale_factor,
+                recipe.peak_lr, recipe.warmup_epochs);
+
+    train::RunConfig run;
+    run.batch_size = batch;
+    run.epochs = 10;
+    run.optimizer = "momentum";
+    run.schedule = schedule.get();
+    run.verbose = true;
+
+    auto result = train::train_mnist(dataset, model, run);
+    std::printf("  -> final test accuracy %.4f (%.1fs, %lld steps)\n\n",
+                result.final_metric, result.wall_seconds,
+                static_cast<long long>(result.steps));
+  }
+
+  std::printf("Both batch sizes reach comparable accuracy — that is LEGW's\n"
+              "claim: large-batch training without per-batch-size tuning.\n");
+  return 0;
+}

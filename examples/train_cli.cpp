@@ -1,0 +1,154 @@
+// Unified command-line trainer: any of the four paper applications, any
+// solver, any batch size, with the LEGW schedule derived automatically from
+// a baseline given on the command line.
+//
+// Usage:
+//   train_cli --app mnist|ptb|gnmt|resnet [options]
+// Common options (defaults in brackets):
+//   --batch N            batch size [app baseline]
+//   --epochs N           training epochs [app default]
+//   --optimizer NAME     sgd|momentum|nesterov|adagrad|rmsprop|adam|
+//                        adadelta|lars|lamb [app default]
+//   --base_batch N       LEGW baseline batch [app default]
+//   --base_lr X          LEGW baseline peak LR [app default]
+//   --base_warmup X      LEGW baseline warmup epochs [app default]
+//   --weight_decay X     L2 coefficient [app default]
+//   --seed N             run seed [1]
+//   --quiet              suppress per-epoch lines
+// Examples:
+//   train_cli --app mnist --batch 256
+//   train_cli --app resnet --batch 512 --epochs 8
+//   train_cli --app ptb --optimizer adam --base_lr 0.004
+#include <cstdio>
+#include <memory>
+
+#include "core/flags.hpp"
+#include "data/corpus.hpp"
+#include "data/images.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "data/translation.hpp"
+#include "models/gnmt.hpp"
+#include "models/mnist_lstm.hpp"
+#include "models/ptb_model.hpp"
+#include "models/resnet.hpp"
+#include "sched/legw.hpp"
+#include "train/runners.hpp"
+
+using namespace legw;
+
+namespace {
+
+struct AppDefaults {
+  i64 base_batch;
+  float base_lr;
+  double base_warmup;
+  i64 epochs;
+  const char* optimizer;
+  float weight_decay;
+};
+
+void print_result(const train::RunResult& r, const char* metric_name) {
+  std::printf("\nresult: %s %.4f | train loss %.4f | %lld steps | %.1fs%s\n",
+              metric_name, r.final_metric, r.final_train_loss,
+              static_cast<long long>(r.steps), r.wall_seconds,
+              r.diverged ? " | DIVERGED" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Flags flags(argc, argv);
+  const std::string app = flags.get_string("app", "mnist");
+
+  AppDefaults d;
+  if (app == "mnist") {
+    d = {32, 0.1f, 0.1, 10, "momentum", 0.0f};
+  } else if (app == "ptb") {
+    d = {8, 0.5f, 0.2, 8, "momentum", 0.0f};
+  } else if (app == "gnmt") {
+    d = {16, 0.015f, 0.1, 30, "adam", 0.0f};
+  } else if (app == "resnet") {
+    d = {32, 4.0f, 0.02, 5, "lars", 1e-4f};
+  } else {
+    std::fprintf(stderr, "unknown --app '%s' (mnist|ptb|gnmt|resnet)\n",
+                 app.c_str());
+    return 1;
+  }
+
+  sched::LegwBaseline base;
+  base.batch_size = flags.get_int("base_batch", d.base_batch);
+  base.peak_lr = static_cast<float>(flags.get_double("base_lr", d.base_lr));
+  base.warmup_epochs = flags.get_double("base_warmup", d.base_warmup);
+
+  train::RunConfig run;
+  run.batch_size = flags.get_int("batch", base.batch_size);
+  run.epochs = flags.get_int("epochs", d.epochs);
+  run.optimizer = flags.get_string("optimizer", d.optimizer);
+  run.weight_decay =
+      static_cast<float>(flags.get_double("weight_decay", d.weight_decay));
+  run.seed = static_cast<u64>(flags.get_int("seed", 1));
+  run.verbose = !flags.get_bool("quiet", false);
+
+  const auto recipe = sched::legw_scale(base, run.batch_size);
+  std::printf("app %s | batch %lld (k=%.1f) | %s | LEGW: peak LR %.4f, "
+              "warmup %.4f epochs\n",
+              app.c_str(), static_cast<long long>(run.batch_size),
+              recipe.scale_factor, run.optimizer.c_str(), recipe.peak_lr,
+              recipe.warmup_epochs);
+
+  if (app == "mnist") {
+    data::SyntheticMnist dataset(2048, 512, 42);
+    models::MnistLstmConfig model;
+    model.transform_dim = 32;
+    model.hidden_dim = 32;
+    auto schedule = sched::legw_constant(base, run.batch_size);
+    run.schedule = schedule.get();
+    print_result(train::train_mnist(dataset, model, run), "test accuracy");
+  } else if (app == "ptb") {
+    data::CorpusConfig ccfg;
+    ccfg.vocab = 200;
+    ccfg.n_states = 10;
+    ccfg.n_train_tokens = 36000;
+    ccfg.n_valid_tokens = 3000;
+    data::SyntheticCorpus corpus(ccfg);
+    models::PtbConfig model = models::PtbConfig::small(200);
+    model.embed_dim = 48;
+    model.hidden_dim = 48;
+    model.bptt_len = 10;
+    auto schedule = sched::legw_schedule(base, run.batch_size, [&](float peak) {
+      return std::make_shared<sched::ExponentialEpochDecay>(peak, 4.0, 0.6f);
+    });
+    run.schedule = schedule.get();
+    print_result(train::train_ptb(corpus, model, run), "valid perplexity");
+  } else if (app == "gnmt") {
+    data::TranslationConfig tcfg;
+    tcfg.src_vocab = 60;
+    tcfg.tgt_vocab = 60;
+    tcfg.min_len = 3;
+    tcfg.max_len = 7;
+    tcfg.n_train = 1024;
+    tcfg.n_test = 128;
+    data::SyntheticTranslation dataset(tcfg);
+    models::GnmtConfig model;
+    model.src_vocab = 60;
+    model.tgt_vocab = 60;
+    model.embed_dim = 16;
+    model.hidden_dim = 16;
+    model.num_layers = 2;
+    auto schedule = sched::legw_constant(base, run.batch_size);
+    run.schedule = schedule.get();
+    print_result(train::train_gnmt(dataset, model, run), "test BLEU");
+  } else {  // resnet
+    data::SyntheticImages dataset(3072, 512, 42);
+    models::ResNetConfig model;
+    model.width = 8;
+    model.blocks_per_stage = 1;
+    auto schedule = sched::legw_schedule(base, run.batch_size, [&](float peak) {
+      return std::make_shared<sched::PolynomialLr>(
+          peak, static_cast<double>(run.epochs), 2.0f);
+    });
+    run.schedule = schedule.get();
+    print_result(train::train_resnet(dataset, model, run), "test accuracy");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "ag/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace legw::ag {
+
+GradCheckResult grad_check(const std::function<Variable()>& fn,
+                           std::vector<Variable> leaves, double eps,
+                           double rel_tol, double abs_tol) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (auto& leaf : leaves) leaf.zero_grad();
+  Variable out = fn();
+  LEGW_CHECK(out.numel() == 1, "grad_check: fn must return a scalar");
+  backward(out);
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (auto& leaf : leaves) analytic.push_back(leaf.grad());
+
+  // Central differences, one coordinate at a time.
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& value = leaves[li].mutable_value();
+    for (i64 i = 0; i < value.numel(); ++i) {
+      const float orig = value[i];
+      value[i] = static_cast<float>(orig + eps);
+      const double f_plus = static_cast<double>(fn().value()[0]);
+      value[i] = static_cast<float>(orig - eps);
+      const double f_minus = static_cast<double>(fn().value()[0]);
+      value[i] = orig;
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double exact = static_cast<double>(analytic[li][i]);
+      const double abs_err = std::abs(numeric - exact);
+      const double denom = std::max(std::abs(numeric), std::abs(exact));
+      const double rel_err = denom > 0.0 ? abs_err / denom : 0.0;
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      if (abs_err > abs_tol && rel_err > rel_tol) {
+        result.max_rel_err = std::max(result.max_rel_err, rel_err);
+        if (result.ok) {
+          std::ostringstream os;
+          os << "leaf " << li << " elem " << i << ": analytic=" << exact
+             << " numeric=" << numeric << " abs_err=" << abs_err
+             << " rel_err=" << rel_err;
+          result.detail = os.str();
+        }
+        result.ok = false;
+      } else {
+        result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace legw::ag

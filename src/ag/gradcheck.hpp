@@ -1,0 +1,31 @@
+// Finite-difference gradient verification.
+//
+// Used by the test suite to validate every op and every fused layer: build a
+// scalar-valued function of some leaf Variables, compare backward() gradients
+// against central differences. Works in float32, so tolerances are relative
+// and loose-ish (default 2e-2 relative with 1e-3 absolute floor) — sufficient
+// to catch any real derivation error, which shows up as O(1) disagreement.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::ag {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  // first offending entry, for test failure messages
+};
+
+// fn must rebuild the graph from the current leaf values and return the
+// scalar output. `leaves` are the Variables whose gradients are verified.
+GradCheckResult grad_check(
+    const std::function<Variable()>& fn, std::vector<Variable> leaves,
+    double eps = 1e-2, double rel_tol = 2e-2, double abs_tol = 1e-3);
+
+}  // namespace legw::ag

@@ -1,0 +1,336 @@
+// Convolution, batch-norm and pooling ops for the residual CNN (ImageNet /
+// ResNet-50 stand-in). conv2d uses im2col + GEMM; the column matrix is
+// recomputed in the backward pass instead of saved, trading FLOPs for memory
+// so deep unrolled graphs stay small.
+#include <cmath>
+
+#include "ag/ops.hpp"
+#include "core/thread_pool.hpp"
+
+namespace legw::ag {
+
+using legw::i64;
+
+namespace {
+
+// Scatter x[b] into columns: col is [C*kh*kw, Ho*Wo].
+void im2col(const float* x, i64 C, i64 H, i64 W, i64 kh, i64 kw, i64 stride,
+            i64 pad, i64 Ho, i64 Wo, float* col) {
+  for (i64 c = 0; c < C; ++c) {
+    for (i64 ki = 0; ki < kh; ++ki) {
+      for (i64 kj = 0; kj < kw; ++kj) {
+        float* dst = col + ((c * kh + ki) * kw + kj) * Ho * Wo;
+        for (i64 oi = 0; oi < Ho; ++oi) {
+          const i64 ii = oi * stride + ki - pad;
+          for (i64 oj = 0; oj < Wo; ++oj) {
+            const i64 jj = oj * stride + kj - pad;
+            dst[oi * Wo + oj] = (ii >= 0 && ii < H && jj >= 0 && jj < W)
+                                    ? x[(c * H + ii) * W + jj]
+                                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Accumulate columns back into the image: inverse scatter of im2col.
+void col2im(const float* col, i64 C, i64 H, i64 W, i64 kh, i64 kw, i64 stride,
+            i64 pad, i64 Ho, i64 Wo, float* x) {
+  for (i64 c = 0; c < C; ++c) {
+    for (i64 ki = 0; ki < kh; ++ki) {
+      for (i64 kj = 0; kj < kw; ++kj) {
+        const float* src = col + ((c * kh + ki) * kw + kj) * Ho * Wo;
+        for (i64 oi = 0; oi < Ho; ++oi) {
+          const i64 ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= H) continue;
+          for (i64 oj = 0; oj < Wo; ++oj) {
+            const i64 jj = oj * stride + kj - pad;
+            if (jj < 0 || jj >= W) continue;
+            x[(c * H + ii) * W + jj] += src[oi * Wo + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Variable conv2d(const Variable& x, const Variable& w, const Variable& bias,
+                i64 stride, i64 pad) {
+  LEGW_CHECK(x.value().dim() == 4, "conv2d: x must be [B,C,H,W]");
+  LEGW_CHECK(w.value().dim() == 4, "conv2d: w must be [Cout,C,kh,kw]");
+  const i64 B = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  const i64 Cout = w.size(0), kh = w.size(2), kw = w.size(3);
+  LEGW_CHECK(w.size(1) == C, "conv2d: channel mismatch");
+  LEGW_CHECK(stride >= 1 && pad >= 0, "conv2d: bad stride/pad");
+  const i64 Ho = (H + 2 * pad - kh) / stride + 1;
+  const i64 Wo = (W + 2 * pad - kw) / stride + 1;
+  LEGW_CHECK(Ho >= 1 && Wo >= 1, "conv2d: output would be empty");
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    LEGW_CHECK(bias.value().dim() == 1 && bias.size(0) == Cout,
+               "conv2d: bias must be [Cout]");
+  }
+
+  Tensor out(core::Shape{B, Cout, Ho, Wo});
+  const i64 col_rows = C * kh * kw;
+  const i64 col_cols = Ho * Wo;
+  const float* xp = x.value().data();
+  const float* wp = w.value().data();
+  float* op = out.data();
+
+  core::parallel_for(0, B, 1, [&](i64 b0, i64 b1) {
+    Tensor col(core::Shape{col_rows, col_cols});
+    for (i64 b = b0; b < b1; ++b) {
+      im2col(xp + b * C * H * W, C, H, W, kh, kw, stride, pad, Ho, Wo,
+             col.data());
+      // out[b] = Wmat [Cout, col_rows] * col [col_rows, col_cols]
+      core::gemm(false, false, Cout, col_cols, col_rows, 1.0f, wp, col_rows,
+                 col.data(), col_cols, 0.0f, op + b * Cout * col_cols,
+                 col_cols);
+      if (has_bias) {
+        const float* bp = bias.value().data();
+        float* ob = op + b * Cout * col_cols;
+        for (i64 co = 0; co < Cout; ++co)
+          for (i64 s = 0; s < col_cols; ++s) ob[co * col_cols + s] += bp[co];
+      }
+    }
+  });
+
+  std::vector<Variable> parents = {x, w};
+  if (has_bias) parents.push_back(bias);
+  return make_op_node(
+      std::move(out), std::move(parents),
+      [B, C, H, W, Cout, kh, kw, stride, pad, Ho, Wo, has_bias](Node& n) {
+        auto& px = *n.parents[0];
+        auto& pw = *n.parents[1];
+        const i64 col_rows = C * kh * kw;
+        const i64 col_cols = Ho * Wo;
+        const float* g = n.grad.data();
+
+        if (has_bias && n.parents[2]->requires_grad) {
+          Tensor& gb = n.parents[2]->ensure_grad();
+          for (i64 b = 0; b < B; ++b)
+            for (i64 co = 0; co < Cout; ++co) {
+              double acc = 0.0;
+              const float* gr = g + (b * Cout + co) * col_cols;
+              for (i64 s = 0; s < col_cols; ++s) acc += gr[s];
+              gb[co] += static_cast<float>(acc);
+            }
+        }
+
+        // dW and dX accumulate per batch element; dW accumulation is a
+        // shared reduction so run this part serially per batch element while
+        // the GEMMs inside parallelise internally.
+        Tensor col(core::Shape{col_rows, col_cols});
+        Tensor dcol(core::Shape{col_rows, col_cols});
+        const float* xp = px.value.data();
+        for (i64 b = 0; b < B; ++b) {
+          const float* gb = g + b * Cout * col_cols;
+          if (pw.requires_grad) {
+            im2col(xp + b * C * H * W, C, H, W, kh, kw, stride, pad, Ho, Wo,
+                   col.data());
+            // dW += g[b] [Cout, col_cols] * col^T [col_cols, col_rows]
+            core::gemm(false, true, Cout, col_rows, col_cols, 1.0f, gb,
+                       col_cols, col.data(), col_cols, 1.0f,
+                       pw.ensure_grad().data(), col_rows);
+          }
+          if (px.requires_grad) {
+            // dcol = Wmat^T [col_rows, Cout] * g[b] [Cout, col_cols]
+            core::gemm(true, false, col_rows, col_cols, Cout, 1.0f,
+                       pw.value.data(), col_rows, gb, col_cols, 0.0f,
+                       dcol.data(), col_cols);
+            col2im(dcol.data(), C, H, W, kh, kw, stride, pad, Ho, Wo,
+                   px.ensure_grad().data() + b * C * H * W);
+          }
+        }
+      });
+}
+
+Variable batch_norm2d(const Variable& x, const Variable& gamma,
+                      const Variable& beta, Tensor& running_mean,
+                      Tensor& running_var, bool training, float eps,
+                      float momentum) {
+  LEGW_CHECK(x.value().dim() == 4, "batch_norm2d: x must be [B,C,H,W]");
+  const i64 B = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  LEGW_CHECK(gamma.value().dim() == 1 && gamma.size(0) == C &&
+                 beta.value().dim() == 1 && beta.size(0) == C,
+             "batch_norm2d: gamma/beta must be [C]");
+  LEGW_CHECK(running_mean.numel() == C && running_var.numel() == C,
+             "batch_norm2d: running stats must be [C]");
+  const i64 spatial = H * W;
+  const i64 count = B * spatial;
+
+  Tensor mean(core::Shape{C});
+  Tensor inv_std(core::Shape{C});
+  const float* xp = x.value().data();
+  if (training) {
+    for (i64 c = 0; c < C; ++c) {
+      double m = 0.0;
+      for (i64 b = 0; b < B; ++b) {
+        const float* xc = xp + (b * C + c) * spatial;
+        for (i64 s = 0; s < spatial; ++s) m += xc[s];
+      }
+      m /= count;
+      double v = 0.0;
+      for (i64 b = 0; b < B; ++b) {
+        const float* xc = xp + (b * C + c) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          const double d = xc[s] - m;
+          v += d * d;
+        }
+      }
+      v /= count;
+      mean[c] = static_cast<float>(m);
+      inv_std[c] = static_cast<float>(1.0 / std::sqrt(v + eps));
+      running_mean[c] = (1.0f - momentum) * running_mean[c] +
+                        momentum * static_cast<float>(m);
+      running_var[c] =
+          (1.0f - momentum) * running_var[c] + momentum * static_cast<float>(v);
+    }
+  } else {
+    for (i64 c = 0; c < C; ++c) {
+      mean[c] = running_mean[c];
+      inv_std[c] = 1.0f / std::sqrt(running_var[c] + eps);
+    }
+  }
+
+  Tensor xhat(x.value().shape());
+  Tensor out(x.value().shape());
+  {
+    const float* gp = gamma.value().data();
+    const float* bp = beta.value().data();
+    float* xh = xhat.data();
+    float* o = out.data();
+    for (i64 b = 0; b < B; ++b) {
+      for (i64 c = 0; c < C; ++c) {
+        const float m = mean[c], is = inv_std[c], gm = gp[c], bt = bp[c];
+        const float* xc = xp + (b * C + c) * spatial;
+        float* xhc = xh + (b * C + c) * spatial;
+        float* oc = o + (b * C + c) * spatial;
+        for (i64 s = 0; s < spatial; ++s) {
+          const float v = (xc[s] - m) * is;
+          xhc[s] = v;
+          oc[s] = gm * v + bt;
+        }
+      }
+    }
+  }
+
+  return make_op_node(
+      std::move(out), {x, gamma, beta},
+      [xhat, inv_std, B, C, spatial, count, training](Node& n) {
+        auto& px = *n.parents[0];
+        auto& pg = *n.parents[1];
+        auto& pb = *n.parents[2];
+        const float* g = n.grad.data();
+        const float* xh = xhat.data();
+        const float* gm = pg.value.data();
+
+        // Per-channel reductions: sum(dy) and sum(dy * xhat).
+        Tensor sum_dy(core::Shape{C});
+        Tensor sum_dy_xhat(core::Shape{C});
+        for (i64 b = 0; b < B; ++b) {
+          for (i64 c = 0; c < C; ++c) {
+            const float* gc = g + (b * C + c) * spatial;
+            const float* xhc = xh + (b * C + c) * spatial;
+            double s1 = 0.0, s2 = 0.0;
+            for (i64 s = 0; s < spatial; ++s) {
+              s1 += gc[s];
+              s2 += static_cast<double>(gc[s]) * xhc[s];
+            }
+            sum_dy[c] += static_cast<float>(s1);
+            sum_dy_xhat[c] += static_cast<float>(s2);
+          }
+        }
+        if (pg.requires_grad) pg.ensure_grad().add_(sum_dy_xhat);
+        if (pb.requires_grad) pb.ensure_grad().add_(sum_dy);
+        if (px.requires_grad) {
+          Tensor& gx = px.ensure_grad();
+          const float inv_count = 1.0f / static_cast<float>(count);
+          for (i64 b = 0; b < B; ++b) {
+            for (i64 c = 0; c < C; ++c) {
+              const float* gc = g + (b * C + c) * spatial;
+              const float* xhc = xh + (b * C + c) * spatial;
+              float* gxc = gx.data() + (b * C + c) * spatial;
+              const float k = gm[c] * inv_std[c];
+              if (training) {
+                const float mdy = sum_dy[c] * inv_count;
+                const float mdyx = sum_dy_xhat[c] * inv_count;
+                for (i64 s = 0; s < spatial; ++s)
+                  gxc[s] += k * (gc[s] - mdy - xhc[s] * mdyx);
+              } else {
+                // Eval mode: running stats are constants.
+                for (i64 s = 0; s < spatial; ++s) gxc[s] += k * gc[s];
+              }
+            }
+          }
+        }
+      });
+}
+
+Variable global_avg_pool(const Variable& x) {
+  LEGW_CHECK(x.value().dim() == 4, "global_avg_pool: x must be [B,C,H,W]");
+  const i64 B = x.size(0), C = x.size(1), spatial = x.size(2) * x.size(3);
+  Tensor out(core::Shape{B, C});
+  const float* xp = x.value().data();
+  for (i64 b = 0; b < B; ++b)
+    for (i64 c = 0; c < C; ++c) {
+      double acc = 0.0;
+      const float* xc = xp + (b * C + c) * spatial;
+      for (i64 s = 0; s < spatial; ++s) acc += xc[s];
+      out[b * C + c] = static_cast<float>(acc / spatial);
+    }
+  return make_op_node(std::move(out), {x}, [B, C, spatial](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor& gx = n.parents[0]->ensure_grad();
+    const float inv = 1.0f / static_cast<float>(spatial);
+    for (i64 b = 0; b < B; ++b)
+      for (i64 c = 0; c < C; ++c) {
+        const float g = n.grad[b * C + c] * inv;
+        float* gxc = gx.data() + (b * C + c) * spatial;
+        for (i64 s = 0; s < spatial; ++s) gxc[s] += g;
+      }
+  });
+}
+
+Variable avg_pool2x2(const Variable& x) {
+  LEGW_CHECK(x.value().dim() == 4, "avg_pool2x2: x must be [B,C,H,W]");
+  const i64 B = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  LEGW_CHECK(H % 2 == 0 && W % 2 == 0, "avg_pool2x2: H and W must be even");
+  const i64 Ho = H / 2, Wo = W / 2;
+  Tensor out(core::Shape{B, C, Ho, Wo});
+  const float* xp = x.value().data();
+  float* op = out.data();
+  for (i64 bc = 0; bc < B * C; ++bc) {
+    const float* xi = xp + bc * H * W;
+    float* oi = op + bc * Ho * Wo;
+    for (i64 i = 0; i < Ho; ++i)
+      for (i64 j = 0; j < Wo; ++j)
+        oi[i * Wo + j] = 0.25f * (xi[(2 * i) * W + 2 * j] +
+                                  xi[(2 * i) * W + 2 * j + 1] +
+                                  xi[(2 * i + 1) * W + 2 * j] +
+                                  xi[(2 * i + 1) * W + 2 * j + 1]);
+  }
+  return make_op_node(std::move(out), {x}, [B, C, H, W, Ho, Wo](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor& gx = n.parents[0]->ensure_grad();
+    const float* g = n.grad.data();
+    for (i64 bc = 0; bc < B * C; ++bc) {
+      float* gxi = gx.data() + bc * H * W;
+      const float* gi = g + bc * Ho * Wo;
+      for (i64 i = 0; i < Ho; ++i)
+        for (i64 j = 0; j < Wo; ++j) {
+          const float v = 0.25f * gi[i * Wo + j];
+          gxi[(2 * i) * W + 2 * j] += v;
+          gxi[(2 * i) * W + 2 * j + 1] += v;
+          gxi[(2 * i + 1) * W + 2 * j] += v;
+          gxi[(2 * i + 1) * W + 2 * j + 1] += v;
+        }
+    }
+  });
+}
+
+}  // namespace legw::ag

@@ -1,0 +1,76 @@
+#include "ag/variable.hpp"
+
+#include <unordered_set>
+
+namespace legw::ag {
+
+Variable make_op_node(Tensor value, std::vector<Variable> parents,
+                      std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  bool needs = false;
+  n->parents.reserve(parents.size());
+  for (const auto& p : parents) {
+    LEGW_CHECK(p.defined(), "op parent is an undefined Variable");
+    needs = needs || p.node()->requires_grad;
+    n->parents.push_back(p.node());
+  }
+  n->requires_grad = needs;
+  if (needs) n->backward_fn = std::move(backward_fn);
+  return Variable(std::move(n));
+}
+
+namespace {
+
+// Iterative post-order DFS. Recursion would overflow the stack on BPTT
+// graphs with thousands of sequential nodes.
+void topo_sort(const std::shared_ptr<Node>& root,
+               std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && visited.insert(p).second) {
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void backward(const Variable& root, const Tensor* seed) {
+  LEGW_CHECK(root.defined(), "backward on undefined Variable");
+  if (!root.node()->requires_grad) return;
+
+  Tensor& g = root.node()->ensure_grad();
+  if (seed != nullptr) {
+    LEGW_CHECK(seed->same_shape(root.value()), "backward seed shape mismatch");
+    g.add_(*seed);
+  } else {
+    LEGW_CHECK(root.numel() == 1,
+               "backward without seed requires a scalar root");
+    g[0] += 1.0f;
+  }
+
+  std::vector<Node*> order;
+  topo_sort(root.node(), order);
+  // Post-order puts parents before children; reverse to propagate root-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace legw::ag

@@ -1,0 +1,26 @@
+#include "analysis/curvature.hpp"
+
+#include "analysis/lipschitz.hpp"
+
+namespace legw::analysis {
+
+CurvatureTrace trace_curvature(const std::vector<ag::Variable>& params,
+                               const std::function<ag::Variable()>& probe_loss,
+                               const std::function<void()>& train_step,
+                               int n_iters, double eps) {
+  LEGW_CHECK(n_iters >= 1, "trace_curvature: need at least one iteration");
+  CurvatureTrace trace;
+  trace.values.reserve(static_cast<std::size_t>(n_iters));
+  for (int i = 0; i < n_iters; ++i) {
+    const double L = local_lipschitz(params, probe_loss, eps);
+    trace.values.push_back(L);
+    if (L > trace.peak_value) {
+      trace.peak_value = L;
+      trace.peak_iteration = i;
+    }
+    train_step();
+  }
+  return trace;
+}
+
+}  // namespace legw::analysis

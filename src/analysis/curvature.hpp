@@ -1,0 +1,28 @@
+// Curvature tracing: the Figure-3 experiment as a reusable API. Trains a
+// model for a few iterations while recording the local Lipschitz constant
+// (analysis::local_lipschitz) on a fixed probe, returning the full trace and
+// its peak — the quantities the paper uses to justify linear-epoch warmup.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::analysis {
+
+struct CurvatureTrace {
+  std::vector<double> values;  // L(x,g) before each training step
+  double peak_value = 0.0;
+  int peak_iteration = 0;
+};
+
+// probe_loss: rebuilds the loss on a *fixed* probe batch (L is conditioned
+// on it). train_step: performs one real optimizer step (its loss/batch are
+// the caller's business). n_iters: trace length.
+CurvatureTrace trace_curvature(const std::vector<ag::Variable>& params,
+                               const std::function<ag::Variable()>& probe_loss,
+                               const std::function<void()>& train_step,
+                               int n_iters, double eps = 1e-3);
+
+}  // namespace legw::analysis

@@ -1,0 +1,39 @@
+#include "analysis/gradient_noise.hpp"
+
+namespace legw::analysis {
+
+NoiseScaleEstimate estimate_noise_scale(
+    i64 batch_small, i64 batch_big,
+    const std::function<double(i64)>& grad_sq_norm_at) {
+  return estimate_noise_scale_averaged(
+      batch_small, batch_big, 1,
+      [&](i64 batch, int) { return grad_sq_norm_at(batch); });
+}
+
+NoiseScaleEstimate estimate_noise_scale_averaged(
+    i64 batch_small, i64 batch_big, int n_draws,
+    const std::function<double(i64, int)>& grad_sq_norm_at) {
+  LEGW_CHECK(batch_small >= 1 && batch_big > batch_small,
+             "noise scale: need batch_small < batch_big");
+  LEGW_CHECK(n_draws >= 1, "noise scale: need at least one draw");
+
+  double sq_small = 0.0, sq_big = 0.0;
+  for (int d = 0; d < n_draws; ++d) {
+    sq_small += grad_sq_norm_at(batch_small, d);
+    sq_big += grad_sq_norm_at(batch_big, d);
+  }
+  sq_small /= n_draws;
+  sq_big /= n_draws;
+
+  const double bs = static_cast<double>(batch_small);
+  const double bb = static_cast<double>(batch_big);
+
+  NoiseScaleEstimate e;
+  e.trace_sigma = (sq_small - sq_big) / (1.0 / bs - 1.0 / bb);
+  e.grad_sq_norm = (bb * sq_big - bs * sq_small) / (bb - bs);
+  e.valid = e.trace_sigma > 0.0 && e.grad_sq_norm > 0.0;
+  e.noise_scale = e.valid ? e.trace_sigma / e.grad_sq_norm : 0.0;
+  return e;
+}
+
+}  // namespace legw::analysis

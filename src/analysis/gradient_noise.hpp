@@ -1,0 +1,43 @@
+// Gradient noise scale (McCandlish et al. 2018, "An Empirical Model of
+// Large-Batch Training") — the companion quantity to the paper's Lipschitz
+// analysis: it predicts the critical batch size beyond which larger batches
+// stop paying off, which is exactly where the paper's sweeps stop scaling.
+//
+// The simple (unconditioned) noise scale is
+//     B_simple = tr(Σ) / ||G||²
+// where G is the true gradient and Σ the per-sample gradient covariance.
+// We estimate it from two gradient evaluations at different batch sizes
+// (the paper's appendix-D estimator):
+//     E[||g_B||²] = ||G||² + tr(Σ)/B
+// so with batches B_small < B_big,
+//     tr(Σ)  ≈ (||g_small||² − ||g_big||²) / (1/B_small − 1/B_big)
+//     ||G||² ≈ (B_big·||g_big||² − B_small·||g_small||²) / (B_big − B_small)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::analysis {
+
+struct NoiseScaleEstimate {
+  double trace_sigma = 0.0;    // tr(Σ): total gradient variance
+  double grad_sq_norm = 0.0;   // ||G||²: squared true-gradient norm
+  double noise_scale = 0.0;    // B_simple = tr(Σ) / ||G||²
+  bool valid = false;          // false if the estimates came out non-positive
+};
+
+// grad_sq_norm_at(batch) must return ||g||² of the *mean* mini-batch
+// gradient for a batch of the given size (averaged over `n_samples` draws by
+// the caller if desired). The two batch sizes must differ.
+NoiseScaleEstimate estimate_noise_scale(
+    i64 batch_small, i64 batch_big,
+    const std::function<double(i64 batch)>& grad_sq_norm_at);
+
+// Convenience: averages ||g_B||² over `n_draws` calls for stability.
+NoiseScaleEstimate estimate_noise_scale_averaged(
+    i64 batch_small, i64 batch_big, int n_draws,
+    const std::function<double(i64 batch, int draw)>& grad_sq_norm_at);
+
+}  // namespace legw::analysis

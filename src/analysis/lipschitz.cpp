@@ -1,0 +1,85 @@
+#include "analysis/lipschitz.hpp"
+
+#include <cmath>
+
+namespace legw::analysis {
+
+namespace {
+// Computes the gradient of loss_fn at the current weights into `out`.
+void gradient_at(const std::vector<ag::Variable>& params,
+                 const std::function<ag::Variable()>& loss_fn,
+                 std::vector<core::Tensor>& out) {
+  for (const auto& p : params) {
+    ag::Variable handle = p;  // cheap shared handle
+    handle.zero_grad();
+  }
+  ag::Variable loss = loss_fn();
+  ag::backward(loss);
+  out.clear();
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p.grad());
+}
+}  // namespace
+
+double local_lipschitz(const std::vector<ag::Variable>& params,
+                       const std::function<ag::Variable()>& loss_fn,
+                       double eps) {
+  LEGW_CHECK(!params.empty(), "local_lipschitz: no parameters");
+
+  // g at the current point.
+  std::vector<core::Tensor> g;
+  gradient_at(params, loss_fn, g);
+
+  double norm_sq = 0.0;
+  for (const auto& t : g) {
+    const double n = t.l2_norm();
+    norm_sq += n * n;
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm == 0.0) return 0.0;
+
+  // Save weights, step to w + eps*u.
+  std::vector<core::Tensor> saved;
+  saved.reserve(params.size());
+  for (const auto& p : params) saved.push_back(p.value());
+  const float step = static_cast<float>(eps / norm);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ag::Variable handle = params[i];
+    handle.mutable_value().add_(g[i], step);
+  }
+  std::vector<core::Tensor> g_plus;
+  gradient_at(params, loss_fn, g_plus);
+
+  // w - eps*u.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ag::Variable handle = params[i];
+    core::Tensor& w = handle.mutable_value();
+    w = saved[i];
+    w.add_(g[i], -step);
+  }
+  std::vector<core::Tensor> g_minus;
+  gradient_at(params, loss_fn, g_minus);
+
+  // Restore and zero.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ag::Variable handle = params[i];
+    handle.mutable_value() = saved[i];
+    handle.zero_grad();
+  }
+
+  // u·(Hu) with Hu ~ (g+ - g-) / (2 eps); u = g / ||g||.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const core::Tensor& gp = g_plus[i];
+    const core::Tensor& gm = g_minus[i];
+    const core::Tensor& gi = g[i];
+    for (i64 j = 0; j < gi.numel(); ++j) {
+      acc += static_cast<double>(gi[j]) *
+             (static_cast<double>(gp[j]) - gm[j]);
+    }
+  }
+  const double uhu = acc / (2.0 * eps * norm);
+  return std::abs(uhu);
+}
+
+}  // namespace legw::analysis

@@ -1,0 +1,28 @@
+// Local Lipschitz-constant estimation along the gradient direction (§4,
+// Figure 3 of the paper).
+//
+// For loss f and gradient g, the paper studies
+//     L(x, g) = ||gᵀ ∇²f(x) g|| / ||g||²  =  |uᵀ H u|,   u = g/||g||,
+// i.e. the curvature along the current gradient direction. The
+// Hessian-vector product H·u is approximated by central finite differences
+// of the gradient at w ± ε·u — exactly the procedure the paper describes
+// ("approximate it using a small batch and compute the Hessian-vector
+// product by finite difference").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::analysis {
+
+// params: the model's leaf Variables. loss_fn must rebuild the loss graph on
+// the *same* mini-batch each call (the estimate is batch-conditional by
+// design). Weights are perturbed in place and restored before returning;
+// gradients are left zeroed.
+double local_lipschitz(const std::vector<ag::Variable>& params,
+                       const std::function<ag::Variable()>& loss_fn,
+                       double eps = 1e-3);
+
+}  // namespace legw::analysis

@@ -1,0 +1,68 @@
+#include "analysis/lr_finder.hpp"
+
+#include <cmath>
+
+namespace legw::analysis {
+
+LrFinderResult lr_range_test(const LrFinderConfig& config,
+                             const std::function<double(float)>& step_fn) {
+  LEGW_CHECK(config.min_lr > 0.0f && config.max_lr > config.min_lr,
+             "lr_range_test: bad LR range");
+  LEGW_CHECK(config.n_steps >= 2, "lr_range_test: need >= 2 steps");
+
+  const double ratio =
+      std::pow(static_cast<double>(config.max_lr) / config.min_lr,
+               1.0 / (config.n_steps - 1));
+  LrFinderResult result;
+  double smoothed = 0.0;
+  double best_smoothed = 0.0;
+  bool have_best = false;
+  double lr = config.min_lr;
+
+  for (int s = 0; s < config.n_steps; ++s) {
+    const double loss = step_fn(static_cast<float>(lr));
+    if (!std::isfinite(loss)) {
+      result.blew_up = true;
+      break;
+    }
+    smoothed = s == 0 ? loss
+                      : config.smoothing * smoothed +
+                            (1.0 - config.smoothing) * loss;
+    result.trace.push_back({static_cast<float>(lr), loss, smoothed});
+    if (!have_best || smoothed < best_smoothed) {
+      best_smoothed = smoothed;
+      have_best = true;
+    }
+    if (have_best && smoothed > config.blowup_factor * best_smoothed) {
+      result.blew_up = true;
+      break;
+    }
+    lr *= ratio;
+  }
+
+  if (result.trace.empty()) {
+    result.suggested_lr = config.min_lr;
+    return result;
+  }
+  if (result.blew_up) {
+    // Classic heuristic: one decade below the LR that destabilised training.
+    result.suggested_lr = result.trace.empty()
+                              ? config.min_lr
+                              : result.trace.back().lr / 10.0f;
+    return result;
+  }
+  // No blow-up within range: half the LR at the smoothed-loss minimum —
+  // conservative, and robust to models whose bounded activations degrade
+  // gradually instead of NaN-ing.
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    if (result.trace[i].smoothed_loss <
+        result.trace[best_idx].smoothed_loss) {
+      best_idx = i;
+    }
+  }
+  result.suggested_lr = result.trace[best_idx].lr / 2.0f;
+  return result;
+}
+
+}  // namespace legw::analysis

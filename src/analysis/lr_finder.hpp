@@ -1,0 +1,43 @@
+// Learning-rate range test (Leslie Smith 2015): ramp the LR geometrically
+// over a short run, record the loss, and report the largest LR at which
+// training is still stable. One cheap probe replaces a grid search for the
+// LEGW *baseline* LR — the single quantity the paper's method still needs a
+// human (or this) to pick.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::analysis {
+
+struct LrFinderConfig {
+  float min_lr = 1e-4f;
+  float max_lr = 10.0f;
+  int n_steps = 50;
+  // The run stops early once the smoothed loss exceeds `blowup_factor` times
+  // its best value (training has destabilised).
+  double blowup_factor = 4.0;
+  double smoothing = 0.7;  // EMA factor on the recorded loss
+};
+
+struct LrFinderResult {
+  struct Point {
+    float lr;
+    double loss;          // raw loss at this step
+    double smoothed_loss;
+  };
+  std::vector<Point> trace;
+  // On blow-up: one decade below the destabilising LR (the classic rule).
+  // Otherwise: half the LR at which the smoothed loss was lowest.
+  float suggested_lr = 0.0f;
+  bool blew_up = false;
+};
+
+// step_fn(lr) must perform exactly one optimizer step at that LR on the next
+// training batch and return the (pre-step) loss.
+LrFinderResult lr_range_test(const LrFinderConfig& config,
+                             const std::function<double(float lr)>& step_fn);
+
+}  // namespace legw::analysis

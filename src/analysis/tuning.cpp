@@ -1,0 +1,48 @@
+#include "analysis/tuning.hpp"
+
+#include <cmath>
+
+namespace legw::analysis {
+
+TuneResult grid_search_lr(
+    const std::vector<float>& candidates,
+    const std::function<std::pair<double, bool>(float lr)>& run,
+    bool higher_better) {
+  LEGW_CHECK(!candidates.empty(), "grid_search_lr: no candidates");
+  TuneResult result;
+  bool have_best = false;
+  for (float lr : candidates) {
+    const auto [metric, diverged] = run(lr);
+    result.table.push_back({lr, metric, diverged});
+    if (diverged) continue;
+    const bool better = !have_best || (higher_better ? metric > result.best_metric
+                                                     : metric < result.best_metric);
+    if (better) {
+      result.best_lr = lr;
+      result.best_metric = metric;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    // Every candidate diverged: report the first entry so callers can tell.
+    result.best_lr = candidates.front();
+    result.best_metric = higher_better ? 0.0 : 1e18;
+  }
+  return result;
+}
+
+std::vector<float> geometric_grid(float lo, float hi, int n) {
+  LEGW_CHECK(lo > 0.0f && hi > lo && n >= 2, "geometric_grid: bad range");
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double ratio = std::pow(static_cast<double>(hi) / lo,
+                                1.0 / static_cast<double>(n - 1));
+  double v = lo;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<float>(v));
+    v *= ratio;
+  }
+  return out;
+}
+
+}  // namespace legw::analysis

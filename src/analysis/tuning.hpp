@@ -1,0 +1,37 @@
+// Hyper-parameter grid search — the "comprehensive tuning" baselines the
+// paper compares LEGW against (Figures 5, 7, 8 and the Adam LR sweeps).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::analysis {
+
+struct TuneEntry {
+  float lr = 0.0f;
+  double metric = 0.0;
+  bool diverged = false;
+};
+
+struct TuneResult {
+  float best_lr = 0.0f;
+  double best_metric = 0.0;
+  std::vector<TuneEntry> table;  // one row per tried LR, in input order
+};
+
+// Evaluates `run(lr)` for every candidate and keeps the best. `run` returns
+// (metric, diverged); diverged entries never win. higher_better selects the
+// comparison direction (accuracy/BLEU: true; perplexity: false).
+TuneResult grid_search_lr(
+    const std::vector<float>& candidates,
+    const std::function<std::pair<double, bool>(float lr)>& run,
+    bool higher_better);
+
+// Geometric LR grid: n points from lo to hi inclusive, log-spaced. The
+// paper's effective ranges ([0.01, 0.16] for MNIST, [0.1, 1.6] for PTB) are
+// exactly such grids with ratio 2.
+std::vector<float> geometric_grid(float lo, float hi, int n);
+
+}  // namespace legw::analysis

@@ -1,0 +1,45 @@
+// Common contract-checking macros and fundamental typedefs for the LEGW
+// reproduction library. Every subsystem includes this header.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace legw {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using u16 = std::uint16_t;
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "LEGW_CHECK failed at %s:%d: (%s) %s\n", file, line,
+               expr, msg.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+// Contract check that is always on (cheap relative to the numeric kernels it
+// guards). Use for shape/argument validation at public API boundaries.
+#define LEGW_CHECK(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::legw::detail::check_failed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                                    \
+  } while (0)
+
+// Check used inside inner loops; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define LEGW_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define LEGW_DCHECK(cond, msg) LEGW_CHECK(cond, msg)
+#endif
+
+}  // namespace legw

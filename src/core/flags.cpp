@@ -1,0 +1,68 @@
+#include "core/flags.hpp"
+
+#include <cstdlib>
+
+namespace legw::core {
+
+Flags::Flags(int argc, char** argv) {
+  LEGW_CHECK(argc >= 1, "Flags: empty argv");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      // Bare flag: boolean true.
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+i64 Flags::get_int(const std::string& name, i64 def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  LEGW_CHECK(end != nullptr && *end == '\0',
+             "flag --" + name + " expects an integer, got '" + it->second + "'");
+  return static_cast<i64>(v);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  LEGW_CHECK(end != nullptr && *end == '\0',
+             "flag --" + name + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  LEGW_CHECK(false, "flag --" + name + " expects a boolean, got '" + v + "'");
+  return def;
+}
+
+}  // namespace legw::core

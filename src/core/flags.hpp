@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the examples and benches:
+// `--name value` and `--name=value` forms, typed getters with defaults,
+// and an auto-generated usage string. No global state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::core {
+
+class Flags {
+ public:
+  // Parses argv; aborts with usage on malformed input (a flag without a
+  // value, or an unknown positional argument).
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, std::string def) const;
+  i64 get_int(const std::string& name, i64 def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::string& program() const { return program_; }
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace legw::core

@@ -1,0 +1,103 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace legw::core {
+
+void sigmoid_forward(const float* x, float* y, i64 n) {
+  for (i64 i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void sigmoid_backward(const float* y, const float* dy, float* dx, i64 n) {
+  for (i64 i = 0; i < n; ++i) dx[i] += dy[i] * y[i] * (1.0f - y[i]);
+}
+
+void tanh_forward(const float* x, float* y, i64 n) {
+  for (i64 i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void tanh_backward(const float* y, const float* dy, float* dx, i64 n) {
+  for (i64 i = 0; i < n; ++i) dx[i] += dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void relu_forward(const float* x, float* y, i64 n) {
+  for (i64 i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_backward(const float* x, const float* dy, float* dx, i64 n) {
+  for (i64 i = 0; i < n; ++i) dx[i] += x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void softmax_rows(const float* x, float* y, i64 rows, i64 cols) {
+  for (i64 r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float m = xr[0];
+    for (i64 c = 1; c < cols; ++c) m = std::max(m, xr[c]);
+    double denom = 0.0;
+    for (i64 c = 0; c < cols; ++c) {
+      const float e = std::exp(xr[c] - m);
+      yr[c] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (i64 c = 0; c < cols; ++c) yr[c] *= inv;
+  }
+}
+
+void log_softmax_rows(const float* x, float* y, i64 rows, i64 cols) {
+  for (i64 r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float m = xr[0];
+    for (i64 c = 1; c < cols; ++c) m = std::max(m, xr[c]);
+    double denom = 0.0;
+    for (i64 c = 0; c < cols; ++c) denom += std::exp(xr[c] - m);
+    const float log_denom = static_cast<float>(std::log(denom)) + m;
+    for (i64 c = 0; c < cols; ++c) yr[c] = xr[c] - log_denom;
+  }
+}
+
+double softmax_cross_entropy_forward(const float* logits, const i32* targets,
+                                     i64 rows, i64 cols, i32 ignore_index,
+                                     float* probs_out, i64* counted) {
+  double loss = 0.0;
+  i64 n_counted = 0;
+  for (i64 r = 0; r < rows; ++r) {
+    const float* xr = logits + r * cols;
+    float m = xr[0];
+    for (i64 c = 1; c < cols; ++c) m = std::max(m, xr[c]);
+    double denom = 0.0;
+    for (i64 c = 0; c < cols; ++c) denom += std::exp(static_cast<double>(xr[c]) - m);
+    const double log_denom = std::log(denom) + m;
+    if (probs_out != nullptr) {
+      float* pr = probs_out + r * cols;
+      for (i64 c = 0; c < cols; ++c) {
+        pr[c] = static_cast<float>(std::exp(static_cast<double>(xr[c]) - log_denom));
+      }
+    }
+    const i32 t = targets[r];
+    if (t == ignore_index) continue;
+    LEGW_DCHECK(t >= 0 && t < cols, "cross-entropy target out of range");
+    loss += log_denom - xr[t];
+    ++n_counted;
+  }
+  if (counted != nullptr) *counted = n_counted;
+  return loss;
+}
+
+void softmax_cross_entropy_backward(const float* probs, const i32* targets,
+                                    i64 rows, i64 cols, i32 ignore_index,
+                                    float scale, float* dlogits) {
+  for (i64 r = 0; r < rows; ++r) {
+    const i32 t = targets[r];
+    if (t == ignore_index) continue;
+    const float* pr = probs + r * cols;
+    float* dr = dlogits + r * cols;
+    for (i64 c = 0; c < cols; ++c) dr[c] += scale * pr[c];
+    dr[t] -= scale;
+  }
+}
+
+}  // namespace legw::core

@@ -1,0 +1,42 @@
+// Elementwise and row-wise numeric kernels shared by the autograd ops and the
+// fused layer implementations. All kernels operate on raw contiguous float
+// buffers; shape logic lives in the callers.
+#pragma once
+
+#include "core/common.hpp"
+
+namespace legw::core {
+
+// y[i] = 1 / (1 + exp(-x[i]))
+void sigmoid_forward(const float* x, float* y, i64 n);
+// dx[i] += dy[i] * y[i] * (1 - y[i]) where y is the forward output
+void sigmoid_backward(const float* y, const float* dy, float* dx, i64 n);
+
+void tanh_forward(const float* x, float* y, i64 n);
+// dx[i] += dy[i] * (1 - y[i]^2)
+void tanh_backward(const float* y, const float* dy, float* dx, i64 n);
+
+void relu_forward(const float* x, float* y, i64 n);
+// dx[i] += dy[i] * (x[i] > 0)
+void relu_backward(const float* x, const float* dy, float* dx, i64 n);
+
+// Row-wise, numerically-stable softmax over a [rows, cols] matrix.
+void softmax_rows(const float* x, float* y, i64 rows, i64 cols);
+// Row-wise log-softmax.
+void log_softmax_rows(const float* x, float* y, i64 rows, i64 cols);
+
+// Mean negative log-likelihood of integer targets under row-wise softmax.
+// Rows whose target equals `ignore_index` contribute nothing (used for
+// padding in seq2seq batches). Returns the summed loss and writes the number
+// of counted rows to *counted (callers divide to get the mean).
+// If probs_out is non-null it receives the full softmax probabilities
+// (needed by the backward pass).
+double softmax_cross_entropy_forward(const float* logits, const i32* targets,
+                                     i64 rows, i64 cols, i32 ignore_index,
+                                     float* probs_out, i64* counted);
+// dlogits[r,c] += scale * (probs[r,c] - 1{c == target_r}) for counted rows.
+void softmax_cross_entropy_backward(const float* probs, const i32* targets,
+                                    i64 rows, i64 cols, i32 ignore_index,
+                                    float scale, float* dlogits);
+
+}  // namespace legw::core

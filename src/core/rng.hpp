@@ -1,0 +1,75 @@
+// Deterministic counter-style random number generation.
+//
+// All randomness in the library flows through explicitly-seeded Rng
+// instances so that every experiment is bit-reproducible. The generator is
+// SplitMix64 (Steele et al.), which passes BigCrush and is trivially
+// splittable: `split()` derives an independent stream, which lets data
+// loaders, per-worker initialisation, and dropout masks draw from
+// uncorrelated streams without sharing mutable state across threads.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/common.hpp"
+
+namespace legw::core {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  u64 next_u64() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  u64 uniform_int(u64 n) {
+    LEGW_DCHECK(n > 0, "uniform_int: n must be positive");
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for n << 2^64 and determinism is what we care about.
+    return next_u64() % n;
+  }
+
+  // Standard normal via Box-Muller. Caches the second variate.
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Derives an independent stream. The child is seeded from this stream's
+  // output, so parent and child sequences are uncorrelated.
+  Rng split() { return Rng(next_u64() ^ 0xa0761d6478bd642full); }
+
+ private:
+  u64 state_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace legw::core

@@ -1,0 +1,363 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/thread_pool.hpp"
+
+namespace legw::core {
+
+i64 shape_numel(const Shape& shape) {
+  i64 n = 1;
+  for (i64 d : shape) {
+    LEGW_CHECK(d >= 0, "negative dimension in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ",";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  LEGW_CHECK(static_cast<i64>(data_.size()) == shape_numel(shape_),
+             "value count does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, float mean) {
+  Tensor t(std::move(shape));
+  for (i64 i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (i64 i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+i64 Tensor::size(i64 d) const {
+  if (d < 0) d += dim();
+  LEGW_CHECK(d >= 0 && d < dim(), "dimension index out of range");
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  LEGW_CHECK(shape_numel(shape) == numel(),
+             "reshape " + shape_to_string(shape_) + " -> " +
+                 shape_to_string(shape) + " changes element count");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+float& Tensor::at(i64 i, i64 j) {
+  LEGW_DCHECK(dim() == 2, "at(i,j) requires a 2-D tensor");
+  LEGW_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+              "2-D index out of range");
+  return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(i64 i, i64 j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(i64 i, i64 j, i64 k) {
+  LEGW_DCHECK(dim() == 3, "at(i,j,k) requires a 3-D tensor");
+  LEGW_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                  k < shape_[2],
+              "3-D index out of range");
+  return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(i64 i, i64 j, i64 k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  LEGW_CHECK(a.same_shape(b), std::string(op) + ": shape mismatch " +
+                                  shape_to_string(a.shape()) + " vs " +
+                                  shape_to_string(b.shape()));
+}
+}  // namespace
+
+Tensor Tensor::operator+(const Tensor& o) const {
+  check_same_shape(*this, o, "operator+");
+  Tensor r = *this;
+  r.add_(o);
+  return r;
+}
+
+Tensor Tensor::operator-(const Tensor& o) const {
+  check_same_shape(*this, o, "operator-");
+  Tensor r = *this;
+  r.sub_(o);
+  return r;
+}
+
+Tensor Tensor::operator*(const Tensor& o) const {
+  check_same_shape(*this, o, "operator*");
+  Tensor r = *this;
+  r.mul_(o);
+  return r;
+}
+
+Tensor Tensor::operator*(float s) const {
+  Tensor r = *this;
+  r.scale_(s);
+  return r;
+}
+
+Tensor Tensor::operator+(float s) const {
+  Tensor r = *this;
+  for (i64 i = 0; i < r.numel(); ++i) r[i] += s;
+  return r;
+}
+
+Tensor& Tensor::add_(const Tensor& o) {
+  check_same_shape(*this, o, "add_");
+  const float* src = o.data();
+  float* dst = data();
+  const i64 n = numel();
+  for (i64 i = 0; i < n; ++i) dst[i] += src[i];
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& o, float scale) {
+  check_same_shape(*this, o, "add_(scaled)");
+  const float* src = o.data();
+  float* dst = data();
+  const i64 n = numel();
+  for (i64 i = 0; i < n; ++i) dst[i] += scale * src[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& o) {
+  check_same_shape(*this, o, "sub_");
+  const float* src = o.data();
+  float* dst = data();
+  const i64 n = numel();
+  for (i64 i = 0; i < n; ++i) dst[i] -= src[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& o) {
+  check_same_shape(*this, o, "mul_");
+  const float* src = o.data();
+  float* dst = data();
+  const i64 n = numel();
+  for (i64 i = 0; i < n; ++i) dst[i] *= src[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  float* dst = data();
+  const i64 n = numel();
+  for (i64 i = 0; i < n; ++i) dst[i] *= s;
+  return *this;
+}
+
+Tensor& Tensor::fill_(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  LEGW_CHECK(numel() > 0, "mean of empty tensor");
+  return static_cast<float>(static_cast<double>(sum()) / numel());
+}
+
+float Tensor::min() const {
+  LEGW_CHECK(numel() > 0, "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  LEGW_CHECK(numel() > 0, "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor Tensor::transposed_2d() const {
+  LEGW_CHECK(dim() == 2, "transposed_2d requires a 2-D tensor");
+  const i64 m = shape_[0];
+  const i64 n = shape_[1];
+  Tensor t(Shape{n, m});
+  const float* src = data();
+  float* dst = t.data();
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      dst[j * m + i] = src[i * n + j];
+    }
+  }
+  return t;
+}
+
+std::string Tensor::to_string(i64 max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const i64 n = std::min<i64>(numel(), max_elems);
+  for (i64 i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (n < numel()) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+Tensor operator*(float s, const Tensor& t) { return t * s; }
+
+namespace {
+
+// Innermost kernel: C[i, :] += alpha * A[i, k] * B[k, :] over a k-panel.
+// Both B rows and C rows are contiguous, so the j-loop vectorises.
+inline void gemm_nn_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
+                         const float* a, i64 lda, const float* b, i64 ldb,
+                         float* c, i64 ldc) {
+  constexpr i64 kKc = 128;  // k-panel size; keeps a B panel in L1/L2
+  for (i64 kk = 0; kk < k; kk += kKc) {
+    const i64 kend = std::min(k, kk + kKc);
+    for (i64 i = row_begin; i < row_end; ++i) {
+      float* ci = c + i * ldc;
+      for (i64 p = kk; p < kend; ++p) {
+        const float aip = alpha * a[i * lda + p];
+        if (aip == 0.0f) continue;
+        const float* bp = b + p * ldb;
+        for (i64 j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+// C[i, j] += alpha * dot(A[i, :], B[j, :]) — the trans_b case. Dot products
+// over contiguous rows of both operands.
+inline void gemm_nt_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
+                         const float* a, i64 lda, const float* b, i64 ldb,
+                         float* c, i64 ldc) {
+  for (i64 i = row_begin; i < row_end; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (i64 j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float acc = 0.0f;
+      for (i64 p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+// C[i, :] += alpha * A[p, i] * B[p, :] — the trans_a case.
+inline void gemm_tn_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
+                         const float* a, i64 lda, const float* b, i64 ldb,
+                         float* c, i64 ldc) {
+  for (i64 i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * ldc;
+    for (i64 p = 0; p < k; ++p) {
+      const float aip = alpha * a[p * lda + i];
+      if (aip == 0.0f) continue;
+      const float* bp = b + p * ldb;
+      for (i64 j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+inline void gemm_tt_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
+                         const float* a, i64 lda, const float* b, i64 ldb,
+                         float* c, i64 ldc) {
+  for (i64 i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * ldc;
+    for (i64 j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (i64 p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
+          const float* a, i64 lda, const float* b, i64 ldb, float beta,
+          float* c, i64 ldc) {
+  LEGW_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  if (m == 0 || n == 0) return;
+
+  // Scale C by beta first (the row kernels accumulate).
+  if (beta == 0.0f) {
+    for (i64 i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (i64 i = 0; i < m; ++i) {
+      float* ci = c + i * ldc;
+      for (i64 j = 0; j < n; ++j) ci[j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  // Parallelise over row blocks of C; each block touches disjoint C rows.
+  // Grain chosen so a chunk does at least ~64k multiply-adds.
+  const i64 grain = std::max<i64>(1, 65536 / std::max<i64>(1, n * k));
+  parallel_for(0, m, grain, [&](i64 rb, i64 re) {
+    if (!trans_a && !trans_b) {
+      gemm_nn_rows(rb, re, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else if (!trans_a && trans_b) {
+      gemm_nt_rows(rb, re, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else if (trans_a && !trans_b) {
+      gemm_tn_rows(rb, re, n, k, alpha, a, lda, b, ldb, c, ldc);
+    } else {
+      gemm_tt_rows(rb, re, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  LEGW_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
+  const i64 m = trans_a ? a.size(1) : a.size(0);
+  const i64 ka = trans_a ? a.size(0) : a.size(1);
+  const i64 kb = trans_b ? b.size(1) : b.size(0);
+  const i64 n = trans_b ? b.size(0) : b.size(1);
+  LEGW_CHECK(ka == kb, "matmul: inner dimensions differ (" +
+                           shape_to_string(a.shape()) + " x " +
+                           shape_to_string(b.shape()) + ")");
+  Tensor c(Shape{m, n});
+  gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), a.size(1), b.data(),
+       b.size(1), 0.0f, c.data(), n);
+  return c;
+}
+
+}  // namespace legw::core

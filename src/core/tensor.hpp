@@ -1,0 +1,112 @@
+// Dense float32 tensor.
+//
+// The library deliberately keeps the tensor minimal: contiguous row-major
+// storage, value semantics (copies copy data, moves are cheap), and shape
+// checked arithmetic. Views/strides are not needed by the models in this
+// repo; the few ops that would want them (transpose, slicing) materialise
+// their result instead, which keeps every kernel a flat loop over contiguous
+// memory — the friendliest possible layout for the vectoriser.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/rng.hpp"
+
+namespace legw::core {
+
+using Shape = std::vector<i64>;
+
+i64 shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> values);
+
+  // --- construction helpers -------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  // i.i.d. N(mean, stddev^2).
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f,
+                      float mean = 0.0f);
+  // i.i.d. U[lo, hi).
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo = 0.0f,
+                             float hi = 1.0f);
+
+  // --- shape ----------------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  i64 dim() const { return static_cast<i64>(shape_.size()); }
+  i64 size(i64 d) const;
+  i64 numel() const { return static_cast<i64>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Returns a tensor sharing no storage with this one but holding the same
+  // data reinterpreted under `shape` (numel must match).
+  Tensor reshape(Shape shape) const;
+
+  // --- element access -------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](i64 i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](i64 i) const { return data_[static_cast<std::size_t>(i)]; }
+  // Checked 2-D / 3-D accessors, for tests and cold paths.
+  float& at(i64 i, i64 j);
+  float at(i64 i, i64 j) const;
+  float& at(i64 i, i64 j, i64 k);
+  float at(i64 i, i64 j, i64 k) const;
+
+  // --- arithmetic (shape-checked, allocating) --------------------------------
+  Tensor operator+(const Tensor& o) const;
+  Tensor operator-(const Tensor& o) const;
+  Tensor operator*(const Tensor& o) const;  // elementwise
+  Tensor operator*(float s) const;
+  Tensor operator+(float s) const;
+
+  // --- in-place -------------------------------------------------------------
+  Tensor& add_(const Tensor& o);
+  Tensor& add_(const Tensor& o, float scale);  // this += scale * o
+  Tensor& sub_(const Tensor& o);
+  Tensor& mul_(const Tensor& o);
+  Tensor& scale_(float s);
+  Tensor& fill_(float v);
+  Tensor& zero_() { return fill_(0.0f); }
+
+  // --- reductions / norms ----------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  // Euclidean norm, accumulated in double for stability.
+  float l2_norm() const;
+
+  // Materialised 2-D transpose.
+  Tensor transposed_2d() const;
+
+  std::string to_string(i64 max_elems = 32) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+Tensor operator*(float s, const Tensor& t);
+
+// C[m,n] = A[m,k] (or A^T) times B[k,n] (or B^T), accumulated into
+// beta*C + alpha*A*B. Parallelised over row blocks of C.
+void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
+          const float* a, i64 lda, const float* b, i64 ldb, float beta,
+          float* c, i64 ldc);
+
+// Tensor-level matmul: a is [m,k], b is [k,n] after optional transposes.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+}  // namespace legw::core

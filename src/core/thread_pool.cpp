@@ -1,0 +1,124 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace legw::core {
+
+namespace {
+// True while the current thread is executing inside a parallel_for region
+// (either as a pool worker or as the submitting thread running its own
+// chunk). Nested parallel_for calls then degrade to serial execution, which
+// avoids the classic fork-join deadlock where every worker blocks waiting on
+// sub-tasks that no idle worker remains to run.
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int n_threads) {
+  if (n_threads <= 0) {
+    n_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (n_threads <= 0) n_threads = 1;
+  }
+  // The submitting thread counts as one worker.
+  const int spawned = n_threads - 1;
+  workers_.reserve(static_cast<std::size_t>(std::max(spawned, 0)));
+  for (int i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || next_task_ < queue_.size(); });
+      if (stop_) return;
+      task = queue_[next_task_++];
+    }
+    t_in_parallel_region = true;
+    (*task.fn)(task.begin, task.end);
+    t_in_parallel_region = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
+                              const std::function<void(i64, i64)>& fn) {
+  if (begin >= end) return;
+  if (t_in_parallel_region) {  // nested call: run serially (see above)
+    fn(begin, end);
+    return;
+  }
+  if (grain < 1) grain = 1;
+  const i64 n = end - begin;
+  const i64 max_chunks = static_cast<i64>(size());
+  // Static partition: ceil-divide into at most `size()` chunks of >= grain.
+  i64 n_chunks = std::min<i64>((n + grain - 1) / grain, max_chunks);
+  if (n_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const i64 chunk = (n + n_chunks - 1) / n_chunks;
+
+  // Serialise concurrent submitters: the queue/pending bookkeeping below is
+  // per-submission, so two overlapping parallel_for calls (e.g. from
+  // simulated distributed workers) must not interleave their task batches.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Queue all chunks except the first, which the caller runs itself.
+    for (i64 c = 1; c < n_chunks; ++c) {
+      const i64 b = begin + c * chunk;
+      const i64 e = std::min(end, b + chunk);
+      if (b >= e) continue;
+      queue_.push_back(Task{&fn, b, e});
+      ++pending_;
+    }
+  }
+  cv_.notify_all();
+
+  t_in_parallel_region = true;
+  fn(begin, std::min(end, begin + chunk));
+  t_in_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  // All chunks done; reset the queue for the next call.
+  queue_.clear();
+  next_task_ = 0;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("LEGW_NUM_THREADS")) {
+      const int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    return 0;
+  }());
+  return pool;
+}
+
+void parallel_for(i64 begin, i64 end, i64 grain,
+                  const std::function<void(i64, i64)>& fn) {
+  if (end - begin <= grain) {
+    if (begin < end) fn(begin, end);
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace legw::core

@@ -1,0 +1,68 @@
+// Work-sharing thread pool with a blocking parallel_for.
+//
+// The pool is the single parallelism primitive in the library: GEMM tiles,
+// elementwise kernels, batched LSTM steps and the simulated data-parallel
+// workers all funnel through parallel_for. Tasks are chunked statically so a
+// given (range, grain, worker-count) triple always produces the same work
+// partition — important for run-to-run reproducibility of reductions that
+// accumulate per-chunk partials.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::core {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(int n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(chunk_begin, chunk_end) over [begin, end), splitting into chunks
+  // of at least `grain` elements. The calling thread participates. Blocks
+  // until every chunk has finished. fn must be safe to call concurrently on
+  // disjoint ranges.
+  void parallel_for(i64 begin, i64 end, i64 grain,
+                    const std::function<void(i64, i64)>& fn);
+
+  // Process-wide default pool (lazily constructed, sized from
+  // LEGW_NUM_THREADS or hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(i64, i64)>* fn = nullptr;
+    i64 begin = 0;
+    i64 end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serialises concurrent parallel_for submissions
+  std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers when tasks arrive
+  std::condition_variable done_cv_;   // wakes the submitter when all done
+  std::vector<Task> queue_;
+  std::size_t next_task_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over the global pool. Falls back to a serial loop for
+// ranges smaller than one grain so tiny workloads pay no synchronisation.
+void parallel_for(i64 begin, i64 end, i64 grain,
+                  const std::function<void(i64, i64)>& fn);
+
+}  // namespace legw::core

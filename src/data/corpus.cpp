@@ -1,0 +1,133 @@
+#include "data/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace legw::data {
+
+namespace {
+// Draws an index from a CDF (last entry is 1.0).
+i64 sample_cdf(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return std::min<i64>(static_cast<i64>(it - cdf.begin()),
+                       static_cast<i64>(cdf.size()) - 1);
+}
+}  // namespace
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig& config) : config_(config) {
+  LEGW_CHECK(config.vocab >= 8 && config.n_states >= 2, "corpus: bad config");
+  core::Rng rng(config.seed);
+  build_model(rng);
+  core::Rng train_rng = rng.split();
+  core::Rng valid_rng = rng.split();
+  train_ = sample(config.n_train_tokens, train_rng);
+  valid_ = sample(config.n_valid_tokens, valid_rng);
+}
+
+void SyntheticCorpus::build_model(core::Rng& rng) {
+  const i64 S = config_.n_states;
+  const i64 V = config_.vocab;
+
+  transition_cdf_.resize(static_cast<std::size_t>(S));
+  for (i64 s = 0; s < S; ++s) {
+    // Banded transitions: strong self/next-state preference creates
+    // long-range correlations the LSTM can exploit.
+    std::vector<double> probs(static_cast<std::size_t>(S), 0.02 / S);
+    probs[static_cast<std::size_t>(s)] += 0.38;
+    probs[static_cast<std::size_t>((s + 1) % S)] += 0.38;
+    probs[static_cast<std::size_t>(rng.uniform_int(static_cast<u64>(S)))] += 0.22;
+    double total = 0.0;
+    for (double p : probs) total += p;
+    auto& cdf = transition_cdf_[static_cast<std::size_t>(s)];
+    cdf.resize(static_cast<std::size_t>(S));
+    double acc = 0.0;
+    for (i64 t = 0; t < S; ++t) {
+      acc += probs[static_cast<std::size_t>(t)] / total;
+      cdf[static_cast<std::size_t>(t)] = acc;
+    }
+  }
+
+  emission_cdf_.resize(static_cast<std::size_t>(S));
+  for (i64 s = 0; s < S; ++s) {
+    // Block-structured emissions: each state owns a contiguous vocab block
+    // and emits inside it with Zipfian weights 90% of the time, with a 10%
+    // uniform "noise floor" over the whole vocabulary. The current token
+    // therefore (noisily) identifies the latent state, which — combined with
+    // the banded transitions — gives the corpus genuine long-range structure
+    // an LSTM can exploit, like natural language's topical coherence.
+    const i64 block = std::max<i64>(1, V / S);
+    const i64 begin = (s * block) % V;
+    std::vector<double> probs(static_cast<std::size_t>(V), 0.1 / V);
+    double zipf_total = 0.0;
+    for (i64 r = 0; r < block; ++r) {
+      zipf_total += 1.0 / std::pow(static_cast<double>(r + 1), 1.2);
+    }
+    for (i64 r = 0; r < block; ++r) {
+      const i64 v = (begin + r) % V;
+      probs[static_cast<std::size_t>(v)] +=
+          0.9 * (1.0 / std::pow(static_cast<double>(r + 1), 1.2)) / zipf_total;
+    }
+    // Small per-state idiosyncrasy so blocks are not perfectly regular.
+    probs[rng.uniform_int(static_cast<u64>(V))] += 0.02;
+    double total = 0.0;
+    for (double p : probs) total += p;
+    auto& cdf = emission_cdf_[static_cast<std::size_t>(s)];
+    cdf.resize(static_cast<std::size_t>(V));
+    double acc = 0.0;
+    for (i64 v = 0; v < V; ++v) {
+      acc += probs[static_cast<std::size_t>(v)] / total;
+      cdf[static_cast<std::size_t>(v)] = acc;
+    }
+  }
+}
+
+std::vector<i32> SyntheticCorpus::sample(i64 n, core::Rng& rng) const {
+  std::vector<i32> out(static_cast<std::size_t>(n));
+  i64 state = 0;
+  for (i64 i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<i32>(sample_cdf(
+        emission_cdf_[static_cast<std::size_t>(state)], rng.uniform()));
+    state = sample_cdf(transition_cdf_[static_cast<std::size_t>(state)],
+                       rng.uniform());
+  }
+  return out;
+}
+
+BpttBatcher::BpttBatcher(const std::vector<i32>& tokens, i64 batch_size,
+                         i64 bptt_len)
+    : batch_size_(batch_size), bptt_len_(bptt_len) {
+  LEGW_CHECK(batch_size >= 1 && bptt_len >= 1, "BpttBatcher: bad config");
+  // Need stream_len + 1 tokens per stream for the shifted targets.
+  stream_len_ = static_cast<i64>(tokens.size()) / batch_size - 1;
+  LEGW_CHECK(stream_len_ >= bptt_len,
+             "BpttBatcher: not enough tokens for this batch size");
+  chunks_per_epoch_ = stream_len_ / bptt_len;
+  streams_.resize(static_cast<std::size_t>(batch_size * (stream_len_ + 1)));
+  for (i64 b = 0; b < batch_size; ++b) {
+    for (i64 t = 0; t <= stream_len_; ++t) {
+      streams_[static_cast<std::size_t>(b * (stream_len_ + 1) + t)] =
+          tokens[static_cast<std::size_t>(b * stream_len_ + t)];
+    }
+  }
+}
+
+BpttBatcher::Chunk BpttBatcher::next_chunk() {
+  Chunk chunk;
+  chunk.first_in_epoch = cursor_ == 0;
+  chunk.inputs.resize(static_cast<std::size_t>(batch_size_ * bptt_len_));
+  chunk.targets.resize(static_cast<std::size_t>(batch_size_ * bptt_len_));
+  const i64 start = cursor_ * bptt_len_;
+  for (i64 b = 0; b < batch_size_; ++b) {
+    const i32* stream = streams_.data() + b * (stream_len_ + 1);
+    for (i64 t = 0; t < bptt_len_; ++t) {
+      chunk.inputs[static_cast<std::size_t>(b * bptt_len_ + t)] =
+          stream[start + t];
+      chunk.targets[static_cast<std::size_t>(b * bptt_len_ + t)] =
+          stream[start + t + 1];
+    }
+  }
+  cursor_ = (cursor_ + 1) % chunks_per_epoch_;
+  return chunk;
+}
+
+}  // namespace legw::data

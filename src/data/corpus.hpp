@@ -1,0 +1,79 @@
+// Synthetic language-modelling corpus (PTB stand-in).
+//
+// Tokens are emitted by a hidden Markov model: `n_states` latent states with
+// a random banded transition matrix and Zipf-distributed per-state emission
+// tables over the vocabulary. The source has substantial sequential
+// structure (the LSTM must track the latent state to predict well), a known
+// generative process, and tunable difficulty — all an LM scheduling study
+// needs from PTB. Perplexity is comparable across methods because every run
+// sees the identical corpus.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace legw::data {
+
+struct CorpusConfig {
+  i64 vocab = 1000;
+  i64 n_states = 12;
+  i64 n_train_tokens = 100'000;
+  i64 n_valid_tokens = 10'000;
+  u64 seed = 1;
+};
+
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(const CorpusConfig& config);
+
+  i64 vocab() const { return config_.vocab; }
+  const std::vector<i32>& train_tokens() const { return train_; }
+  const std::vector<i32>& valid_tokens() const { return valid_; }
+
+ private:
+  void build_model(core::Rng& rng);
+  std::vector<i32> sample(i64 n, core::Rng& rng) const;
+
+  CorpusConfig config_;
+  // transition_[s] is a CDF over next states; emission_[s] a CDF over vocab.
+  std::vector<std::vector<double>> transition_cdf_;
+  std::vector<std::vector<double>> emission_cdf_;
+  std::vector<i32> train_;
+  std::vector<i32> valid_;
+};
+
+// Classic PTB batching: the token stream is cut into `batch_size` parallel
+// streams; next_chunk() yields [batch_size, bptt_len] inputs and same-shape
+// shifted-by-one targets, stepping through the streams so LSTM state can be
+// carried across chunks.
+class BpttBatcher {
+ public:
+  BpttBatcher(const std::vector<i32>& tokens, i64 batch_size, i64 bptt_len);
+
+  struct Chunk {
+    std::vector<i32> inputs;   // [batch, bptt] row-major
+    std::vector<i32> targets;  // [batch, bptt] row-major
+    bool first_in_epoch = false;
+  };
+
+  // Number of chunks per full pass over the streams.
+  i64 chunks_per_epoch() const { return chunks_per_epoch_; }
+  i64 batch_size() const { return batch_size_; }
+  i64 bptt_len() const { return bptt_len_; }
+
+  // Cycles forever; wraps to the stream starts at epoch boundaries.
+  Chunk next_chunk();
+  void reset() { cursor_ = 0; }
+
+ private:
+  std::vector<i32> streams_;  // [batch, stream_len] row-major
+  i64 batch_size_;
+  i64 bptt_len_;
+  i64 stream_len_;
+  i64 chunks_per_epoch_;
+  i64 cursor_ = 0;
+};
+
+}  // namespace legw::data

@@ -1,0 +1,135 @@
+#include "data/images.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace legw::data {
+
+SyntheticImages::SyntheticImages(i64 n_train, i64 n_test, u64 seed) {
+  constexpr i64 kPix = kChannels * kSize * kSize;
+  templates_.reserve(kClasses);
+  for (i64 cls = 0; cls < kClasses; ++cls) {
+    core::Rng trng(0x1A6E5EEDull + static_cast<u64>(cls) * 6151u);
+    core::Tensor tpl(core::Shape{kPix});
+    // 2-3 coloured shapes per class at class-fixed positions.
+    const int n_shapes = 2 + static_cast<int>(trng.uniform_int(2));
+    for (int s = 0; s < n_shapes; ++s) {
+      const double cx = trng.uniform(3.0, 13.0);
+      const double cy = trng.uniform(3.0, 13.0);
+      const double radius = trng.uniform(2.0, 4.5);
+      const bool disc = trng.uniform() < 0.5;
+      float rgb[3] = {static_cast<float>(trng.uniform(0.2, 1.0)),
+                      static_cast<float>(trng.uniform(0.2, 1.0)),
+                      static_cast<float>(trng.uniform(0.2, 1.0))};
+      for (i64 y = 0; y < kSize; ++y) {
+        for (i64 x = 0; x < kSize; ++x) {
+          bool inside;
+          if (disc) {
+            const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+            inside = d2 <= radius * radius;
+          } else {
+            inside = std::abs(x - cx) <= radius && std::abs(y - cy) <= radius;
+          }
+          if (!inside) continue;
+          for (i64 c = 0; c < kChannels; ++c) {
+            float& px = tpl[(c * kSize + y) * kSize + x];
+            px = std::min(1.0f, px + rgb[c]);
+          }
+        }
+      }
+    }
+    templates_.push_back(std::move(tpl));
+  }
+
+  core::Rng rng(seed);
+  core::Rng train_rng = rng.split();
+  core::Rng test_rng = rng.split();
+  train_images_ = core::Tensor(core::Shape{n_train, kPix});
+  test_images_ = core::Tensor(core::Shape{n_test, kPix});
+  generate(n_train, train_rng, train_images_, train_labels_);
+  generate(n_test, test_rng, test_images_, test_labels_);
+}
+
+void SyntheticImages::generate(i64 n, core::Rng& rng, core::Tensor& images,
+                               std::vector<i32>& labels) const {
+  labels.resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const i32 cls = static_cast<i32>(rng.uniform_int(kClasses));
+    labels[static_cast<std::size_t>(i)] = cls;
+    const core::Tensor& tpl = templates_[static_cast<std::size_t>(cls)];
+    const i64 dy = static_cast<i64>(rng.uniform_int(3)) - 1;
+    const i64 dx = static_cast<i64>(rng.uniform_int(3)) - 1;
+    const float bright = static_cast<float>(rng.uniform(0.6, 1.0));
+    float* out = images.data() + i * kChannels * kSize * kSize;
+    for (i64 c = 0; c < kChannels; ++c) {
+      for (i64 y = 0; y < kSize; ++y) {
+        for (i64 x = 0; x < kSize; ++x) {
+          const i64 sy = y - dy;
+          const i64 sx = x - dx;
+          float v = 0.0f;
+          if (sy >= 0 && sy < kSize && sx >= 0 && sx < kSize) {
+            v = tpl[(c * kSize + sy) * kSize + sx] * bright;
+          }
+          v += static_cast<float>(rng.normal(0.0, 0.1));
+          out[(c * kSize + y) * kSize + x] = std::clamp(v, 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+}
+
+core::Tensor SyntheticImages::gather_images(const std::vector<i64>& indices,
+                                            bool train) const {
+  const core::Tensor& src = train ? train_images_ : test_images_;
+  constexpr i64 kPix = kChannels * kSize * kSize;
+  core::Tensor out(
+      core::Shape{static_cast<i64>(indices.size()), kChannels, kSize, kSize});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const i64 idx = indices[i];
+    LEGW_CHECK(idx >= 0 && idx < src.size(0), "gather_images: bad index");
+    std::copy(src.data() + idx * kPix, src.data() + (idx + 1) * kPix,
+              out.data() + static_cast<i64>(i) * kPix);
+  }
+  return out;
+}
+
+std::vector<i32> SyntheticImages::gather_labels(const std::vector<i64>& indices,
+                                                bool train) const {
+  const std::vector<i32>& src = train ? train_labels_ : test_labels_;
+  std::vector<i32> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = src[static_cast<std::size_t>(indices[i])];
+  }
+  return out;
+}
+
+IndexBatcher::IndexBatcher(i64 n, i64 batch_size, u64 seed)
+    : batch_size_(batch_size), rng_(seed) {
+  LEGW_CHECK(n >= batch_size && batch_size >= 1, "IndexBatcher: bad config");
+  order_.resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) order_[static_cast<std::size_t>(i)] = i;
+  batches_per_epoch_ = n / batch_size;
+  shuffle();
+}
+
+void IndexBatcher::shuffle() {
+  for (i64 i = static_cast<i64>(order_.size()) - 1; i > 0; --i) {
+    std::swap(order_[static_cast<std::size_t>(i)],
+              order_[rng_.uniform_int(static_cast<u64>(i + 1))]);
+  }
+}
+
+std::vector<i64> IndexBatcher::next(bool* first_in_epoch) {
+  if (first_in_epoch != nullptr) *first_in_epoch = cursor_ == 0;
+  std::vector<i64> batch(
+      order_.begin() + cursor_ * batch_size_,
+      order_.begin() + (cursor_ + 1) * batch_size_);
+  ++cursor_;
+  if (cursor_ >= batches_per_epoch_) {
+    cursor_ = 0;
+    shuffle();
+  }
+  return batch;
+}
+
+}  // namespace legw::data

@@ -1,0 +1,68 @@
+// Synthetic image-classification dataset (ImageNet stand-in for the
+// ResNet/LARS experiments).
+//
+// Ten classes of 3x16x16 RGB images: each class owns a fixed layout of
+// coloured rectangles/discs; samples add positional jitter, brightness
+// scaling and pixel noise. Small enough that the residual CNN trains in
+// seconds, hard enough that accuracy is meaningfully below 100% at short
+// epoch budgets — which is where scheduling differences show.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace legw::data {
+
+class SyntheticImages {
+ public:
+  static constexpr i64 kChannels = 3;
+  static constexpr i64 kSize = 16;  // height == width
+  static constexpr i64 kClasses = 10;
+
+  SyntheticImages(i64 n_train, i64 n_test, u64 seed);
+
+  i64 n_train() const { return static_cast<i64>(train_labels_.size()); }
+  i64 n_test() const { return static_cast<i64>(test_labels_.size()); }
+
+  // [indices.size(), 3, 16, 16]
+  core::Tensor gather_images(const std::vector<i64>& indices, bool train) const;
+  std::vector<i32> gather_labels(const std::vector<i64>& indices, bool train) const;
+
+  const std::vector<i32>& train_labels() const { return train_labels_; }
+  const std::vector<i32>& test_labels() const { return test_labels_; }
+
+ private:
+  void generate(i64 n, core::Rng& rng, core::Tensor& images,
+                std::vector<i32>& labels) const;
+
+  std::vector<core::Tensor> templates_;  // one [3*16*16] per class
+  core::Tensor train_images_;
+  core::Tensor test_images_;
+  std::vector<i32> train_labels_;
+  std::vector<i32> test_labels_;
+};
+
+// Epoch-shuffling index batcher shared by the classification datasets.
+class IndexBatcher {
+ public:
+  IndexBatcher(i64 n, i64 batch_size, u64 seed);
+
+  // Next batch of indices; reshuffles at epoch boundaries. Sets
+  // *first_in_epoch when this batch starts a new epoch.
+  std::vector<i64> next(bool* first_in_epoch = nullptr);
+  i64 batches_per_epoch() const { return batches_per_epoch_; }
+  i64 batch_size() const { return batch_size_; }
+
+ private:
+  void shuffle();
+
+  std::vector<i64> order_;
+  i64 batch_size_;
+  i64 batches_per_epoch_;
+  i64 cursor_ = 0;
+  core::Rng rng_;
+};
+
+}  // namespace legw::data

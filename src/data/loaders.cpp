@@ -1,0 +1,109 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace legw::data {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+u32 read_be32(std::FILE* f, const std::string& path) {
+  unsigned char bytes[4];
+  LEGW_CHECK(std::fread(bytes, 1, 4, f) == 4, "IDX: short read in " + path);
+  return (static_cast<u32>(bytes[0]) << 24) | (static_cast<u32>(bytes[1]) << 16) |
+         (static_cast<u32>(bytes[2]) << 8) | static_cast<u32>(bytes[3]);
+}
+
+}  // namespace
+
+IdxImages load_idx_images(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  LEGW_CHECK(f != nullptr, "IDX: cannot open " + path);
+  const u32 magic = read_be32(f.get(), path);
+  LEGW_CHECK(magic == 0x00000803u,
+             "IDX: bad image magic in " + path + " (want 0x803)");
+  IdxImages out;
+  out.count = read_be32(f.get(), path);
+  out.rows = read_be32(f.get(), path);
+  out.cols = read_be32(f.get(), path);
+  LEGW_CHECK(out.count > 0 && out.rows > 0 && out.cols > 0,
+             "IDX: empty image file " + path);
+  const i64 pixels = out.count * out.rows * out.cols;
+  std::vector<unsigned char> raw(static_cast<std::size_t>(pixels));
+  LEGW_CHECK(std::fread(raw.data(), 1, raw.size(), f.get()) == raw.size(),
+             "IDX: truncated image data in " + path);
+  out.pixels = core::Tensor(core::Shape{out.count, out.rows * out.cols});
+  for (i64 i = 0; i < pixels; ++i) {
+    out.pixels[i] = static_cast<float>(raw[static_cast<std::size_t>(i)]) / 255.0f;
+  }
+  return out;
+}
+
+std::vector<i32> load_idx_labels(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  LEGW_CHECK(f != nullptr, "IDX: cannot open " + path);
+  const u32 magic = read_be32(f.get(), path);
+  LEGW_CHECK(magic == 0x00000801u,
+             "IDX: bad label magic in " + path + " (want 0x801)");
+  const u32 count = read_be32(f.get(), path);
+  std::vector<unsigned char> raw(count);
+  LEGW_CHECK(std::fread(raw.data(), 1, raw.size(), f.get()) == raw.size(),
+             "IDX: truncated label data in " + path);
+  std::vector<i32> labels(count);
+  for (u32 i = 0; i < count; ++i) labels[i] = static_cast<i32>(raw[i]);
+  return labels;
+}
+
+TextVocab::TextVocab(const std::string& train_path, i64 max_vocab) {
+  LEGW_CHECK(max_vocab >= 2, "TextVocab: max_vocab must be >= 2");
+  std::ifstream in(train_path);
+  LEGW_CHECK(in.good(), "TextVocab: cannot open " + train_path);
+  std::map<std::string, i64> counts;
+  std::string word;
+  while (in >> word) ++counts[word];
+
+  // Rank by (frequency desc, word asc) for determinism.
+  std::vector<std::pair<std::string, i64>> ranked(counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+
+  const i64 keep = std::min<i64>(static_cast<i64>(ranked.size()), max_vocab - 1);
+  id_to_word_.reserve(static_cast<std::size_t>(keep + 1));
+  for (i64 i = 0; i < keep; ++i) {
+    word_to_id_[ranked[static_cast<std::size_t>(i)].first] = static_cast<i32>(i);
+    id_to_word_.push_back(ranked[static_cast<std::size_t>(i)].first);
+  }
+  id_to_word_.push_back("<unk>");
+}
+
+i32 TextVocab::word_id(const std::string& w) const {
+  const auto it = word_to_id_.find(w);
+  return it == word_to_id_.end() ? unk_id() : it->second;
+}
+
+const std::string& TextVocab::word(i32 id) const {
+  LEGW_CHECK(id >= 0 && id < size(), "TextVocab: id out of range");
+  return id_to_word_[static_cast<std::size_t>(id)];
+}
+
+std::vector<i32> TextVocab::encode_file(const std::string& path) const {
+  std::ifstream in(path);
+  LEGW_CHECK(in.good(), "TextVocab: cannot open " + path);
+  std::vector<i32> tokens;
+  std::string word;
+  while (in >> word) tokens.push_back(word_id(word));
+  return tokens;
+}
+
+}  // namespace legw::data

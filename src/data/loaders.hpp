@@ -1,0 +1,56 @@
+// Real-dataset loaders. The benches run on synthetic stand-ins (offline
+// reproducibility), but a downstream user with the actual files can drop
+// them in:
+//   * IDX (the MNIST distribution format: idx3-ubyte images, idx1-ubyte
+//     labels) -> tensors compatible with models::MnistLstm;
+//   * whitespace-tokenised text (the PTB distribution format) -> token ids
+//     compatible with data::BpttBatcher / models::PtbModel.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace legw::data {
+
+// ---- IDX (MNIST) -------------------------------------------------------------
+
+struct IdxImages {
+  i64 count = 0;
+  i64 rows = 0;
+  i64 cols = 0;
+  core::Tensor pixels;  // [count, rows*cols], scaled to [0, 1]
+};
+
+// Parses an idx3-ubyte image file (big-endian header: magic 0x00000803,
+// count, rows, cols, then count*rows*cols bytes). Aborts on malformed input.
+IdxImages load_idx_images(const std::string& path);
+
+// Parses an idx1-ubyte label file (magic 0x00000801, count, then bytes).
+std::vector<i32> load_idx_labels(const std::string& path);
+
+// ---- text corpus (PTB) ---------------------------------------------------------
+
+// Word vocabulary built from a training file: words ranked by frequency,
+// ids assigned densely from 0; words outside the top `max_vocab-1` map to
+// the <unk> id (the last id).
+class TextVocab {
+ public:
+  TextVocab(const std::string& train_path, i64 max_vocab);
+
+  i64 size() const { return static_cast<i64>(id_to_word_.size()); }
+  i32 unk_id() const { return static_cast<i32>(size() - 1); }
+  i32 word_id(const std::string& word) const;
+  const std::string& word(i32 id) const;
+
+  // Tokenises a file against this vocabulary.
+  std::vector<i32> encode_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, i32> word_to_id_;
+  std::vector<std::string> id_to_word_;
+};
+
+}  // namespace legw::data

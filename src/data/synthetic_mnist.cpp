@@ -1,0 +1,110 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace legw::data {
+
+namespace {
+
+// Renders a soft "stroke": a chain of Gaussian blobs between two points.
+void draw_stroke(core::Tensor& img, double x0, double y0, double x1, double y1,
+                 double radius, double intensity) {
+  const int steps = 24;
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const double cx = x0 + t * (x1 - x0);
+    const double cy = y0 + t * (y1 - y0);
+    for (i64 r = 0; r < SyntheticMnist::kRows; ++r) {
+      for (i64 c = 0; c < SyntheticMnist::kCols; ++c) {
+        const double d2 = (r - cy) * (r - cy) + (c - cx) * (c - cx);
+        const double v = intensity * std::exp(-d2 / (2.0 * radius * radius));
+        float& px = img[r * SyntheticMnist::kCols + c];
+        px = static_cast<float>(std::min(1.0, static_cast<double>(px) + v));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticMnist::SyntheticMnist(i64 n_train, i64 n_test, u64 seed) {
+  // Templates are derived from the class id only — every dataset instance
+  // with any seed shares the same underlying concept classes.
+  templates_.reserve(kClasses);
+  for (i64 cls = 0; cls < kClasses; ++cls) {
+    core::Rng trng(0xC1A55EEDull + static_cast<u64>(cls) * 7919u);
+    core::Tensor tpl(core::Shape{kRows * kCols});
+    const int n_strokes = 2 + static_cast<int>(trng.uniform_int(3));
+    for (int s = 0; s < n_strokes; ++s) {
+      const double x0 = trng.uniform(4.0, 24.0);
+      const double y0 = trng.uniform(4.0, 24.0);
+      const double x1 = trng.uniform(4.0, 24.0);
+      const double y1 = trng.uniform(4.0, 24.0);
+      draw_stroke(tpl, x0, y0, x1, y1, trng.uniform(1.2, 2.2),
+                  trng.uniform(0.5, 0.9));
+    }
+    templates_.push_back(std::move(tpl));
+  }
+
+  core::Rng rng(seed);
+  core::Rng train_rng = rng.split();
+  core::Rng test_rng = rng.split();
+  train_images_ = core::Tensor(core::Shape{n_train, kRows * kCols});
+  test_images_ = core::Tensor(core::Shape{n_test, kRows * kCols});
+  generate(n_train, train_rng, train_images_, train_labels_);
+  generate(n_test, test_rng, test_images_, test_labels_);
+}
+
+void SyntheticMnist::generate(i64 n, core::Rng& rng, core::Tensor& images,
+                              std::vector<i32>& labels) const {
+  labels.resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const i32 cls = static_cast<i32>(rng.uniform_int(kClasses));
+    labels[static_cast<std::size_t>(i)] = cls;
+    const core::Tensor& tpl = templates_[static_cast<std::size_t>(cls)];
+    // Integer jitter of up to ±2 pixels plus contrast scaling and noise.
+    const i64 dy = static_cast<i64>(rng.uniform_int(5)) - 2;
+    const i64 dx = static_cast<i64>(rng.uniform_int(5)) - 2;
+    const float contrast = static_cast<float>(rng.uniform(0.7, 1.0));
+    float* out = images.data() + i * kRows * kCols;
+    for (i64 r = 0; r < kRows; ++r) {
+      for (i64 c = 0; c < kCols; ++c) {
+        const i64 sr = r - dy;
+        const i64 sc = c - dx;
+        float v = 0.0f;
+        if (sr >= 0 && sr < kRows && sc >= 0 && sc < kCols) {
+          v = tpl[sr * kCols + sc] * contrast;
+        }
+        v += static_cast<float>(rng.normal(0.0, 0.08));
+        out[r * kCols + c] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+core::Tensor SyntheticMnist::gather_images(const std::vector<i64>& indices,
+                                           bool train) const {
+  const core::Tensor& src = train ? train_images_ : test_images_;
+  const i64 d = kRows * kCols;
+  core::Tensor out(core::Shape{static_cast<i64>(indices.size()), d});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const i64 idx = indices[i];
+    LEGW_CHECK(idx >= 0 && idx < src.size(0), "gather_images: bad index");
+    std::copy(src.data() + idx * d, src.data() + (idx + 1) * d,
+              out.data() + static_cast<i64>(i) * d);
+  }
+  return out;
+}
+
+std::vector<i32> SyntheticMnist::gather_labels(const std::vector<i64>& indices,
+                                               bool train) const {
+  const std::vector<i32>& src = train ? train_labels_ : test_labels_;
+  std::vector<i32> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = src[static_cast<std::size_t>(indices[i])];
+  }
+  return out;
+}
+
+}  // namespace legw::data

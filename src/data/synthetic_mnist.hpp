@@ -1,0 +1,52 @@
+// Synthetic MNIST stand-in (see DESIGN.md §1 for the substitution argument).
+//
+// Ten classes; each class owns a fixed procedural 28x28 template built from
+// class-seeded Gaussian strokes. A sample is its class template, randomly
+// jittered by ±2 pixels, blended with per-pixel noise, and contrast-scaled.
+// The task is learnable to >95% accuracy by the paper's row-unrolled LSTM
+// (28 steps of 28-pixel rows) but far from linearly separable, and — like
+// real MNIST — training diverges at large batch when the LR ramps too fast,
+// which is exactly the failure mode LEGW's warmup addresses.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace legw::data {
+
+class SyntheticMnist {
+ public:
+  static constexpr i64 kRows = 28;
+  static constexpr i64 kCols = 28;
+  static constexpr i64 kClasses = 10;
+
+  // Deterministic in (n_train, n_test, seed).
+  SyntheticMnist(i64 n_train, i64 n_test, u64 seed);
+
+  i64 n_train() const { return static_cast<i64>(train_labels_.size()); }
+  i64 n_test() const { return static_cast<i64>(test_labels_.size()); }
+
+  // Row-major [n, 28*28] pixels in [0, 1].
+  const core::Tensor& train_images() const { return train_images_; }
+  const core::Tensor& test_images() const { return test_images_; }
+  const std::vector<i32>& train_labels() const { return train_labels_; }
+  const std::vector<i32>& test_labels() const { return test_labels_; }
+
+  // Gathers a batch: images [indices.size(), 784], labels aligned.
+  core::Tensor gather_images(const std::vector<i64>& indices, bool train) const;
+  std::vector<i32> gather_labels(const std::vector<i64>& indices, bool train) const;
+
+ private:
+  void generate(i64 n, core::Rng& rng, core::Tensor& images,
+                std::vector<i32>& labels) const;
+
+  std::vector<core::Tensor> templates_;  // one [28*28] per class
+  core::Tensor train_images_;
+  core::Tensor test_images_;
+  std::vector<i32> train_labels_;
+  std::vector<i32> test_labels_;
+};
+
+}  // namespace legw::data

@@ -1,0 +1,102 @@
+#include "data/translation.hpp"
+
+#include <algorithm>
+
+namespace legw::data {
+
+SyntheticTranslation::SyntheticTranslation(const TranslationConfig& config)
+    : config_(config) {
+  LEGW_CHECK(config.src_vocab > kFirstTokenId + 2 &&
+                 config.tgt_vocab > kFirstTokenId + 2,
+             "translation: vocab too small for reserved ids");
+  LEGW_CHECK(config.min_len >= 2 && config.max_len >= config.min_len,
+             "translation: bad length range");
+
+  core::Rng rng(config.seed);
+  // Fixed bijective map over the usable token range.
+  const i64 n_usable =
+      std::min(config.src_vocab, config.tgt_vocab) - kFirstTokenId;
+  std::vector<i32> perm(static_cast<std::size_t>(n_usable));
+  for (i64 i = 0; i < n_usable; ++i)
+    perm[static_cast<std::size_t>(i)] = static_cast<i32>(i);
+  for (i64 i = n_usable - 1; i > 0; --i) {
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[rng.uniform_int(static_cast<u64>(i + 1))]);
+  }
+  token_map_.assign(static_cast<std::size_t>(config.src_vocab), kPadId);
+  for (i64 i = 0; i < n_usable; ++i) {
+    token_map_[static_cast<std::size_t>(kFirstTokenId + i)] =
+        static_cast<i32>(kFirstTokenId + perm[static_cast<std::size_t>(i)]);
+  }
+
+  core::Rng train_rng = rng.split();
+  core::Rng test_rng = rng.split();
+  train_ = make_split(config.n_train, train_rng);
+  test_ = make_split(config.n_test, test_rng);
+}
+
+std::vector<i32> SyntheticTranslation::translate(
+    const std::vector<i32>& src) const {
+  // Map every token, then swap adjacent pairs (local reordering, the
+  // miniature version of cross-lingual word-order divergence).
+  std::vector<i32> tgt(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    tgt[i] = token_map_[static_cast<std::size_t>(src[i])];
+  }
+  for (std::size_t i = 0; i + 1 < tgt.size(); i += 2) {
+    std::swap(tgt[i], tgt[i + 1]);
+  }
+  return tgt;
+}
+
+std::vector<SentencePair> SyntheticTranslation::make_split(
+    i64 n, core::Rng& rng) const {
+  const i64 n_usable =
+      std::min(config_.src_vocab, config_.tgt_vocab) - kFirstTokenId;
+  std::vector<SentencePair> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const i64 len = config_.min_len + static_cast<i64>(rng.uniform_int(
+                                          static_cast<u64>(config_.max_len -
+                                                           config_.min_len + 1)));
+    SentencePair pair;
+    pair.src.resize(static_cast<std::size_t>(len));
+    for (i64 t = 0; t < len; ++t) {
+      pair.src[static_cast<std::size_t>(t)] = static_cast<i32>(
+          kFirstTokenId + rng.uniform_int(static_cast<u64>(n_usable)));
+    }
+    pair.tgt = translate(pair.src);
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+TranslationBatch make_translation_batch(const std::vector<SentencePair>& pairs,
+                                        const std::vector<i64>& indices) {
+  LEGW_CHECK(!indices.empty(), "make_translation_batch: empty batch");
+  TranslationBatch b;
+  b.batch = static_cast<i64>(indices.size());
+  for (i64 idx : indices) {
+    const auto& p = pairs[static_cast<std::size_t>(idx)];
+    b.src_len = std::max(b.src_len, static_cast<i64>(p.src.size()));
+    b.tgt_len = std::max(b.tgt_len, static_cast<i64>(p.tgt.size()) + 1);
+  }
+  b.src.assign(static_cast<std::size_t>(b.batch * b.src_len), kPadId);
+  b.tgt_in.assign(static_cast<std::size_t>(b.batch * b.tgt_len), kPadId);
+  b.tgt_out.assign(static_cast<std::size_t>(b.batch * b.tgt_len), kPadId);
+  for (i64 r = 0; r < b.batch; ++r) {
+    const auto& p = pairs[static_cast<std::size_t>(indices[static_cast<std::size_t>(r)])];
+    for (std::size_t t = 0; t < p.src.size(); ++t) {
+      b.src[static_cast<std::size_t>(r * b.src_len) + t] = p.src[t];
+    }
+    b.tgt_in[static_cast<std::size_t>(r * b.tgt_len)] = kBosId;
+    for (std::size_t t = 0; t < p.tgt.size(); ++t) {
+      b.tgt_in[static_cast<std::size_t>(r * b.tgt_len) + t + 1] = p.tgt[t];
+      b.tgt_out[static_cast<std::size_t>(r * b.tgt_len) + t] = p.tgt[t];
+    }
+    b.tgt_out[static_cast<std::size_t>(r * b.tgt_len) + p.tgt.size()] = kEosId;
+  }
+  return b;
+}
+
+}  // namespace legw::data

@@ -1,0 +1,71 @@
+// Synthetic translation task (WMT16 En→De stand-in for GNMT).
+//
+// A source sentence is a random token sequence; its "translation" applies a
+// fixed bijective token mapping, reverses local 2-token windows, and inserts
+// a length marker. Recovering the target therefore requires token-level
+// alignment (the attention path), vocabulary mapping (the embeddings +
+// softmax path) and order modelling (the recurrent path) — the same
+// sub-skills NMT exercises, with exactly computable references for BLEU.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace legw::data {
+
+struct TranslationConfig {
+  i64 src_vocab = 200;   // real tokens; ids 0..3 reserved
+  i64 tgt_vocab = 200;
+  i64 min_len = 4;
+  i64 max_len = 10;
+  i64 n_train = 8000;
+  i64 n_test = 500;
+  u64 seed = 7;
+};
+
+// Reserved ids shared by both vocabularies.
+constexpr i32 kPadId = 0;
+constexpr i32 kBosId = 1;
+constexpr i32 kEosId = 2;
+constexpr i32 kFirstTokenId = 4;
+
+struct SentencePair {
+  std::vector<i32> src;  // no BOS/EOS
+  std::vector<i32> tgt;  // no BOS/EOS; decoder adds them
+};
+
+class SyntheticTranslation {
+ public:
+  explicit SyntheticTranslation(const TranslationConfig& config);
+
+  const TranslationConfig& config() const { return config_; }
+  const std::vector<SentencePair>& train() const { return train_; }
+  const std::vector<SentencePair>& test() const { return test_; }
+
+  // The ground-truth transform (exposed so tests can verify invertibility).
+  std::vector<i32> translate(const std::vector<i32>& src) const;
+
+ private:
+  std::vector<SentencePair> make_split(i64 n, core::Rng& rng) const;
+
+  TranslationConfig config_;
+  std::vector<i32> token_map_;  // src token -> tgt token bijection
+  std::vector<SentencePair> train_;
+  std::vector<SentencePair> test_;
+};
+
+// Pads a set of pairs into dense batch arrays for the seq2seq model.
+struct TranslationBatch {
+  i64 batch = 0;
+  i64 src_len = 0;  // max source length in batch
+  i64 tgt_len = 0;  // max target length in batch, incl. EOS
+  std::vector<i32> src;         // [batch, src_len], kPadId padded
+  std::vector<i32> tgt_in;      // [batch, tgt_len], starts with BOS
+  std::vector<i32> tgt_out;     // [batch, tgt_len], ends with EOS, pad=kPadId
+};
+
+TranslationBatch make_translation_batch(const std::vector<SentencePair>& pairs,
+                                        const std::vector<i64>& indices);
+
+}  // namespace legw::data

@@ -1,0 +1,59 @@
+#include "dist/allreduce.hpp"
+
+#include <thread>
+
+namespace legw::dist {
+
+void tree_allreduce_mean(std::vector<core::Tensor*>& shards) {
+  LEGW_CHECK(!shards.empty(), "tree_allreduce_mean: no shards");
+  const std::size_t n = shards.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    LEGW_CHECK(shards[i] != nullptr, "tree_allreduce_mean: null shard");
+    LEGW_CHECK(shards[i]->same_shape(*shards[0]),
+               "tree_allreduce_mean: shard shape mismatch");
+  }
+  // Reduce phase: stride-doubling binary tree. shard[i] += shard[i+stride].
+  // The summation order is fully determined by n, never by thread timing.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+      shards[i]->add_(*shards[i + stride]);
+    }
+  }
+  // Average at the root, then broadcast.
+  shards[0]->scale_(1.0f / static_cast<float>(n));
+  for (std::size_t i = 1; i < n; ++i) {
+    *shards[i] = *shards[0];
+  }
+}
+
+std::vector<core::Tensor> parallel_gradients(
+    int n_workers,
+    const std::function<std::vector<core::Tensor>(int worker)>& fn) {
+  LEGW_CHECK(n_workers >= 1, "parallel_gradients: need >= 1 worker");
+  std::vector<std::vector<core::Tensor>> per_worker(
+      static_cast<std::size_t>(n_workers));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_workers));
+  for (int w = 0; w < n_workers; ++w) {
+    threads.emplace_back(
+        [&per_worker, &fn, w] { per_worker[static_cast<std::size_t>(w)] = fn(w); });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::size_t n_params = per_worker[0].size();
+  for (const auto& grads : per_worker) {
+    LEGW_CHECK(grads.size() == n_params,
+               "parallel_gradients: workers returned differing param counts");
+  }
+  // Reduce parameter-by-parameter (the "bucket" view of a real all-reduce).
+  for (std::size_t p = 0; p < n_params; ++p) {
+    std::vector<core::Tensor*> shards;
+    shards.reserve(per_worker.size());
+    for (auto& grads : per_worker) shards.push_back(&grads[p]);
+    tree_allreduce_mean(shards);
+  }
+  return std::move(per_worker[0]);
+}
+
+}  // namespace legw::dist

@@ -1,0 +1,33 @@
+// Simulated data-parallel execution.
+//
+// Large-batch training exists to feed data-parallel clusters, so the library
+// ships the core piece: gradient all-reduce across worker shards. Workers
+// run on real threads; the reduction is a binary tree executed in a fixed
+// order, which makes the result bitwise identical for a given worker count
+// and deterministic run to run (floating-point addition is not associative,
+// so naive "whoever finishes first" reductions are not reproducible).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace legw::dist {
+
+// In-place tree all-reduce with averaging: after the call every shard holds
+// the element-wise mean of all shards. All shards must share one shape.
+// The reduction order is the deterministic binary tree (stride doubling),
+// independent of thread scheduling.
+void tree_allreduce_mean(std::vector<core::Tensor*>& shards);
+
+// Runs `fn(worker)` on `n_workers` real threads; fn returns that worker's
+// gradient set (one Tensor per parameter, same order on every worker). The
+// per-parameter gradients are then tree-all-reduced (mean) and returned.
+// This is the exact dataflow of synchronous data-parallel SGD: per-worker
+// micro-batch backward, gradient averaging, one shared update.
+std::vector<core::Tensor> parallel_gradients(
+    int n_workers,
+    const std::function<std::vector<core::Tensor>(int worker)>& fn);
+
+}  // namespace legw::dist

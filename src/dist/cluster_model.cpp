@@ -1,0 +1,61 @@
+#include "dist/cluster_model.hpp"
+
+#include <cmath>
+
+namespace legw::dist {
+
+double DeviceModel::epoch_seconds(i64 n_samples, i64 batch) const {
+  LEGW_CHECK(batch > 0 && n_samples > 0, "epoch_seconds: bad sizes");
+  const i64 steps = (n_samples + batch - 1) / batch;
+  return static_cast<double>(steps) * step_seconds(static_cast<double>(batch));
+}
+
+DeviceModel fit_device_model(
+    const std::vector<std::pair<i64, double>>& samples) {
+  LEGW_CHECK(samples.size() >= 2, "fit_device_model: need >= 2 samples");
+  // Linear regression of t = slope * b + intercept.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& [b, t] : samples) {
+    const double x = static_cast<double>(b);
+    sx += x;
+    sy += t;
+    sxx += x * x;
+    sxy += x * t;
+  }
+  const double denom = n * sxx - sx * sx;
+  LEGW_CHECK(std::abs(denom) > 1e-12, "fit_device_model: degenerate samples");
+  double slope = (n * sxy - sx * sy) / denom;
+  double intercept = (sy - slope * sx) / n;
+  // Guard against tiny negative estimates from noisy timings.
+  slope = std::max(slope, 1e-12);
+  intercept = std::max(intercept, 0.0);
+  DeviceModel m;
+  m.peak_samples_per_sec = 1.0 / slope;
+  m.half_saturation_batch = intercept / slope;
+  return m;
+}
+
+ClusterTiming cluster_epoch_time(const ClusterConfig& config, i64 n_samples,
+                                 i64 batch) {
+  LEGW_CHECK(batch > 0 && n_samples > 0, "cluster_epoch_time: bad sizes");
+  ClusterTiming t;
+  t.workers = (batch + config.max_batch_per_worker - 1) /
+              config.max_batch_per_worker;
+  const double per_worker_batch =
+      static_cast<double>(batch) / static_cast<double>(t.workers);
+  const double compute = config.device.step_seconds(per_worker_batch);
+  double comm = 0.0;
+  if (t.workers > 1) {
+    const double rounds = std::log2(static_cast<double>(t.workers));
+    comm = config.allreduce_latency_sec +
+           config.allreduce_sec_per_param *
+               static_cast<double>(config.model_params) * rounds;
+  }
+  t.step_seconds = compute + comm;
+  const i64 steps = (n_samples + batch - 1) / batch;
+  t.epoch_seconds = static_cast<double>(steps) * t.step_seconds;
+  return t;
+}
+
+}  // namespace legw::dist

@@ -1,0 +1,124 @@
+#include "dist/compression.hpp"
+
+#include <cstring>
+
+namespace legw::dist {
+
+u16 float_to_half(float f) {
+  u32 bits;
+  std::memcpy(&bits, &f, sizeof bits);
+  const u32 sign = (bits >> 16) & 0x8000u;
+  const u32 exponent = (bits >> 23) & 0xFFu;
+  u32 mantissa = bits & 0x7FFFFFu;
+
+  if (exponent == 0xFFu) {
+    // Inf / NaN: preserve class (quiet any NaN payload into the msb).
+    return static_cast<u16>(sign | 0x7C00u | (mantissa != 0 ? 0x200u : 0));
+  }
+  // Unbiased exponent; half bias is 15, float bias is 127.
+  const int e = static_cast<int>(exponent) - 127 + 15;
+  if (e >= 0x1F) {
+    return static_cast<u16>(sign | 0x7C00u);  // overflow -> inf
+  }
+  if (e <= 0) {
+    // Subnormal half (or underflow to zero). Shift in the implicit bit.
+    if (e < -10) return static_cast<u16>(sign);  // too small: signed zero
+    mantissa |= 0x800000u;
+    const int shift = 14 - e;  // 14..24
+    const u32 half_mant = mantissa >> shift;
+    // Round to nearest, ties to even.
+    const u32 remainder = mantissa & ((1u << shift) - 1);
+    const u32 halfway = 1u << (shift - 1);
+    u32 rounded = half_mant;
+    if (remainder > halfway || (remainder == halfway && (half_mant & 1u))) {
+      ++rounded;
+    }
+    return static_cast<u16>(sign | rounded);
+  }
+  // Normal half. Mantissa 23 -> 10 bits with round-to-nearest-even.
+  u32 half_mant = mantissa >> 13;
+  const u32 remainder = mantissa & 0x1FFFu;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow: bump exponent
+      half_mant = 0;
+      if (e + 1 >= 0x1F) return static_cast<u16>(sign | 0x7C00u);
+      return static_cast<u16>(sign | (static_cast<u32>(e + 1) << 10));
+    }
+  }
+  return static_cast<u16>(sign | (static_cast<u32>(e) << 10) | half_mant);
+}
+
+float half_to_float(u16 h) {
+  const u32 sign = (static_cast<u32>(h) & 0x8000u) << 16;
+  const u32 exponent = (h >> 10) & 0x1Fu;
+  u32 mantissa = h & 0x3FFu;
+  u32 bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalise.
+      int e = -1;
+      do {
+        mantissa <<= 1;
+        ++e;
+      } while ((mantissa & 0x400u) == 0);
+      mantissa &= 0x3FFu;
+      bits = sign | (static_cast<u32>(127 - 15 - e) << 23) | (mantissa << 13);
+    }
+  } else if (exponent == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mantissa << 13);  // inf / nan
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+void compress_fp16(const core::Tensor& src, std::vector<u16>& out) {
+  out.resize(static_cast<std::size_t>(src.numel()));
+  for (i64 i = 0; i < src.numel(); ++i) {
+    out[static_cast<std::size_t>(i)] = float_to_half(src[i]);
+  }
+}
+
+void decompress_fp16(const std::vector<u16>& src, core::Tensor& out) {
+  LEGW_CHECK(static_cast<i64>(src.size()) == out.numel(),
+             "decompress_fp16: size mismatch");
+  for (i64 i = 0; i < out.numel(); ++i) {
+    out[i] = half_to_float(src[static_cast<std::size_t>(i)]);
+  }
+}
+
+void tree_allreduce_mean_fp16(std::vector<core::Tensor*>& shards) {
+  LEGW_CHECK(!shards.empty(), "tree_allreduce_mean_fp16: no shards");
+  const std::size_t n = shards.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    LEGW_CHECK(shards[i] != nullptr && shards[i]->same_shape(*shards[0]),
+               "tree_allreduce_mean_fp16: shard mismatch");
+  }
+  // Every hop ships fp16: compress both operands, sum in float, keep the
+  // running partial in the destination shard.
+  std::vector<u16> wire_a, wire_b;
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+      compress_fp16(*shards[i], wire_a);
+      compress_fp16(*shards[i + stride], wire_b);
+      core::Tensor& dst = *shards[i];
+      for (i64 j = 0; j < dst.numel(); ++j) {
+        dst[j] = half_to_float(wire_a[static_cast<std::size_t>(j)]) +
+                 half_to_float(wire_b[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  shards[0]->scale_(1.0f / static_cast<float>(n));
+  // Broadcast the (fp16-rounded) result.
+  compress_fp16(*shards[0], wire_a);
+  for (std::size_t i = 0; i < n; ++i) {
+    decompress_fp16(wire_a, *shards[i]);
+  }
+}
+
+}  // namespace legw::dist

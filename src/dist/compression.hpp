@@ -1,0 +1,28 @@
+// Gradient compression for communication: IEEE-754 half-precision (binary16)
+// round-tripping, the core of mixed-precision large-batch systems (Jia et
+// al. 2018, the paper's ref [11], combined LARS with fp16 gradients).
+// Software emulation — correctness-exact rounding to the nearest half,
+// round-half-to-even, with proper subnormal/overflow handling.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace legw::dist {
+
+// Scalar conversions (exposed for tests).
+u16 float_to_half(float f);
+float half_to_float(u16 h);
+
+// Lossy round-trip of a whole tensor through binary16.
+void compress_fp16(const core::Tensor& src, std::vector<u16>& out);
+void decompress_fp16(const std::vector<u16>& src, core::Tensor& out);
+
+// tree_allreduce_mean with fp16 on the wire: shards are compressed, summed
+// in float at each tree node, recompressed per hop — the error model of a
+// real fp16 ring/tree all-reduce. After the call every shard holds the same
+// (half-precision-rounded) mean.
+void tree_allreduce_mean_fp16(std::vector<core::Tensor*>& shards);
+
+}  // namespace legw::dist

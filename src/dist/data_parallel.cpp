@@ -1,0 +1,69 @@
+#include "dist/data_parallel.hpp"
+
+#include <thread>
+
+#include "dist/allreduce.hpp"
+
+namespace legw::dist {
+
+float synchronous_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn) {
+  const int n_replicas = static_cast<int>(replica_params.size());
+  LEGW_CHECK(n_replicas >= 1, "synchronous_backward: need >= 1 replica");
+  const std::size_t n_params = replica_params[0].size();
+  for (const auto& params : replica_params) {
+    LEGW_CHECK(params.size() == n_params,
+               "synchronous_backward: replicas disagree on parameter count");
+  }
+
+  std::vector<float> losses(static_cast<std::size_t>(n_replicas), 0.0f);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_replicas));
+  for (int r = 0; r < n_replicas; ++r) {
+    threads.emplace_back([&, r] {
+      for (const auto& p : replica_params[static_cast<std::size_t>(r)]) {
+        ag::Variable handle = p;  // cheap shared handle
+        handle.zero_grad();
+      }
+      ag::Variable loss = loss_fn(r);
+      losses[static_cast<std::size_t>(r)] = loss.value()[0];
+      ag::backward(loss);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Bucket-by-bucket deterministic all-reduce over the gradients.
+  for (std::size_t p = 0; p < n_params; ++p) {
+    std::vector<core::Tensor*> shards;
+    shards.reserve(static_cast<std::size_t>(n_replicas));
+    for (int r = 0; r < n_replicas; ++r) {
+      ag::Variable handle = replica_params[static_cast<std::size_t>(r)][p];
+      shards.push_back(&handle.mutable_grad());
+    }
+    tree_allreduce_mean(shards);
+  }
+
+  float mean_loss = 0.0f;
+  for (float l : losses) mean_loss += l;
+  return mean_loss / static_cast<float>(n_replicas);
+}
+
+i64 first_divergent_param(
+    const std::vector<std::vector<ag::Variable>>& replica_params) {
+  LEGW_CHECK(!replica_params.empty(), "first_divergent_param: no replicas");
+  const auto& ref = replica_params[0];
+  for (std::size_t p = 0; p < ref.size(); ++p) {
+    const core::Tensor& base = ref[p].value();
+    for (std::size_t r = 1; r < replica_params.size(); ++r) {
+      const core::Tensor& other = replica_params[r][p].value();
+      if (!base.same_shape(other)) return static_cast<i64>(p);
+      for (i64 i = 0; i < base.numel(); ++i) {
+        if (base[i] != other[i]) return static_cast<i64>(p);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace legw::dist

@@ -1,0 +1,39 @@
+// Synchronous data-parallel training over in-process model replicas.
+//
+// This is the execution pattern behind every system in the paper's related
+// work (Goyal et al., LARS on KNL/TPU pods): R replicas hold identical
+// weights, each computes gradients on its shard of the global batch, an
+// all-reduce averages the gradients, and every replica applies the identical
+// optimizer update — so replicas stay bit-synchronised without ever shipping
+// weights. Here replicas are real threads in one process and the all-reduce
+// is dist::tree_allreduce_mean, which is deterministic, so the synchrony
+// invariant is exactly testable (tests/test_data_parallel.cpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::dist {
+
+// One synchronous backward pass:
+//  * `replica_params[r]` are replica r's parameters (aligned across r);
+//  * `loss_fn(r)` builds replica r's shard loss from replica r's parameters
+//    and returns the scalar loss Variable (it must not touch other replicas);
+//  * on return, every replica's parameter gradients hold the element-wise
+//    mean over replicas (shard-mean losses over equal shards therefore yield
+//    the global-batch mean gradient).
+// Gradients are zeroed before the backward. Returns the mean of the shard
+// losses. Thread-safety: loss_fn runs concurrently, one thread per replica.
+float synchronous_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn);
+
+// Verifies the synchrony invariant: all replicas hold bitwise-identical
+// parameter values. Returns the index of the first mismatching parameter,
+// or -1 if synchronised.
+i64 first_divergent_param(
+    const std::vector<std::vector<ag::Variable>>& replica_params);
+
+}  // namespace legw::dist

@@ -1,0 +1,311 @@
+#include "models/gnmt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kernels.hpp"
+
+namespace legw::models {
+
+Gnmt::Gnmt(const GnmtConfig& config) : config_(config) {
+  LEGW_CHECK(config.num_layers >= 2, "Gnmt: need at least 2 layers");
+  core::Rng rng(config.seed);
+  const i64 h = config.hidden_dim;
+
+  src_embed_ = std::make_unique<nn::Embedding>(config.src_vocab,
+                                               config.embed_dim, rng);
+  tgt_embed_ = std::make_unique<nn::Embedding>(config.tgt_vocab,
+                                               config.embed_dim, rng);
+  register_child("src_embed", src_embed_.get());
+  register_child("tgt_embed", tgt_embed_.get());
+
+  // Encoder: bidirectional first layer (output 2h), then uni layers h->h
+  // with the first uni layer taking the 2h bi output.
+  enc_bi_ = std::make_unique<nn::BiLstmLayer>(config.embed_dim, h, rng);
+  register_child("enc_bi", enc_bi_.get());
+  for (i64 l = 1; l < config.num_layers; ++l) {
+    const i64 in = l == 1 ? 2 * h : h;
+    enc_uni_.push_back(std::make_unique<nn::LstmCellLayer>(in, h, rng));
+    register_child("enc_uni" + std::to_string(l), enc_uni_.back().get());
+  }
+
+  // Decoder: layer 1 reads [embedding, context]; layers 2..n read
+  // [lower hidden, context].
+  for (i64 l = 0; l < config.num_layers; ++l) {
+    const i64 in = (l == 0 ? config.embed_dim : h) + h;
+    dec_layers_.push_back(std::make_unique<nn::LstmCellLayer>(in, h, rng));
+    register_child("dec" + std::to_string(l), dec_layers_.back().get());
+  }
+
+  attention_ = std::make_unique<nn::BahdanauAttention>(h, h, h, rng);
+  register_child("attention", attention_.get());
+
+  classifier_ = std::make_unique<nn::Linear>(2 * h, config.tgt_vocab, rng);
+  register_child("classifier", classifier_.get());
+}
+
+std::vector<ag::Variable> Gnmt::encode(const std::vector<i32>& src, i64 batch,
+                                       i64 src_len,
+                                       core::Rng* dropout_rng) const {
+  const bool use_dropout =
+      dropout_rng != nullptr && config_.dropout > 0.0f && is_training();
+  // Column-major token steps.
+  std::vector<ag::Variable> steps;
+  steps.reserve(static_cast<std::size_t>(src_len));
+  for (i64 t = 0; t < src_len; ++t) {
+    std::vector<i32> col(static_cast<std::size_t>(batch));
+    for (i64 b = 0; b < batch; ++b) {
+      col[static_cast<std::size_t>(b)] =
+          src[static_cast<std::size_t>(b * src_len + t)];
+    }
+    ag::Variable emb = src_embed_->forward(col);
+    if (use_dropout) {
+      emb = ag::dropout(emb, config_.dropout, *dropout_rng, true);
+    }
+    steps.push_back(emb);
+  }
+
+  std::vector<ag::Variable> outputs = enc_bi_->forward(steps);  // [B, 2h] each
+  for (std::size_t l = 0; l < enc_uni_.size(); ++l) {
+    if (use_dropout) {
+      for (auto& o : outputs) {
+        o = ag::dropout(o, config_.dropout, *dropout_rng, true);
+      }
+    }
+    nn::LstmState state = enc_uni_[l]->step(
+        outputs[0], enc_uni_[l]->zero_state(outputs[0].size(0)));
+    std::vector<ag::Variable> next(outputs.size());
+    next[0] = state.h;
+    for (std::size_t t = 1; t < outputs.size(); ++t) {
+      state = enc_uni_[l]->step(outputs[t], state);
+      next[t] = state.h;
+    }
+    // Residual connections start from config_.residual_start (1-based layer
+    // index; the bi layer is layer 1, enc_uni_[l] is layer l+2).
+    const i64 layer_index = static_cast<i64>(l) + 2;
+    if (layer_index >= config_.residual_start &&
+        outputs[0].size(1) == next[0].size(1)) {
+      for (std::size_t t = 0; t < outputs.size(); ++t) {
+        next[t] = ag::add(next[t], outputs[t]);
+      }
+    }
+    outputs = std::move(next);
+  }
+  return outputs;
+}
+
+Gnmt::DecoderState Gnmt::initial_decoder_state(i64 batch) const {
+  DecoderState s;
+  s.layers.reserve(dec_layers_.size());
+  for (const auto& layer : dec_layers_) {
+    s.layers.push_back(layer->zero_state(batch));
+  }
+  s.context = ag::Variable::constant(
+      core::Tensor::zeros({batch, config_.hidden_dim}));
+  return s;
+}
+
+ag::Variable Gnmt::source_mask(const std::vector<i32>& src, i64 batch,
+                               i64 src_len) {
+  core::Tensor mask(core::Shape{batch, src_len});
+  for (i64 b = 0; b < batch; ++b) {
+    for (i64 t = 0; t < src_len; ++t) {
+      mask[b * src_len + t] =
+          src[static_cast<std::size_t>(b * src_len + t)] == data::kPadId
+              ? 0.0f
+              : 1.0f;
+    }
+  }
+  return ag::Variable::constant(std::move(mask));
+}
+
+ag::Variable Gnmt::decode_step(const std::vector<i32>& tokens,
+                               const nn::BahdanauAttention::Keys& keys,
+                               const ag::Variable& mask,
+                               DecoderState& state,
+                               core::Rng* dropout_rng) const {
+  const bool use_dropout =
+      dropout_rng != nullptr && config_.dropout > 0.0f && is_training();
+  ag::Variable emb = tgt_embed_->forward(tokens);
+  if (use_dropout) {
+    emb = ag::dropout(emb, config_.dropout, *dropout_rng, true);
+  }
+  ag::Variable in0 = ag::concat_cols({emb, state.context});
+  state.layers[0] = dec_layers_[0]->step(in0, state.layers[0]);
+
+  // Attention queried by the first decoder layer's output (gnmt_v2),
+  // masked so padded source positions get zero weight.
+  nn::BahdanauAttention::Result att =
+      attention_->attend(state.layers[0].h, keys, mask);
+  state.context = att.context;
+
+  ag::Variable h_prev = state.layers[0].h;
+  for (std::size_t l = 1; l < dec_layers_.size(); ++l) {
+    ag::Variable lower = use_dropout
+        ? ag::dropout(h_prev, config_.dropout, *dropout_rng, true)
+        : h_prev;
+    ag::Variable in = ag::concat_cols({lower, state.context});
+    state.layers[l] = dec_layers_[l]->step(in, state.layers[l]);
+    ag::Variable h = state.layers[l].h;
+    const i64 layer_index = static_cast<i64>(l) + 1;  // 1-based
+    if (layer_index >= config_.residual_start) {
+      h = ag::add(h, h_prev);
+    }
+    h_prev = h;
+  }
+  return classifier_->forward(ag::concat_cols({h_prev, state.context}));
+}
+
+ag::Variable Gnmt::loss(const data::TranslationBatch& batch,
+                        core::Rng& dropout_rng) const {
+  std::vector<ag::Variable> enc =
+      encode(batch.src, batch.batch, batch.src_len, &dropout_rng);
+  nn::BahdanauAttention::Keys keys = attention_->precompute(enc);
+  ag::Variable mask = source_mask(batch.src, batch.batch, batch.src_len);
+  DecoderState state = initial_decoder_state(batch.batch);
+
+  std::vector<ag::Variable> step_logits;
+  step_logits.reserve(static_cast<std::size_t>(batch.tgt_len));
+  for (i64 t = 0; t < batch.tgt_len; ++t) {
+    std::vector<i32> col(static_cast<std::size_t>(batch.batch));
+    for (i64 b = 0; b < batch.batch; ++b) {
+      col[static_cast<std::size_t>(b)] =
+          batch.tgt_in[static_cast<std::size_t>(b * batch.tgt_len + t)];
+    }
+    step_logits.push_back(decode_step(col, keys, mask, state, &dropout_rng));
+  }
+  ag::Variable logits = ag::concat_rows(step_logits);  // [T*B, V], step-major
+  std::vector<i32> aligned(static_cast<std::size_t>(batch.batch * batch.tgt_len));
+  for (i64 t = 0; t < batch.tgt_len; ++t) {
+    for (i64 b = 0; b < batch.batch; ++b) {
+      aligned[static_cast<std::size_t>(t * batch.batch + b)] =
+          batch.tgt_out[static_cast<std::size_t>(b * batch.tgt_len + t)];
+    }
+  }
+  return ag::softmax_cross_entropy(logits, aligned, data::kPadId);
+}
+
+std::vector<std::vector<i32>> Gnmt::greedy_decode(
+    const data::TranslationBatch& batch, i64 max_len) const {
+  std::vector<ag::Variable> enc = encode(batch.src, batch.batch, batch.src_len);
+  nn::BahdanauAttention::Keys keys = attention_->precompute(enc);
+  ag::Variable mask = source_mask(batch.src, batch.batch, batch.src_len);
+  DecoderState state = initial_decoder_state(batch.batch);
+
+  std::vector<std::vector<i32>> hyps(static_cast<std::size_t>(batch.batch));
+  std::vector<i32> current(static_cast<std::size_t>(batch.batch), data::kBosId);
+  std::vector<bool> done(static_cast<std::size_t>(batch.batch), false);
+  for (i64 t = 0; t < max_len; ++t) {
+    ag::Variable logits = decode_step(current, keys, mask, state);
+    const float* lp = logits.value().data();
+    const i64 v = logits.size(1);
+    bool all_done = true;
+    for (i64 b = 0; b < batch.batch; ++b) {
+      if (done[static_cast<std::size_t>(b)]) continue;
+      i64 best = 0;
+      for (i64 c = 1; c < v; ++c) {
+        if (lp[b * v + c] > lp[b * v + best]) best = c;
+      }
+      if (best == data::kEosId || best == data::kPadId) {
+        done[static_cast<std::size_t>(b)] = true;
+      } else {
+        hyps[static_cast<std::size_t>(b)].push_back(static_cast<i32>(best));
+        all_done = false;
+      }
+      current[static_cast<std::size_t>(b)] = static_cast<i32>(best);
+    }
+    if (all_done) break;
+  }
+  return hyps;
+}
+
+std::vector<std::vector<i32>> Gnmt::beam_decode(
+    const data::TranslationBatch& batch, i64 beam_width, i64 max_len) const {
+  LEGW_CHECK(beam_width >= 1, "beam_decode: beam_width must be >= 1");
+  std::vector<std::vector<i32>> results(static_cast<std::size_t>(batch.batch));
+
+  struct Hyp {
+    std::vector<i32> tokens;  // emitted tokens (no BOS/EOS)
+    double log_prob = 0.0;
+    i32 last = data::kBosId;
+    DecoderState state;
+    bool done = false;
+
+    // GNMT-style length normalisation so short hypotheses don't dominate.
+    double score() const {
+      const double len = static_cast<double>(tokens.size()) + 1.0;
+      return log_prob / std::pow(len, 0.6);
+    }
+  };
+
+  for (i64 b = 0; b < batch.batch; ++b) {
+    // Single-row view of source b.
+    std::vector<i32> src_row(
+        batch.src.begin() + static_cast<std::ptrdiff_t>(b * batch.src_len),
+        batch.src.begin() + static_cast<std::ptrdiff_t>((b + 1) * batch.src_len));
+    std::vector<ag::Variable> enc = encode(src_row, 1, batch.src_len);
+    nn::BahdanauAttention::Keys keys = attention_->precompute(enc);
+    ag::Variable mask = source_mask(src_row, 1, batch.src_len);
+
+    std::vector<Hyp> beams(1);
+    beams[0].state = initial_decoder_state(1);
+    std::vector<Hyp> finished;
+
+    for (i64 t = 0; t < max_len && !beams.empty(); ++t) {
+      std::vector<Hyp> candidates;
+      for (Hyp& hyp : beams) {
+        DecoderState state = hyp.state;  // snapshot (Variables are handles)
+        ag::Variable logits = decode_step({hyp.last}, keys, mask, state);
+        const i64 v = logits.size(1);
+        core::Tensor log_probs(core::Shape{1, v});
+        core::log_softmax_rows(logits.value().data(), log_probs.data(), 1, v);
+
+        // Top beam_width tokens of this hypothesis by simple selection.
+        std::vector<i64> order(static_cast<std::size_t>(v));
+        for (i64 c = 0; c < v; ++c) order[static_cast<std::size_t>(c)] = c;
+        std::partial_sort(order.begin(),
+                          order.begin() + std::min<i64>(beam_width, v),
+                          order.end(), [&](i64 x, i64 y) {
+                            return log_probs[x] > log_probs[y];
+                          });
+        for (i64 r = 0; r < std::min<i64>(beam_width, v); ++r) {
+          const i64 tok = order[static_cast<std::size_t>(r)];
+          Hyp next = hyp;
+          next.state = state;
+          next.log_prob += log_probs[tok];
+          if (tok == data::kEosId || tok == data::kPadId) {
+            next.done = true;
+          } else {
+            next.tokens.push_back(static_cast<i32>(tok));
+            next.last = static_cast<i32>(tok);
+          }
+          candidates.push_back(std::move(next));
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Hyp& x, const Hyp& y) { return x.score() > y.score(); });
+      beams.clear();
+      for (Hyp& c : candidates) {
+        if (c.done) {
+          finished.push_back(std::move(c));
+        } else if (static_cast<i64>(beams.size()) < beam_width) {
+          beams.push_back(std::move(c));
+        }
+        if (static_cast<i64>(finished.size()) >= beam_width &&
+            static_cast<i64>(beams.size()) >= beam_width) {
+          break;
+        }
+      }
+    }
+    for (Hyp& hyp : beams) finished.push_back(std::move(hyp));
+    LEGW_CHECK(!finished.empty(), "beam_decode: no hypotheses produced");
+    const Hyp* best = &finished[0];
+    for (const Hyp& hyp : finished) {
+      if (hyp.score() > best->score()) best = &hyp;
+    }
+    results[static_cast<std::size_t>(b)] = best->tokens;
+  }
+  return results;
+}
+
+}  // namespace legw::models

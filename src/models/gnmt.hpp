@@ -1,0 +1,84 @@
+// GNMT-style seq2seq model (§5.1.3), architecture-faithful at reduced width:
+//   encoder: embedding -> bidirectional LSTM layer -> (n-1) unidirectional
+//            layers, residual connections from the 3rd layer on;
+//   decoder: per step, layer 1 consumes [embedding, previous context]; its
+//            output queries normalized Bahdanau attention over the encoder
+//            outputs; layers 2..n consume [lower output, context] with
+//            residuals from the 3rd layer; the classifier reads
+//            [top output, context].
+// Training is teacher-forced with padded batches; BLEU uses greedy decoding.
+#pragma once
+
+#include <memory>
+
+#include "data/translation.hpp"
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+
+namespace legw::models {
+
+struct GnmtConfig {
+  i64 src_vocab = 200;
+  i64 tgt_vocab = 200;
+  i64 embed_dim = 32;
+  i64 hidden_dim = 32;   // paper: 1024
+  i64 num_layers = 4;    // paper: 4 (first encoder layer bidirectional)
+  i64 residual_start = 3;  // residual connections start from this layer (1-based)
+  float dropout = 0.0f;  // applied to embeddings and inter-layer inputs
+  u64 seed = 23;
+};
+
+class Gnmt : public nn::Module {
+ public:
+  explicit Gnmt(const GnmtConfig& config);
+
+  // Teacher-forced mean cross-entropy over non-pad target tokens.
+  ag::Variable loss(const data::TranslationBatch& batch,
+                    core::Rng& dropout_rng) const;
+
+  // Greedy decode: one hypothesis per source row, stops at EOS or max_len.
+  std::vector<std::vector<i32>> greedy_decode(const data::TranslationBatch& batch,
+                                              i64 max_len) const;
+
+  // Beam-search decode (the decoder GNMT actually ships with). Scores are
+  // length-normalised sums of log-probabilities; beam_width == 1 reduces to
+  // greedy search. Decodes one source sentence at a time (row b of the
+  // batch), returning the best hypothesis per row.
+  std::vector<std::vector<i32>> beam_decode(const data::TranslationBatch& batch,
+                                            i64 beam_width, i64 max_len) const;
+
+  const GnmtConfig& config() const { return config_; }
+
+ private:
+  // Encoder outputs: one [B, hidden] Variable per source position.
+  // dropout_rng may be null (eval / no dropout).
+  std::vector<ag::Variable> encode(const std::vector<i32>& src, i64 batch,
+                                   i64 src_len,
+                                   core::Rng* dropout_rng = nullptr) const;
+
+  struct DecoderState {
+    std::vector<nn::LstmState> layers;
+    ag::Variable context;  // [B, hidden]
+  };
+  DecoderState initial_decoder_state(i64 batch) const;
+  // Constant [B, src_len] validity mask (0 on kPadId source positions).
+  static ag::Variable source_mask(const std::vector<i32>& src, i64 batch,
+                                  i64 src_len);
+  // One decoder step; returns logits [B, tgt_vocab] and mutates `state`.
+  ag::Variable decode_step(const std::vector<i32>& tokens,
+                           const nn::BahdanauAttention::Keys& keys,
+                           const ag::Variable& mask, DecoderState& state,
+                           core::Rng* dropout_rng = nullptr) const;
+
+  GnmtConfig config_;
+  std::unique_ptr<nn::Embedding> src_embed_;
+  std::unique_ptr<nn::Embedding> tgt_embed_;
+  std::unique_ptr<nn::BiLstmLayer> enc_bi_;
+  std::vector<std::unique_ptr<nn::LstmCellLayer>> enc_uni_;
+  std::vector<std::unique_ptr<nn::LstmCellLayer>> dec_layers_;
+  std::unique_ptr<nn::BahdanauAttention> attention_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace legw::models

@@ -1,0 +1,46 @@
+// The paper's pure-LSTM MNIST classifier (§5.1.1): each 28x28 image is read
+// as 28 time steps of 28-pixel rows; a 28->transform linear layer feeds an
+// LSTM whose final hidden state drives a 10-way softmax classifier.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+
+namespace legw::models {
+
+struct MnistLstmConfig {
+  i64 transform_dim = 128;  // paper: 128-by-28 transform layer
+  i64 hidden_dim = 128;     // paper: 128 (cell kernel 256x512)
+  i64 n_rows = 28;
+  i64 n_cols = 28;
+  i64 n_classes = 10;
+  u64 seed = 42;
+};
+
+class MnistLstm : public nn::Module {
+ public:
+  explicit MnistLstm(const MnistLstmConfig& config);
+
+  // images: [B, 784] pixels. Returns class logits [B, 10].
+  ag::Variable forward(const core::Tensor& images) const;
+
+  // Mean cross-entropy against labels.
+  ag::Variable loss(const core::Tensor& images,
+                    const std::vector<i32>& labels) const;
+
+  // Fraction of argmax predictions matching labels (no graph built).
+  double accuracy(const core::Tensor& images,
+                  const std::vector<i32>& labels) const;
+
+  const MnistLstmConfig& config() const { return config_; }
+
+ private:
+  MnistLstmConfig config_;
+  std::unique_ptr<nn::Linear> transform_;
+  std::unique_ptr<nn::LstmCellLayer> cell_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace legw::models

@@ -1,0 +1,87 @@
+#include "models/resnet.hpp"
+
+namespace legw::models {
+
+ResNet::Block::Block(i64 in_ch, i64 out_ch, i64 stride, core::Rng& rng) {
+  conv1 = std::make_unique<nn::Conv2d>(in_ch, out_ch, 3, stride, 1, rng);
+  bn1 = std::make_unique<nn::BatchNorm2d>(out_ch);
+  conv2 = std::make_unique<nn::Conv2d>(out_ch, out_ch, 3, 1, 1, rng);
+  bn2 = std::make_unique<nn::BatchNorm2d>(out_ch);
+  if (stride != 1 || in_ch != out_ch) {
+    shortcut = std::make_unique<nn::Conv2d>(in_ch, out_ch, 1, stride, 0, rng);
+    shortcut_bn = std::make_unique<nn::BatchNorm2d>(out_ch);
+    register_child("shortcut", shortcut.get());
+    register_child("shortcut_bn", shortcut_bn.get());
+  }
+  register_child("conv1", conv1.get());
+  register_child("bn1", bn1.get());
+  register_child("conv2", conv2.get());
+  register_child("bn2", bn2.get());
+}
+
+ag::Variable ResNet::Block::forward(const ag::Variable& x) {
+  ag::Variable y = ag::relu(bn1->forward(conv1->forward(x)));
+  y = bn2->forward(conv2->forward(y));
+  ag::Variable identity =
+      shortcut ? shortcut_bn->forward(shortcut->forward(x)) : x;
+  return ag::relu(ag::add(y, identity));
+}
+
+ResNet::ResNet(const ResNetConfig& config) : config_(config) {
+  core::Rng rng(config.seed);
+  stem_ = std::make_unique<nn::Conv2d>(config.in_channels, config.width, 3, 1,
+                                       1, rng);
+  stem_bn_ = std::make_unique<nn::BatchNorm2d>(config.width);
+  register_child("stem", stem_.get());
+  register_child("stem_bn", stem_bn_.get());
+
+  i64 in_ch = config.width;
+  for (i64 stage = 0; stage < 3; ++stage) {
+    const i64 out_ch = config.width << stage;
+    for (i64 b = 0; b < config.blocks_per_stage; ++b) {
+      const i64 stride = (stage > 0 && b == 0) ? 2 : 1;
+      blocks_.push_back(std::make_unique<Block>(in_ch, out_ch, stride, rng));
+      register_child(
+          "stage" + std::to_string(stage) + "_block" + std::to_string(b),
+          blocks_.back().get());
+      in_ch = out_ch;
+    }
+  }
+  classifier_ = std::make_unique<nn::Linear>(in_ch, config.n_classes, rng);
+  register_child("classifier", classifier_.get());
+}
+
+ag::Variable ResNet::forward(const core::Tensor& images) {
+  LEGW_CHECK(images.dim() == 4, "ResNet: images must be [B,C,H,W]");
+  ag::Variable x = ag::relu(
+      stem_bn_->forward(stem_->forward(ag::Variable::constant(images))));
+  for (auto& block : blocks_) x = block->forward(x);
+  return classifier_->forward(ag::global_avg_pool(x));
+}
+
+ag::Variable ResNet::loss(const core::Tensor& images,
+                          const std::vector<i32>& labels) {
+  return ag::softmax_cross_entropy(forward(images), labels);
+}
+
+double ResNet::accuracy(const core::Tensor& images,
+                        const std::vector<i32>& labels) {
+  const bool was_training = is_training();
+  set_training(false);
+  ag::Variable logits = forward(images);
+  set_training(was_training);
+  const i64 batch = logits.size(0);
+  const i64 classes = logits.size(1);
+  i64 correct = 0;
+  const float* lp = logits.value().data();
+  for (i64 b = 0; b < batch; ++b) {
+    i64 best = 0;
+    for (i64 c = 1; c < classes; ++c) {
+      if (lp[b * classes + c] > lp[b * classes + best]) best = c;
+    }
+    if (best == labels[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace legw::models

@@ -1,0 +1,57 @@
+// Residual CNN (ResNet-50/ImageNet stand-in for the LARS+LEGW experiments,
+// Table 3 / Figure 1). Classic CIFAR-style ResNet: 3x3 stem, three stages of
+// pre-activation-free basic blocks at {width, 2w, 4w} channels with stride-2
+// transitions, global average pooling and a linear classifier.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+
+namespace legw::models {
+
+struct ResNetConfig {
+  i64 in_channels = 3;
+  i64 image_size = 16;
+  i64 n_classes = 10;
+  i64 width = 8;            // stage widths: width, 2*width, 4*width
+  i64 blocks_per_stage = 1;
+  u64 seed = 31;
+};
+
+class ResNet : public nn::Module {
+ public:
+  explicit ResNet(const ResNetConfig& config);
+
+  // images: [B, C, H, W] -> logits [B, n_classes].
+  ag::Variable forward(const core::Tensor& images);
+  ag::Variable loss(const core::Tensor& images, const std::vector<i32>& labels);
+  double accuracy(const core::Tensor& images, const std::vector<i32>& labels);
+
+  const ResNetConfig& config() const { return config_; }
+
+ private:
+  // One basic residual block: conv-bn-relu-conv-bn (+ projection shortcut on
+  // stride/width changes), relu after the sum.
+  struct Block : nn::Module {
+    Block(i64 in_ch, i64 out_ch, i64 stride, core::Rng& rng);
+    ag::Variable forward(const ag::Variable& x);
+
+    std::unique_ptr<nn::Conv2d> conv1;
+    std::unique_ptr<nn::BatchNorm2d> bn1;
+    std::unique_ptr<nn::Conv2d> conv2;
+    std::unique_ptr<nn::BatchNorm2d> bn2;
+    std::unique_ptr<nn::Conv2d> shortcut;      // 1x1 when shape changes
+    std::unique_ptr<nn::BatchNorm2d> shortcut_bn;
+  };
+
+  ResNetConfig config_;
+  std::unique_ptr<nn::Conv2d> stem_;
+  std::unique_ptr<nn::BatchNorm2d> stem_bn_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace legw::models

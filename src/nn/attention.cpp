@@ -1,0 +1,93 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+namespace legw::nn {
+
+BahdanauAttention::BahdanauAttention(i64 query_dim, i64 key_dim, i64 attn_dim,
+                                     core::Rng& rng)
+    : attn_dim_(attn_dim) {
+  LEGW_CHECK(query_dim > 0 && key_dim > 0 && attn_dim > 0,
+             "BahdanauAttention: bad dims");
+  w_query_ = register_parameter(
+      "w_query", init::xavier_uniform({query_dim, attn_dim}, query_dim,
+                                      attn_dim, rng));
+  w_key_ = register_parameter(
+      "w_key", init::xavier_uniform({key_dim, attn_dim}, key_dim, attn_dim,
+                                    rng));
+  bias_ = register_parameter("bias", core::Tensor::zeros({attn_dim}));
+  v_ = register_parameter(
+      "v", init::lecun_uniform({attn_dim}, attn_dim, rng));
+  // Normalized Bahdanau initialises the gain at 1/sqrt(attn_dim), matching
+  // the scale of an unnormalized dot with lecun-initialised v.
+  g_ = register_parameter(
+      "g", core::Tensor({1}, 1.0f / std::sqrt(static_cast<float>(attn_dim))));
+}
+
+BahdanauAttention::Keys BahdanauAttention::precompute(
+    const std::vector<ag::Variable>& encoder_outputs) const {
+  LEGW_CHECK(!encoder_outputs.empty(), "attention: empty encoder sequence");
+  Keys keys;
+  keys.raw = encoder_outputs;
+  keys.projected.reserve(encoder_outputs.size());
+  for (const auto& k : encoder_outputs) {
+    keys.projected.push_back(ag::add_bias(ag::matmul(k, w_key_), bias_));
+  }
+  return keys;
+}
+
+BahdanauAttention::Result BahdanauAttention::attend(const ag::Variable& query,
+                                                    const Keys& keys,
+                                                    const ag::Variable& mask) const {
+  const std::size_t T = keys.projected.size();
+  ag::Variable q_proj = ag::matmul(query, w_query_);  // [B, attn]
+
+  // Scaled unit direction: g * v / ||v||, reshaped to a column [attn, 1].
+  ag::Variable v_unit = ag::normalize_vec(v_);
+  ag::Variable v_col = ag::reshape(v_unit, {attn_dim_, 1});
+
+  std::vector<ag::Variable> scores;
+  scores.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    ag::Variable e = ag::tanh(ag::add(q_proj, keys.projected[t]));
+    ag::Variable s = ag::matmul(e, v_col);  // [B, 1]
+    scores.push_back(s);
+  }
+  ag::Variable score_mat = ag::concat_cols(scores);  // [B, T]
+  // Apply the scalar gain g before the softmax.
+  ag::Variable g_scale = ag::reshape(g_, {1, 1});
+  // score_mat * g: broadcast scalar — implement as mul_colvec-compatible
+  // trick: scale by matmul with [1,1] is overkill; use elementwise via
+  // repeated scalar from the graph. Simplest differentiable path: context
+  // below uses weights = softmax(g * scores); build g*scores with mul of a
+  // broadcasted matrix.
+  ag::Variable ones =
+      ag::Variable::constant(core::Tensor::ones({score_mat.size(0), 1}));
+  ag::Variable g_col = ag::matmul(ones, g_scale);      // [B, 1] of g
+  ag::Variable scaled = ag::mul_colvec(score_mat, g_col);
+  if (mask.defined()) {
+    LEGW_CHECK(mask.value().dim() == 2 &&
+                   mask.size(0) == scaled.size(0) &&
+                   mask.size(1) == scaled.size(1),
+               "attention mask must be [B, T]");
+    // penalty = -1e9 where mask == 0.
+    core::Tensor penalty(mask.value().shape());
+    for (i64 i = 0; i < penalty.numel(); ++i) {
+      penalty[i] = mask.value()[i] > 0.5f ? 0.0f : -1e9f;
+    }
+    scaled = ag::add(scaled, ag::Variable::constant(std::move(penalty)));
+  }
+  ag::Variable weights = ag::softmax_rows(scaled);     // [B, T]
+
+  // context = Σ_t weights[:, t] * raw_keys[t]
+  ag::Variable context;
+  for (std::size_t t = 0; t < T; ++t) {
+    ag::Variable w_t =
+        ag::slice_cols(weights, static_cast<i64>(t), static_cast<i64>(t) + 1);
+    ag::Variable term = ag::mul_colvec(keys.raw[t], w_t);
+    context = context.defined() ? ag::add(context, term) : term;
+  }
+  return Result{context, weights};
+}
+
+}  // namespace legw::nn

@@ -1,0 +1,54 @@
+// Normalized Bahdanau (additive) attention, the gnmt_v2 mechanism.
+//
+// score(q, k_t) = g * (v/||v||) · tanh(W_q q + W_k k_t + b)
+// weights = softmax over t; context = Σ_t weights_t k_t.
+//
+// Keys (encoder outputs) are projected once per batch via precompute();
+// each decoder step then costs one query projection plus T small ops.
+#pragma once
+
+#include <vector>
+
+#include "ag/ops.hpp"
+#include "nn/module.hpp"
+
+namespace legw::nn {
+
+class BahdanauAttention : public Module {
+ public:
+  // query_dim: decoder hidden size; key_dim: encoder output size;
+  // attn_dim: the internal additive-attention width.
+  BahdanauAttention(i64 query_dim, i64 key_dim, i64 attn_dim, core::Rng& rng);
+
+  struct Keys {
+    std::vector<ag::Variable> raw;        // encoder outputs, each [B, key_dim]
+    std::vector<ag::Variable> projected;  // W_k k_t + b, each [B, attn_dim]
+  };
+
+  // Project encoder outputs once.
+  Keys precompute(const std::vector<ag::Variable>& encoder_outputs) const;
+
+  struct Result {
+    ag::Variable context;  // [B, key_dim]
+    ag::Variable weights;  // [B, T]
+  };
+
+  // One decoder step: query [B, query_dim] against the precomputed keys.
+  // `mask` (optional) is a constant [B, T] matrix with 1 for valid source
+  // positions and 0 for padding; masked positions receive a large negative
+  // score so the softmax assigns them (numerically) zero weight.
+  Result attend(const ag::Variable& query, const Keys& keys,
+                const ag::Variable& mask = ag::Variable()) const;
+
+  i64 attn_dim() const { return attn_dim_; }
+
+ private:
+  i64 attn_dim_;
+  ag::Variable w_query_;  // [query_dim, attn_dim]
+  ag::Variable w_key_;    // [key_dim, attn_dim]
+  ag::Variable bias_;     // [attn_dim]
+  ag::Variable v_;        // [attn_dim]
+  ag::Variable g_;        // [1] scalar gain (normalized Bahdanau)
+};
+
+}  // namespace legw::nn

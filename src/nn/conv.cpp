@@ -1,0 +1,36 @@
+#include "nn/conv.hpp"
+
+namespace legw::nn {
+
+Conv2d::Conv2d(i64 in_channels, i64 out_channels, i64 kernel, i64 stride,
+               i64 pad, core::Rng& rng, bool bias)
+    : out_channels_(out_channels), stride_(stride), pad_(pad) {
+  LEGW_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+             "Conv2d: bad dimensions");
+  const i64 fan_in = in_channels * kernel * kernel;
+  weight_ = register_parameter(
+      "weight",
+      init::he_normal({out_channels, in_channels, kernel, kernel}, fan_in,
+                      rng));
+  if (bias) {
+    bias_ = register_parameter("bias", core::Tensor::zeros({out_channels}));
+  }
+}
+
+ag::Variable Conv2d::forward(const ag::Variable& x) const {
+  return ag::conv2d(x, weight_, bias_, stride_, pad_);
+}
+
+BatchNorm2d::BatchNorm2d(i64 channels)
+    : running_mean_(core::Tensor::zeros({channels})),
+      running_var_(core::Tensor::ones({channels})) {
+  gamma_ = register_parameter("gamma", core::Tensor::ones({channels}));
+  beta_ = register_parameter("beta", core::Tensor::zeros({channels}));
+}
+
+ag::Variable BatchNorm2d::forward(const ag::Variable& x) {
+  return ag::batch_norm2d(x, gamma_, beta_, running_mean_, running_var_,
+                          is_training());
+}
+
+}  // namespace legw::nn

@@ -1,0 +1,44 @@
+// Convolutional layers for the residual CNN (ResNet stand-in).
+#pragma once
+
+#include "ag/ops.hpp"
+#include "nn/module.hpp"
+
+namespace legw::nn {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(i64 in_channels, i64 out_channels, i64 kernel, i64 stride, i64 pad,
+         core::Rng& rng, bool bias = false);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+  i64 out_channels() const { return out_channels_; }
+
+ private:
+  i64 out_channels_;
+  i64 stride_;
+  i64 pad_;
+  ag::Variable weight_;  // [Cout, Cin, k, k]
+  ag::Variable bias_;    // [Cout] or undefined
+};
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(i64 channels);
+
+  // Uses batch statistics in training mode (and updates running stats);
+  // running statistics in eval mode.
+  ag::Variable forward(const ag::Variable& x);
+
+  const core::Tensor& running_mean() const { return running_mean_; }
+  const core::Tensor& running_var() const { return running_var_; }
+
+ private:
+  ag::Variable gamma_;
+  ag::Variable beta_;
+  core::Tensor running_mean_;
+  core::Tensor running_var_;
+};
+
+}  // namespace legw::nn

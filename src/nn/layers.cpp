@@ -1,0 +1,38 @@
+#include "nn/layers.hpp"
+
+namespace legw::nn {
+
+Linear::Linear(i64 in_features, i64 out_features, core::Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  LEGW_CHECK(in_features > 0 && out_features > 0, "Linear: bad dimensions");
+  weight_ = register_parameter(
+      "weight", init::lecun_uniform({in_features, out_features}, in_features,
+                                    rng));
+  if (bias) {
+    bias_ = register_parameter("bias",
+                               core::Tensor::zeros({out_features}));
+  }
+}
+
+ag::Variable Linear::forward(const ag::Variable& x) const {
+  LEGW_CHECK(x.value().dim() == 2 && x.size(1) == in_features_,
+             "Linear::forward: expected [B, " + std::to_string(in_features_) +
+                 "], got " + core::shape_to_string(x.shape()));
+  ag::Variable y = ag::matmul(x, weight_);
+  if (bias_.defined()) y = ag::add_bias(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(i64 vocab, i64 dim, core::Rng& rng)
+    : vocab_(vocab), dim_(dim) {
+  LEGW_CHECK(vocab > 0 && dim > 0, "Embedding: bad dimensions");
+  // N(0, 0.1): small enough that LSTM inputs start in the linear regime.
+  weight_ = register_parameter("weight",
+                               core::Tensor::randn({vocab, dim}, rng, 0.1f));
+}
+
+ag::Variable Embedding::forward(const std::vector<i32>& indices) const {
+  return ag::embedding(weight_, indices);
+}
+
+}  // namespace legw::nn

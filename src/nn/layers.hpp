@@ -1,0 +1,46 @@
+// Basic trainable layers: Linear and Embedding.
+#pragma once
+
+#include "ag/ops.hpp"
+#include "nn/module.hpp"
+
+namespace legw::nn {
+
+// Fully-connected layer: y = x W + b, x: [B, in], y: [B, out].
+class Linear : public Module {
+ public:
+  Linear(i64 in_features, i64 out_features, core::Rng& rng, bool bias = true);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+  i64 in_features() const { return in_features_; }
+  i64 out_features() const { return out_features_; }
+  ag::Variable weight() const { return weight_; }
+  ag::Variable bias() const { return bias_; }
+
+ private:
+  i64 in_features_;
+  i64 out_features_;
+  ag::Variable weight_;  // [in, out]
+  ag::Variable bias_;    // [out] or undefined
+};
+
+// Token embedding: rows of a [vocab, dim] matrix.
+class Embedding : public Module {
+ public:
+  Embedding(i64 vocab, i64 dim, core::Rng& rng);
+
+  // indices -> [indices.size(), dim]
+  ag::Variable forward(const std::vector<i32>& indices) const;
+
+  i64 vocab() const { return vocab_; }
+  i64 dim() const { return dim_; }
+  ag::Variable weight() const { return weight_; }
+
+ private:
+  i64 vocab_;
+  i64 dim_;
+  ag::Variable weight_;
+};
+
+}  // namespace legw::nn

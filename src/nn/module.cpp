@@ -1,0 +1,78 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+namespace legw::nn {
+
+std::vector<ag::Variable> Module::parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& p : params_) out.push_back(p.var);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<NamedParam> Module::named_parameters(
+    const std::string& prefix) const {
+  std::vector<NamedParam> out;
+  for (const auto& p : params_) {
+    out.push_back({prefix.empty() ? p.name : prefix + "." + p.name, p.var});
+  }
+  for (const auto& [name, child] : children_) {
+    auto sub = child->named_parameters(prefix.empty() ? name
+                                                      : prefix + "." + name);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+i64 Module::num_parameters() const {
+  i64 n = 0;
+  for (const auto& v : parameters()) n += v.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& v : parameters()) v.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+ag::Variable Module::register_parameter(std::string name, core::Tensor init) {
+  auto var = ag::Variable::leaf(std::move(init), /*requires_grad=*/true);
+  params_.push_back({std::move(name), var});
+  return var;
+}
+
+void Module::register_child(std::string name, Module* child) {
+  LEGW_CHECK(child != nullptr, "register_child: null child");
+  children_.emplace_back(std::move(name), child);
+}
+
+namespace init {
+
+core::Tensor xavier_uniform(core::Shape shape, i64 fan_in, i64 fan_out,
+                            core::Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return core::Tensor::rand_uniform(std::move(shape), rng, -limit, limit);
+}
+
+core::Tensor lecun_uniform(core::Shape shape, i64 fan_in, core::Rng& rng) {
+  const float limit = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return core::Tensor::rand_uniform(std::move(shape), rng, -limit, limit);
+}
+
+core::Tensor he_normal(core::Shape shape, i64 fan_in, core::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return core::Tensor::randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace init
+
+}  // namespace legw::nn

@@ -1,0 +1,67 @@
+// Module base class: a named tree of parameters.
+//
+// Layers own their parameters as ag::Variable leaves (so the same storage is
+// reused across steps and gradients accumulate into it). parameters() yields
+// the flattened list the optimizers consume; named_parameters() adds
+// dot-joined paths for debugging/serialisation.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ag/variable.hpp"
+#include "core/rng.hpp"
+
+namespace legw::nn {
+
+struct NamedParam {
+  std::string name;
+  ag::Variable var;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters in registration order, children included.
+  std::vector<ag::Variable> parameters() const;
+  std::vector<NamedParam> named_parameters(const std::string& prefix = "") const;
+
+  // Sum of numel over parameters().
+  i64 num_parameters() const;
+
+  void zero_grad();
+
+  // Training/eval mode (affects dropout and batch norm). Propagates to
+  // children.
+  void set_training(bool training);
+  bool is_training() const { return training_; }
+
+ protected:
+  // Registers and returns a trainable leaf.
+  ag::Variable register_parameter(std::string name, core::Tensor init);
+  // Registers a child module (not owned; children are member fields).
+  void register_child(std::string name, Module* child);
+
+ private:
+  std::vector<NamedParam> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+// --- initialisation helpers -------------------------------------------------
+namespace init {
+// U[-limit, limit] with limit = sqrt(6 / (fan_in + fan_out)).
+core::Tensor xavier_uniform(core::Shape shape, i64 fan_in, i64 fan_out,
+                            core::Rng& rng);
+// U[-1/sqrt(fan_in), 1/sqrt(fan_in)] — the classic LSTM/linear default.
+core::Tensor lecun_uniform(core::Shape shape, i64 fan_in, core::Rng& rng);
+// N(0, sqrt(2/fan_in)) — He init for ReLU convolutions.
+core::Tensor he_normal(core::Shape shape, i64 fan_in, core::Rng& rng);
+}  // namespace init
+
+}  // namespace legw::nn

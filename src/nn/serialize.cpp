@@ -1,0 +1,107 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+
+namespace legw::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'E', 'G', 'W', 'C', 'K', 'P', 'T'};
+constexpr u32 kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n) {
+  LEGW_CHECK(std::fwrite(data, 1, n, f) == n, "checkpoint: short write");
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n) {
+  LEGW_CHECK(std::fread(data, 1, n, f) == n, "checkpoint: short read");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  read_bytes(f, &v, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  LEGW_CHECK(f != nullptr, "checkpoint: cannot open " + path + " for writing");
+
+  const auto params = module.named_parameters();
+  write_bytes(f.get(), kMagic, sizeof kMagic);
+  write_pod(f.get(), kVersion);
+  write_pod(f.get(), static_cast<u64>(params.size()));
+  for (const auto& p : params) {
+    write_pod(f.get(), static_cast<u32>(p.name.size()));
+    write_bytes(f.get(), p.name.data(), p.name.size());
+    const core::Tensor& t = p.var.value();
+    write_pod(f.get(), static_cast<u64>(t.dim()));
+    for (i64 d = 0; d < t.dim(); ++d) write_pod(f.get(), t.size(d));
+    write_bytes(f.get(), t.data(),
+                static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+}
+
+i64 load_checkpoint(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  LEGW_CHECK(f != nullptr, "checkpoint: cannot open " + path + " for reading");
+
+  char magic[8];
+  read_bytes(f.get(), magic, sizeof magic);
+  LEGW_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+             "checkpoint: bad magic in " + path);
+  const u32 version = read_pod<u32>(f.get());
+  LEGW_CHECK(version == kVersion, "checkpoint: unsupported version");
+  const u64 n_entries = read_pod<u64>(f.get());
+
+  auto params = module.named_parameters();
+  std::map<std::string, ag::Variable*> by_name;
+  for (auto& p : params) by_name[p.name] = &p.var;
+  LEGW_CHECK(n_entries == params.size(),
+             "checkpoint: parameter count mismatch (file has " +
+                 std::to_string(n_entries) + ", module has " +
+                 std::to_string(params.size()) + ")");
+
+  i64 restored = 0;
+  for (u64 e = 0; e < n_entries; ++e) {
+    const u32 name_len = read_pod<u32>(f.get());
+    std::string name(name_len, '\0');
+    read_bytes(f.get(), name.data(), name_len);
+    const u64 ndim = read_pod<u64>(f.get());
+    core::Shape shape(static_cast<std::size_t>(ndim));
+    for (u64 d = 0; d < ndim; ++d) shape[static_cast<std::size_t>(d)] = read_pod<i64>(f.get());
+
+    const auto it = by_name.find(name);
+    LEGW_CHECK(it != by_name.end(),
+               "checkpoint: module has no parameter named '" + name + "'");
+    core::Tensor& dst = it->second->mutable_value();
+    LEGW_CHECK(dst.shape() == shape,
+               "checkpoint: shape mismatch for '" + name + "': file " +
+                   core::shape_to_string(shape) + " vs module " +
+                   core::shape_to_string(dst.shape()));
+    read_bytes(f.get(), dst.data(),
+               static_cast<std::size_t>(dst.numel()) * sizeof(float));
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace legw::nn

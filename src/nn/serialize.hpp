@@ -1,0 +1,26 @@
+// Checkpointing: save and restore a Module's named parameters (plus the
+// optimizer-independent training position) in a simple self-describing
+// binary format.
+//
+// Format (little-endian, version 1):
+//   magic "LEGWCKPT" | u32 version | u64 n_entries
+//   per entry: u32 name_len | name bytes | u64 ndim | i64 dims[ndim]
+//              | float data[numel]
+// Entries are matched to the module by name on load; shape mismatches or
+// missing/extra entries are hard errors (a checkpoint is a contract).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace legw::nn {
+
+// Writes every named parameter of `module` to `path`. Aborts on I/O error.
+void save_checkpoint(const Module& module, const std::string& path);
+
+// Loads parameter values into `module` (shapes must match exactly).
+// Returns the number of parameters restored; aborts on any mismatch.
+i64 load_checkpoint(Module& module, const std::string& path);
+
+}  // namespace legw::nn

@@ -1,0 +1,31 @@
+#include "optim/ema.hpp"
+
+#include <utility>
+
+namespace legw::optim {
+
+EmaWeights::EmaWeights(std::vector<ag::Variable> params, float decay)
+    : params_(std::move(params)), decay_(decay) {
+  LEGW_CHECK(decay > 0.0f && decay < 1.0f, "EmaWeights: decay must be in (0,1)");
+  shadow_.reserve(params_.size());
+  for (const auto& p : params_) shadow_.push_back(p.value());
+}
+
+void EmaWeights::update() {
+  const float blend = 1.0f - decay_;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    core::Tensor& s = shadow_[i];
+    const core::Tensor& w = params_[i].value();
+    for (i64 j = 0; j < s.numel(); ++j) {
+      s[j] = decay_ * s[j] + blend * w[j];
+    }
+  }
+}
+
+void EmaWeights::swap() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::swap(params_[i].mutable_value(), shadow_[i]);
+  }
+}
+
+}  // namespace legw::optim

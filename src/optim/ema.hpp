@@ -1,0 +1,33 @@
+// Exponential moving average of model weights (Polyak-style averaging) —
+// the standard variance-reduction companion to large-batch training: the
+// EMA weights are evaluated, the raw weights keep training.
+#pragma once
+
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::optim {
+
+class EmaWeights {
+ public:
+  // Captures the current parameter values as the initial average.
+  EmaWeights(std::vector<ag::Variable> params, float decay = 0.999f);
+
+  // shadow = decay * shadow + (1 - decay) * current. Call after each step.
+  void update();
+
+  // Swaps the live weights with the shadow average (call again to swap
+  // back). The typical pattern: swap -> evaluate -> swap.
+  void swap();
+
+  float decay() const { return decay_; }
+  const std::vector<core::Tensor>& shadow() const { return shadow_; }
+
+ private:
+  std::vector<ag::Variable> params_;
+  std::vector<core::Tensor> shadow_;
+  float decay_;
+};
+
+}  // namespace legw::optim

@@ -1,0 +1,227 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+namespace legw::optim {
+
+using core::Tensor;
+
+namespace {
+// Lazily sizes a per-parameter state vector to match params.
+void ensure_state(std::vector<Tensor>& state,
+                  const std::vector<ag::Variable>& params) {
+  if (!state.empty()) return;
+  state.reserve(params.size());
+  for (const auto& p : params) state.push_back(Tensor::zeros(p.shape()));
+}
+}  // namespace
+
+const Tensor& Optimizer::effective_grad(std::size_t i,
+                                        Tensor& scratch) const {
+  const ag::Variable& p = params_[i];
+  if (weight_decay_ == 0.0f) return p.grad();
+  scratch = p.grad();
+  scratch.add_(p.value(), weight_decay_);
+  return scratch;
+}
+
+void Sgd::step() {
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    params_[i].mutable_value().add_(g, -lr_);
+  }
+}
+
+void Momentum::step() {
+  ensure_state(velocity_, params_);
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    Tensor& v = velocity_[i];
+    v.scale_(momentum_).add_(g);
+    params_[i].mutable_value().add_(v, -lr_);
+  }
+}
+
+void Nesterov::step() {
+  ensure_state(velocity_, params_);
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    Tensor& v = velocity_[i];
+    v.scale_(momentum_).add_(g);
+    // Look-ahead step: g + m * v.
+    Tensor upd = g;
+    upd.add_(v, momentum_);
+    params_[i].mutable_value().add_(upd, -lr_);
+  }
+}
+
+void Adagrad::step() {
+  ensure_state(accum_, params_);
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    Tensor& acc = accum_[i];
+    Tensor& w = params_[i].mutable_value();
+    for (i64 j = 0; j < g.numel(); ++j) {
+      acc[j] += g[j] * g[j];
+      w[j] -= lr_ * g[j] / (std::sqrt(acc[j]) + eps_);
+    }
+  }
+}
+
+void RmsProp::step() {
+  ensure_state(sq_avg_, params_);
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    Tensor& acc = sq_avg_[i];
+    Tensor& w = params_[i].mutable_value();
+    for (i64 j = 0; j < g.numel(); ++j) {
+      acc[j] = rho_ * acc[j] + (1.0f - rho_) * g[j] * g[j];
+      w[j] -= lr_ * g[j] / std::sqrt(acc[j] + eps_);
+    }
+  }
+}
+
+void Adam::step() {
+  ensure_state(m_, params_);
+  ensure_state(v_, params_);
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& w = params_[i].mutable_value();
+    for (i64 j = 0; j < g.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adadelta::step() {
+  ensure_state(sq_grad_avg_, params_);
+  ensure_state(sq_delta_avg_, params_);
+  Tensor scratch;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = effective_grad(i, scratch);
+    Tensor& eg = sq_grad_avg_[i];
+    Tensor& ed = sq_delta_avg_[i];
+    Tensor& w = params_[i].mutable_value();
+    for (i64 j = 0; j < g.numel(); ++j) {
+      eg[j] = rho_ * eg[j] + (1.0f - rho_) * g[j] * g[j];
+      const float delta =
+          -std::sqrt((ed[j] + eps_) / (eg[j] + eps_)) * g[j];
+      ed[j] = rho_ * ed[j] + (1.0f - rho_) * delta * delta;
+      w[j] += lr_ * delta;
+    }
+  }
+}
+
+void Lars::step() {
+  ensure_state(velocity_, params_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const ag::Variable& p = params_[i];
+    const Tensor& g = p.grad();
+    const float w_norm = p.value().l2_norm();
+    const float g_norm = g.l2_norm();
+    // Trust ratio. Parameters with zero norm (fresh biases) fall back to the
+    // plain gradient direction with ratio 1.
+    float local_lr = 1.0f;
+    if (w_norm > 0.0f && g_norm > 0.0f) {
+      local_lr = eta_ * w_norm / (g_norm + weight_decay_ * w_norm + eps_);
+    }
+    Tensor& v = velocity_[i];
+    Tensor& w = params_[i].mutable_value();
+    const float coeff = lr_ * local_lr;
+    for (i64 j = 0; j < g.numel(); ++j) {
+      v[j] = momentum_ * v[j] + coeff * (g[j] + weight_decay_ * w[j]);
+      w[j] -= v[j];
+    }
+  }
+}
+
+void Lamb::step() {
+  ensure_state(m_, params_);
+  ensure_state(v_, params_);
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& g = params_[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& w = params_[i].mutable_value();
+    Tensor update(w.shape());
+    for (i64 j = 0; j < g.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      update[j] = mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j];
+    }
+    const float w_norm = w.l2_norm();
+    const float u_norm = update.l2_norm();
+    // Trust ratio; falls back to 1 for zero-norm layers (fresh biases).
+    const float trust =
+        (w_norm > 0.0f && u_norm > 0.0f) ? w_norm / u_norm : 1.0f;
+    w.add_(update, -lr_ * trust);
+  }
+}
+
+float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    const float n = p.grad().l2_norm();
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const auto& p : params) {
+      ag::Variable handle = p;  // Variables are cheap shared handles
+      handle.mutable_grad().scale_(scale);
+    }
+  }
+  return norm;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          std::vector<ag::Variable> params,
+                                          float weight_decay) {
+  if (name == "sgd") return std::make_unique<Sgd>(std::move(params), weight_decay);
+  if (name == "momentum")
+    return std::make_unique<Momentum>(std::move(params), 0.9f, weight_decay);
+  if (name == "nesterov")
+    return std::make_unique<Nesterov>(std::move(params), 0.9f, weight_decay);
+  if (name == "adagrad")
+    return std::make_unique<Adagrad>(std::move(params), 1e-10f, weight_decay);
+  if (name == "rmsprop")
+    return std::make_unique<RmsProp>(std::move(params), 0.9f, 1e-8f,
+                                     weight_decay);
+  if (name == "adam")
+    return std::make_unique<Adam>(std::move(params), 0.9f, 0.999f, 1e-8f,
+                                  weight_decay);
+  if (name == "adadelta")
+    return std::make_unique<Adadelta>(std::move(params), 0.95f, 1e-6f,
+                                      weight_decay);
+  if (name == "lars")
+    return std::make_unique<Lars>(std::move(params), 0.001f, 0.9f,
+                                  weight_decay == 0.0f ? 1e-4f : weight_decay);
+  if (name == "lamb")
+    return std::make_unique<Lamb>(std::move(params), 0.9f, 0.999f, 1e-6f,
+                                  weight_decay == 0.0f ? 0.01f : weight_decay);
+  LEGW_CHECK(false, "unknown optimizer: " + name);
+  return nullptr;
+}
+
+}  // namespace legw::optim

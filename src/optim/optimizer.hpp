@@ -1,0 +1,212 @@
+// Optimizer suite.
+//
+// The paper evaluates seven first-order solvers (SGD, Momentum, Nesterov,
+// Adagrad, RMSprop, Adam, Adadelta) and uses LARS for the large-batch
+// ImageNet/PTB-large runs. All are implemented against a common interface:
+// the trainer sets the learning rate each step from an sched::LrSchedule and
+// calls step().
+//
+// Weight decay is classic L2 regularisation folded into the gradient before
+// the solver-specific update (this is what the 2017-2019 large-batch papers
+// used — not decoupled AdamW-style decay). LARS applies it inside the trust
+// ratio as in You et al. 2017.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params, float weight_decay = 0.0f)
+      : params_(std::move(params)), weight_decay_(weight_decay) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  float weight_decay() const { return weight_decay_; }
+
+  // Applies one update from the accumulated gradients. Does not zero grads.
+  virtual void step() = 0;
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+ protected:
+  // grad + weight_decay * w, written into `scratch` (resized on first use).
+  const core::Tensor& effective_grad(std::size_t i, core::Tensor& scratch) const;
+
+  std::vector<ag::Variable> params_;
+  float lr_ = 0.01f;
+  float weight_decay_ = 0.0f;
+};
+
+// Plain SGD: w -= lr * g.
+class Sgd final : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+  void step() override;
+  std::string name() const override { return "sgd"; }
+};
+
+// Heavy-ball momentum: v = m*v + g; w -= lr * v.
+class Momentum final : public Optimizer {
+ public:
+  Momentum(std::vector<ag::Variable> params, float momentum = 0.9f,
+           float weight_decay = 0.0f)
+      : Optimizer(std::move(params), weight_decay), momentum_(momentum) {}
+  void step() override;
+  std::string name() const override { return "momentum"; }
+
+ private:
+  float momentum_;
+  std::vector<core::Tensor> velocity_;
+};
+
+// Nesterov accelerated gradient (Sutskever formulation):
+// v = m*v + g; w -= lr * (g + m*v).
+class Nesterov final : public Optimizer {
+ public:
+  Nesterov(std::vector<ag::Variable> params, float momentum = 0.9f,
+           float weight_decay = 0.0f)
+      : Optimizer(std::move(params), weight_decay), momentum_(momentum) {}
+  void step() override;
+  std::string name() const override { return "nesterov"; }
+
+ private:
+  float momentum_;
+  std::vector<core::Tensor> velocity_;
+};
+
+// Adagrad: G += g^2; w -= lr * g / (sqrt(G) + eps).
+class Adagrad final : public Optimizer {
+ public:
+  Adagrad(std::vector<ag::Variable> params, float eps = 1e-10f,
+          float weight_decay = 0.0f)
+      : Optimizer(std::move(params), weight_decay), eps_(eps) {}
+  void step() override;
+  std::string name() const override { return "adagrad"; }
+
+ private:
+  float eps_;
+  std::vector<core::Tensor> accum_;
+};
+
+// RMSprop: E[g^2] = rho*E[g^2] + (1-rho)*g^2; w -= lr * g / sqrt(E[g^2]+eps).
+class RmsProp final : public Optimizer {
+ public:
+  RmsProp(std::vector<ag::Variable> params, float rho = 0.9f,
+          float eps = 1e-8f, float weight_decay = 0.0f)
+      : Optimizer(std::move(params), weight_decay), rho_(rho), eps_(eps) {}
+  void step() override;
+  std::string name() const override { return "rmsprop"; }
+
+ private:
+  float rho_;
+  float eps_;
+  std::vector<core::Tensor> sq_avg_;
+};
+
+// Adam with bias correction (Kingma & Ba 2014 defaults).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f)
+      : Optimizer(std::move(params), weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {}
+  void step() override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  float beta1_, beta2_, eps_;
+  i64 t_ = 0;
+  std::vector<core::Tensor> m_;
+  std::vector<core::Tensor> v_;
+};
+
+// Adadelta (Zeiler 2012): hyper-parameter-free apart from rho/eps; the
+// learning rate is a pure multiplier (default 1.0).
+class Adadelta final : public Optimizer {
+ public:
+  Adadelta(std::vector<ag::Variable> params, float rho = 0.95f,
+           float eps = 1e-6f, float weight_decay = 0.0f)
+      : Optimizer(std::move(params), weight_decay), rho_(rho), eps_(eps) {
+    lr_ = 1.0f;
+  }
+  void step() override;
+  std::string name() const override { return "adadelta"; }
+
+ private:
+  float rho_, eps_;
+  std::vector<core::Tensor> sq_grad_avg_;
+  std::vector<core::Tensor> sq_delta_avg_;
+};
+
+// LARS (You, Gitman, Ginsburg 2017): layer-wise trust ratio
+//   local_lr = eta * ||w|| / (||g|| + wd * ||w||)
+// combined with momentum; the global LR comes from the schedule.
+class Lars final : public Optimizer {
+ public:
+  Lars(std::vector<ag::Variable> params, float eta = 0.001f,
+       float momentum = 0.9f, float weight_decay = 1e-4f, float eps = 1e-9f)
+      : Optimizer(std::move(params), weight_decay),
+        eta_(eta),
+        momentum_(momentum),
+        eps_(eps) {}
+  void step() override;
+  std::string name() const override { return "lars"; }
+
+ private:
+  float eta_;
+  float momentum_;
+  float eps_;
+  std::vector<core::Tensor> velocity_;
+};
+
+// LAMB (You et al. 2019, "Large Batch Optimization for Deep Learning"): the
+// authors' follow-up that applies the LARS trust-ratio idea to Adam — the
+// natural "beyond" of this paper. Per layer:
+//   m, v   — Adam moments with bias correction
+//   update = mhat / (sqrt(vhat) + eps) + wd * w
+//   w     -= lr * (||w|| / ||update||) * update
+class Lamb final : public Optimizer {
+ public:
+  Lamb(std::vector<ag::Variable> params, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-6f, float weight_decay = 0.01f)
+      : Optimizer(std::move(params), weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {}
+  void step() override;
+  std::string name() const override { return "lamb"; }
+
+ private:
+  float beta1_, beta2_, eps_;
+  i64 t_ = 0;
+  std::vector<core::Tensor> m_;
+  std::vector<core::Tensor> v_;
+};
+
+// Global-norm gradient clipping. Returns the pre-clip norm.
+float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm);
+
+// Factory by name: "sgd", "momentum", "nesterov", "adagrad", "rmsprop",
+// "adam", "adadelta", "lars". Aborts on unknown names.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          std::vector<ag::Variable> params,
+                                          float weight_decay = 0.0f);
+
+}  // namespace legw::optim

@@ -1,0 +1,62 @@
+#include "sched/batch_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace legw::sched {
+
+std::string ConstantBatch::describe() const {
+  std::ostringstream os;
+  os << "constant_batch(" << size_ << ")";
+  return os.str();
+}
+
+MultiStepBatch::MultiStepBatch(i64 initial, std::vector<double> milestones,
+                               i64 factor)
+    : initial_(initial), milestones_(std::move(milestones)), factor_(factor) {
+  LEGW_CHECK(initial >= 1 && factor >= 1, "MultiStepBatch: bad config");
+  LEGW_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()),
+             "MultiStepBatch: milestones must be sorted");
+}
+
+i64 MultiStepBatch::batch(double epoch) const {
+  i64 b = initial_;
+  for (double m : milestones_) {
+    if (epoch >= m) b *= factor_;
+  }
+  return b;
+}
+
+std::string MultiStepBatch::describe() const {
+  std::ostringstream os;
+  os << "multistep_batch(init=" << initial_ << ", x" << factor_ << " at=[";
+  for (std::size_t i = 0; i < milestones_.size(); ++i) {
+    if (i) os << ",";
+    os << milestones_[i];
+  }
+  os << "])";
+  return os.str();
+}
+
+std::unique_ptr<BatchSchedule> batch_growth_dual(i64 initial_batch,
+                                                 std::vector<double> milestones,
+                                                 float lr_gamma, i64 max_batch) {
+  LEGW_CHECK(lr_gamma > 0.0f && lr_gamma < 1.0f,
+             "batch_growth_dual: lr_gamma must be a decay factor in (0,1)");
+  const i64 factor =
+      std::max<i64>(2, static_cast<i64>(std::lround(1.0 / lr_gamma)));
+  // Drop milestones whose growth would exceed max_batch (memory cap), the
+  // practical constraint Smith et al. hit too.
+  std::vector<double> kept;
+  i64 b = initial_batch;
+  for (double m : milestones) {
+    if (b * factor > max_batch) break;
+    b *= factor;
+    kept.push_back(m);
+  }
+  return std::make_unique<MultiStepBatch>(initial_batch, std::move(kept),
+                                          factor);
+}
+
+}  // namespace legw::sched

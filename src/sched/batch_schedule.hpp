@@ -1,0 +1,57 @@
+// Batch-size schedules — the "don't decay the learning rate, increase the
+// batch size" direction (Smith, Kindermans & Le 2017), which the paper cites
+// as the adjacent line of work ([27]). Implemented as an extension so the
+// ablation bench can compare LR decay against batch growth under LEGW.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::sched {
+
+class BatchSchedule {
+ public:
+  virtual ~BatchSchedule() = default;
+  // Batch size to use at fractional epoch `epoch`.
+  virtual i64 batch(double epoch) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+class ConstantBatch final : public BatchSchedule {
+ public:
+  explicit ConstantBatch(i64 size) : size_(size) {
+    LEGW_CHECK(size >= 1, "ConstantBatch: bad size");
+  }
+  i64 batch(double) const override { return size_; }
+  std::string describe() const override;
+
+ private:
+  i64 size_;
+};
+
+// Multiplies the batch by `factor` at each milestone epoch — the exact dual
+// of MultiStepLr with gamma = 1/factor.
+class MultiStepBatch final : public BatchSchedule {
+ public:
+  MultiStepBatch(i64 initial, std::vector<double> milestones, i64 factor);
+  i64 batch(double epoch) const override;
+  std::string describe() const override;
+
+ private:
+  i64 initial_;
+  std::vector<double> milestones_;
+  i64 factor_;
+};
+
+// Derives the batch-growth dual of an LR-decay schedule: wherever the decay
+// schedule would multiply the LR by g < 1, grow the batch by 1/g instead and
+// hold the LR. Returns the MultiStepBatch for a MultiStepLr-style plan.
+std::unique_ptr<BatchSchedule> batch_growth_dual(i64 initial_batch,
+                                                 std::vector<double> milestones,
+                                                 float lr_gamma,
+                                                 i64 max_batch);
+
+}  // namespace legw::sched

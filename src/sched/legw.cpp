@@ -1,0 +1,36 @@
+#include "sched/legw.hpp"
+
+#include <cmath>
+
+namespace legw::sched {
+
+LegwRecipe legw_scale(const LegwBaseline& base, i64 batch_size) {
+  LEGW_CHECK(base.batch_size > 0, "LEGW baseline batch size must be > 0");
+  LEGW_CHECK(batch_size > 0, "LEGW target batch size must be > 0");
+  const double k =
+      static_cast<double>(batch_size) / static_cast<double>(base.batch_size);
+  LegwRecipe r;
+  r.batch_size = batch_size;
+  r.scale_factor = k;
+  r.peak_lr = base.peak_lr * static_cast<float>(std::sqrt(k));
+  r.warmup_epochs = base.warmup_epochs * k;
+  return r;
+}
+
+std::unique_ptr<LrSchedule> legw_schedule(
+    const LegwBaseline& base, i64 batch_size,
+    const std::function<std::shared_ptr<LrSchedule>(float)>& make_decay) {
+  const LegwRecipe r = legw_scale(base, batch_size);
+  std::shared_ptr<LrSchedule> decay = make_decay(r.peak_lr);
+  LEGW_CHECK(decay != nullptr, "legw_schedule: decay factory returned null");
+  return std::make_unique<GradualWarmup>(r.warmup_epochs, std::move(decay));
+}
+
+std::unique_ptr<LrSchedule> legw_constant(const LegwBaseline& base,
+                                          i64 batch_size) {
+  return legw_schedule(base, batch_size, [](float peak) {
+    return std::make_shared<ConstantLr>(peak);
+  });
+}
+
+}  // namespace legw::sched

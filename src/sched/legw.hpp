@@ -1,0 +1,54 @@
+// LEGW — Linear-Epoch Gradual Warmup (the paper's contribution).
+//
+// Given a tuned *baseline* (batch size B0, peak learning rate lr0, warmup
+// length w0 epochs, and a decay schedule), LEGW derives the full schedule for
+// any other batch size B = k * B0 with **zero additional tuning**:
+//
+//   peak lr      = lr0 * sqrt(k)     (Sqrt Scaling rule)
+//   warmup epochs = w0 * k           (linear-epoch warmup)
+//   decay        = unchanged (same epochs / same shape)
+//
+// The same formulas run in reverse for k < 1 (tune a big batch once, derive
+// the small-batch schedules), which is what §3.3 of the paper recommends when
+// compute is plentiful.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sched/schedule.hpp"
+
+namespace legw::sched {
+
+// The tuned baseline LEGW extrapolates from.
+struct LegwBaseline {
+  i64 batch_size = 0;
+  float peak_lr = 0.0f;
+  double warmup_epochs = 0.0;
+};
+
+// The derived recipe for a target batch size.
+struct LegwRecipe {
+  i64 batch_size = 0;
+  float peak_lr = 0.0f;
+  double warmup_epochs = 0.0;
+  double scale_factor = 0.0;  // k = batch / base_batch
+};
+
+// Pure scaling math (no schedule object); exposed separately so tests and
+// tables can verify the rule in isolation.
+LegwRecipe legw_scale(const LegwBaseline& base, i64 batch_size);
+
+// Builds the complete schedule for `batch_size`: GradualWarmup(w0 * k) around
+// the decay schedule produced by `make_decay(peak_lr)`. The factory receives
+// the sqrt-scaled peak so decay shapes that embed the peak (all of them)
+// come out right.
+std::unique_ptr<LrSchedule> legw_schedule(
+    const LegwBaseline& base, i64 batch_size,
+    const std::function<std::shared_ptr<LrSchedule>(float peak_lr)>& make_decay);
+
+// Convenience: LEGW with a constant post-warmup LR (the MNIST-LSTM setup).
+std::unique_ptr<LrSchedule> legw_constant(const LegwBaseline& base,
+                                          i64 batch_size);
+
+}  // namespace legw::sched

@@ -1,0 +1,123 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace legw::sched {
+
+float linear_scaling(float base_lr, i64 base_batch, i64 batch) {
+  LEGW_CHECK(base_batch > 0 && batch > 0, "scaling: batch sizes must be > 0");
+  return base_lr * static_cast<float>(batch) / static_cast<float>(base_batch);
+}
+
+float sqrt_scaling(float base_lr, i64 base_batch, i64 batch) {
+  LEGW_CHECK(base_batch > 0 && batch > 0, "scaling: batch sizes must be > 0");
+  return base_lr * std::sqrt(static_cast<float>(batch) /
+                             static_cast<float>(base_batch));
+}
+
+std::string ConstantLr::describe() const {
+  std::ostringstream os;
+  os << "constant(peak=" << peak_ << ")";
+  return os.str();
+}
+
+MultiStepLr::MultiStepLr(float peak, std::vector<double> milestones,
+                         float gamma)
+    : peak_(peak), milestones_(std::move(milestones)), gamma_(gamma) {
+  LEGW_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()),
+             "MultiStepLr: milestones must be sorted ascending");
+}
+
+float MultiStepLr::lr(double epoch) const {
+  float v = peak_;
+  for (double m : milestones_) {
+    if (epoch >= m) v *= gamma_;
+  }
+  return v;
+}
+
+std::string MultiStepLr::describe() const {
+  std::ostringstream os;
+  os << "multistep(peak=" << peak_ << ", gamma=" << gamma_ << ", at=[";
+  for (std::size_t i = 0; i < milestones_.size(); ++i) {
+    if (i) os << ",";
+    os << milestones_[i];
+  }
+  os << "])";
+  return os.str();
+}
+
+ExponentialEpochDecay::ExponentialEpochDecay(float peak, double flat_epochs,
+                                             float gamma)
+    : peak_(peak), flat_epochs_(flat_epochs), gamma_(gamma) {}
+
+float ExponentialEpochDecay::lr(double epoch) const {
+  const double over = std::floor(epoch) - flat_epochs_ + 1.0;
+  if (over <= 0.0) return peak_;
+  return peak_ * std::pow(gamma_, static_cast<float>(over));
+}
+
+std::string ExponentialEpochDecay::describe() const {
+  std::ostringstream os;
+  os << "exp_epoch(peak=" << peak_ << ", flat=" << flat_epochs_
+     << ", gamma=" << gamma_ << ")";
+  return os.str();
+}
+
+PolynomialLr::PolynomialLr(float peak, double total_epochs, float power)
+    : peak_(peak), total_epochs_(total_epochs), power_(power) {
+  LEGW_CHECK(total_epochs > 0.0, "PolynomialLr: total_epochs must be > 0");
+}
+
+float PolynomialLr::lr(double epoch) const {
+  const double frac = std::clamp(1.0 - epoch / total_epochs_, 0.0, 1.0);
+  return peak_ * static_cast<float>(std::pow(frac, power_));
+}
+
+std::string PolynomialLr::describe() const {
+  std::ostringstream os;
+  os << "poly(peak=" << peak_ << ", total=" << total_epochs_
+     << ", power=" << power_ << ")";
+  return os.str();
+}
+
+CosineLr::CosineLr(float peak, double total_epochs)
+    : peak_(peak), total_epochs_(total_epochs) {
+  LEGW_CHECK(total_epochs > 0.0, "CosineLr: total_epochs must be > 0");
+}
+
+float CosineLr::lr(double epoch) const {
+  const double frac = std::clamp(epoch / total_epochs_, 0.0, 1.0);
+  return peak_ * 0.5f *
+         static_cast<float>(1.0 + std::cos(3.14159265358979323846 * frac));
+}
+
+std::string CosineLr::describe() const {
+  std::ostringstream os;
+  os << "cosine(peak=" << peak_ << ", total=" << total_epochs_ << ")";
+  return os.str();
+}
+
+GradualWarmup::GradualWarmup(double warmup_epochs,
+                             std::shared_ptr<LrSchedule> inner)
+    : warmup_epochs_(warmup_epochs), inner_(std::move(inner)) {
+  LEGW_CHECK(warmup_epochs_ >= 0.0, "GradualWarmup: negative warmup");
+  LEGW_CHECK(inner_ != nullptr, "GradualWarmup: null inner schedule");
+}
+
+float GradualWarmup::lr(double epoch) const {
+  if (warmup_epochs_ > 0.0 && epoch < warmup_epochs_) {
+    return inner_->lr(epoch) * static_cast<float>(epoch / warmup_epochs_);
+  }
+  return inner_->lr(epoch);
+}
+
+std::string GradualWarmup::describe() const {
+  std::ostringstream os;
+  os << "warmup(" << warmup_epochs_ << "ep) -> " << inner_->describe();
+  return os.str();
+}
+
+}  // namespace legw::sched

@@ -1,0 +1,115 @@
+// Learning-rate schedules and batch-size scaling rules.
+//
+// Schedules are pure functions of the fractional epoch (iteration /
+// iterations-per-epoch); the trainer queries them every step. The zoo covers
+// everything the paper uses: constant, multi-step (a.k.a. staircase
+// exponential), per-epoch exponential decay (PTB-small), polynomial decay
+// (PTB-large, ResNet poly runs), and a gradual-warmup wrapper that ramps
+// linearly from 0 to the inner schedule's value.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::sched {
+
+// --- batch-size scaling rules (Krizhevsky 2014) ------------------------------
+// Linear Scaling: lr = base_lr * (batch / base_batch).
+float linear_scaling(float base_lr, i64 base_batch, i64 batch);
+// Sqrt Scaling: lr = base_lr * sqrt(batch / base_batch) — keeps the variance
+// of the gradient estimator constant.
+float sqrt_scaling(float base_lr, i64 base_batch, i64 batch);
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate at fractional epoch `epoch` (>= 0).
+  virtual float lr(double epoch) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float peak) : peak_(peak) {}
+  float lr(double) const override { return peak_; }
+  std::string describe() const override;
+
+ private:
+  float peak_;
+};
+
+// Multiplies the peak by `gamma` at each milestone epoch. The paper's
+// ImageNet baseline decays by 0.1 at epochs {30, 60, 80}.
+class MultiStepLr final : public LrSchedule {
+ public:
+  MultiStepLr(float peak, std::vector<double> milestones, float gamma);
+  float lr(double epoch) const override;
+  std::string describe() const override;
+
+ private:
+  float peak_;
+  std::vector<double> milestones_;
+  float gamma_;
+};
+
+// Constant for `flat_epochs`, then multiplied by `gamma` once per epoch —
+// the PTB-small recipe (flat 7 epochs, then x0.4 per epoch).
+class ExponentialEpochDecay final : public LrSchedule {
+ public:
+  ExponentialEpochDecay(float peak, double flat_epochs, float gamma);
+  float lr(double epoch) const override;
+  std::string describe() const override;
+
+ private:
+  float peak_;
+  double flat_epochs_;
+  float gamma_;
+};
+
+// peak * (1 - epoch/total)^power. power=2.0 throughout the paper.
+class PolynomialLr final : public LrSchedule {
+ public:
+  PolynomialLr(float peak, double total_epochs, float power);
+  float lr(double epoch) const override;
+  std::string describe() const override;
+
+ private:
+  float peak_;
+  double total_epochs_;
+  float power_;
+};
+
+// Half-cosine annealing to zero over `total_epochs` (Loshchilov & Hutter):
+// peak * 0.5 * (1 + cos(pi * epoch / total)). Not used by the paper itself
+// but the most common modern decay — included so LEGW composes with it.
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(float peak, double total_epochs);
+  float lr(double epoch) const override;
+  std::string describe() const override;
+
+ private:
+  float peak_;
+  double total_epochs_;
+};
+
+// Gradual warmup (Goyal et al. 2017): linear ramp from 0 to the inner
+// schedule's value over `warmup_epochs`, then the inner schedule verbatim.
+// The ramp targets inner->lr(epoch) rather than a fixed peak so warmup
+// composes correctly with decaying inner schedules.
+class GradualWarmup final : public LrSchedule {
+ public:
+  GradualWarmup(double warmup_epochs, std::shared_ptr<LrSchedule> inner);
+  float lr(double epoch) const override;
+  std::string describe() const override;
+  double warmup_epochs() const { return warmup_epochs_; }
+
+ private:
+  double warmup_epochs_;
+  std::shared_ptr<LrSchedule> inner_;
+};
+
+}  // namespace legw::sched

@@ -1,0 +1,52 @@
+// Gradient accumulation: emulate a batch k times larger than memory allows
+// by summing k micro-batch backward passes before one optimizer step.
+//
+// The paper's large-batch experiments stop where device memory runs out
+// (PTB at 640, GNMT at 4K "will lead to the out-of-memory issue"); gradient
+// accumulation is the standard way past that wall, and with LEGW the
+// schedule for the *effective* batch applies unchanged. Equivalence with a
+// real large batch (exact up to float reassociation) is verified in
+// tests/test_train_extras.cpp.
+#pragma once
+
+#include <functional>
+
+#include "ag/variable.hpp"
+
+namespace legw::train {
+
+class GradientAccumulator {
+ public:
+  // `params` are the model parameters whose gradients accumulate.
+  explicit GradientAccumulator(std::vector<ag::Variable> params)
+      : params_(std::move(params)) {}
+
+  // Runs one micro-batch: zero nothing, backward the scalar loss returned by
+  // `loss_fn`, count it. Micro-batch losses must be *means over equally
+  // sized micro-batches* for finish() to produce the large-batch mean.
+  // Returns the loss value.
+  float micro_step(const std::function<ag::Variable()>& loss_fn) {
+    ag::Variable loss = loss_fn();
+    LEGW_CHECK(loss.numel() == 1, "GradientAccumulator: loss must be scalar");
+    ag::backward(loss);
+    ++count_;
+    return loss.value()[0];
+  }
+
+  // Scales the accumulated gradients to the mean over all micro-batches and
+  // resets the counter. Call exactly once per optimizer step.
+  void finish() {
+    LEGW_CHECK(count_ > 0, "GradientAccumulator: finish() before any micro_step");
+    const float inv = 1.0f / static_cast<float>(count_);
+    for (auto& p : params_) p.mutable_grad().scale_(inv);
+    count_ = 0;
+  }
+
+  i64 pending_micro_steps() const { return count_; }
+
+ private:
+  std::vector<ag::Variable> params_;
+  i64 count_ = 0;
+};
+
+}  // namespace legw::train

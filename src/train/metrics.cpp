@@ -1,0 +1,89 @@
+#include "train/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace legw::train {
+
+double perplexity(double mean_nll) {
+  return std::exp(std::min(mean_nll, 30.0));
+}
+
+namespace {
+// Multiset of n-grams of order n.
+std::map<std::vector<i32>, i64> ngram_counts(const std::vector<i32>& tokens,
+                                             int n) {
+  std::map<std::vector<i32>, i64> counts;
+  if (static_cast<int>(tokens.size()) < n) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::vector<i32> gram(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                          tokens.begin() + static_cast<std::ptrdiff_t>(i + n));
+    ++counts[gram];
+  }
+  return counts;
+}
+}  // namespace
+
+double corpus_bleu(const std::vector<std::vector<i32>>& hypotheses,
+                   const std::vector<std::vector<i32>>& references,
+                   int max_n, bool smooth) {
+  LEGW_CHECK(hypotheses.size() == references.size(),
+             "corpus_bleu: hypothesis/reference count mismatch");
+  LEGW_CHECK(max_n >= 1, "corpus_bleu: max_n must be >= 1");
+  if (hypotheses.empty()) return 0.0;
+
+  std::vector<i64> matches(static_cast<std::size_t>(max_n), 0);
+  std::vector<i64> totals(static_cast<std::size_t>(max_n), 0);
+  i64 hyp_len = 0;
+  i64 ref_len = 0;
+
+  for (std::size_t s = 0; s < hypotheses.size(); ++s) {
+    const auto& hyp = hypotheses[s];
+    const auto& ref = references[s];
+    hyp_len += static_cast<i64>(hyp.size());
+    ref_len += static_cast<i64>(ref.size());
+    for (int n = 1; n <= max_n; ++n) {
+      auto hyp_grams = ngram_counts(hyp, n);
+      auto ref_grams = ngram_counts(ref, n);
+      for (const auto& [gram, count] : hyp_grams) {
+        totals[static_cast<std::size_t>(n - 1)] += count;
+        const auto it = ref_grams.find(gram);
+        if (it != ref_grams.end()) {
+          matches[static_cast<std::size_t>(n - 1)] +=
+              std::min(count, it->second);
+        }
+      }
+    }
+  }
+
+  if (hyp_len == 0) return 0.0;
+
+  double log_precision_sum = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    double m = static_cast<double>(matches[static_cast<std::size_t>(n - 1)]);
+    double t = static_cast<double>(totals[static_cast<std::size_t>(n - 1)]);
+    if (t == 0.0) {
+      // No n-grams of this order at all (very short corpus): skip the order
+      // entirely by treating precision as 1 (contributes 0 to the log sum).
+      continue;
+    }
+    if (m == 0.0) {
+      // Unigram precision of zero means nothing matched at all: BLEU is 0
+      // regardless of smoothing. Higher orders get +1 smoothing only.
+      if (!smooth || n == 1) return 0.0;
+      m = 1.0;
+      t += 1.0;
+    }
+    log_precision_sum += std::log(m / t);
+  }
+  const double geo_mean = std::exp(log_precision_sum / max_n);
+
+  const double bp =
+      hyp_len >= ref_len
+          ? 1.0
+          : std::exp(1.0 - static_cast<double>(ref_len) / hyp_len);
+  return 100.0 * bp * geo_mean;
+}
+
+}  // namespace legw::train

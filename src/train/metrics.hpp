@@ -1,0 +1,22 @@
+// Evaluation metrics: classification accuracy, perplexity, and corpus BLEU.
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::train {
+
+// exp(mean negative log-likelihood). Clamped to avoid inf on diverged runs.
+double perplexity(double mean_nll);
+
+// Corpus-level BLEU-4 with brevity penalty (the sacrebleu/mteval definition:
+// geometric mean of clipped n-gram precisions for n = 1..4). `smooth` adds
+// the standard +1 smoothing to higher-order precisions with zero matches
+// (Lin & Och 2004, smoothing method 2), which keeps short-sentence synthetic
+// corpora comparable. Returns BLEU in [0, 100].
+double corpus_bleu(const std::vector<std::vector<i32>>& hypotheses,
+                   const std::vector<std::vector<i32>>& references,
+                   int max_n = 4, bool smooth = true);
+
+}  // namespace legw::train

@@ -1,0 +1,49 @@
+#include "train/recorder.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace legw::train {
+
+void Recorder::record(const std::string& series, i64 step, double value) {
+  auto& points = data_[series];
+  LEGW_CHECK(points.empty() || points.back().step <= step,
+             "Recorder: steps within a series must be non-decreasing");
+  points.push_back({step, value});
+}
+
+const std::vector<Recorder::Point>& Recorder::series(
+    const std::string& name) const {
+  const auto it = data_.find(name);
+  LEGW_CHECK(it != data_.end(), "Recorder: unknown series '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Recorder::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(data_.size());
+  for (const auto& [name, points] : data_) names.push_back(name);
+  return names;
+}
+
+std::string Recorder::to_csv() const {
+  std::ostringstream os;
+  os << "series,step,value\n";
+  for (const auto& [name, points] : data_) {
+    for (const auto& p : points) {
+      os << name << "," << p.step << "," << p.value << "\n";
+    }
+  }
+  return os.str();
+}
+
+void Recorder::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  LEGW_CHECK(f != nullptr, "Recorder: cannot open " + path);
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  std::fclose(f);
+  LEGW_CHECK(ok, "Recorder: short write to " + path);
+}
+
+}  // namespace legw::train

@@ -1,0 +1,38 @@
+// Metric recorder: collects (step, named-value) rows during training and
+// writes them as CSV — the raw material for re-plotting any figure. Cheap
+// enough to leave on in every run (values are buffered in memory).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::train {
+
+class Recorder {
+ public:
+  // Records `value` for `series` at the given step. Steps within a series
+  // must be non-decreasing (typical: record once per iteration or epoch).
+  void record(const std::string& series, i64 step, double value);
+
+  struct Point {
+    i64 step;
+    double value;
+  };
+  const std::vector<Point>& series(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+  bool empty() const { return data_.empty(); }
+
+  // Writes all series in long form: series,step,value — one row per point,
+  // series in lexicographic order. Aborts on I/O failure.
+  void write_csv(const std::string& path) const;
+  // Renders the same content to a string (for tests and logging).
+  std::string to_csv() const;
+
+ private:
+  std::map<std::string, std::vector<Point>> data_;
+};
+
+}  // namespace legw::train

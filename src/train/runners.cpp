@@ -1,0 +1,316 @@
+#include "train/runners.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "optim/optimizer.hpp"
+#include "train/metrics.hpp"
+
+namespace legw::train {
+
+bool loss_diverged(double loss) {
+  return !std::isfinite(loss) || loss > 1e4;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Per-step boilerplate shared by all runners.
+struct StepLoop {
+  optim::Optimizer* opt;
+  const RunConfig* run;
+  i64 steps_per_epoch;
+  i64 step = 0;
+
+  // Sets the schedule LR for the current step and advances. Returns the
+  // fractional epoch used.
+  double begin_step() {
+    const double epoch =
+        static_cast<double>(step) / static_cast<double>(steps_per_epoch);
+    opt->set_lr(run->schedule->lr(epoch));
+    ++step;
+    return epoch;
+  }
+};
+
+}  // namespace
+
+RunResult train_mnist(const data::SyntheticMnist& dataset,
+                      const models::MnistLstmConfig& model_config,
+                      const RunConfig& run) {
+  LEGW_CHECK(run.schedule != nullptr, "train_mnist: schedule required");
+  const auto start = Clock::now();
+  models::MnistLstmConfig mc = model_config;
+  mc.seed = model_config.seed + run.seed;
+  models::MnistLstm model(mc);
+  auto opt = optim::make_optimizer(run.optimizer, model.parameters(),
+                                   run.weight_decay);
+  data::IndexBatcher batcher(dataset.n_train(), run.batch_size,
+                             run.seed * 1000003ull + 5);
+
+  RunResult result;
+  StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
+
+  auto evaluate = [&]() {
+    // Chunked test-set accuracy to bound graph memory.
+    const i64 chunk = 256;
+    i64 correct_weighted = 0;
+    i64 total = 0;
+    for (i64 begin = 0; begin < dataset.n_test(); begin += chunk) {
+      const i64 end = std::min(dataset.n_test(), begin + chunk);
+      std::vector<i64> idx;
+      idx.reserve(static_cast<std::size_t>(end - begin));
+      for (i64 i = begin; i < end; ++i) idx.push_back(i);
+      const double acc = model.accuracy(dataset.gather_images(idx, false),
+                                        dataset.gather_labels(idx, false));
+      correct_weighted += static_cast<i64>(std::lround(acc * (end - begin)));
+      total += end - begin;
+    }
+    return static_cast<double>(correct_weighted) / static_cast<double>(total);
+  };
+
+  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
+    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      loop.begin_step();
+      std::vector<i64> idx = batcher.next();
+      model.zero_grad();
+      ag::Variable loss = model.loss(dataset.gather_images(idx, true),
+                                     dataset.gather_labels(idx, true));
+      result.final_train_loss = loss.value()[0];
+      if (loss_diverged(result.final_train_loss)) {
+        result.diverged = true;
+        break;
+      }
+      ag::backward(loss);
+      if (run.clip_norm > 0.0f) {
+        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      }
+      opt->step();
+      ++result.steps;
+    }
+    const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
+    const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
+    if (eval_now) result.per_epoch_metric.push_back(acc);
+    if (run.verbose) {
+      std::printf("  [mnist] epoch %lld  loss %.4f  test_acc %.4f\n",
+                  static_cast<long long>(epoch + 1), result.final_train_loss,
+                  acc);
+    }
+  }
+  result.final_metric =
+      result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+RunResult train_ptb(const data::SyntheticCorpus& corpus,
+                    const models::PtbConfig& model_config,
+                    const RunConfig& run) {
+  LEGW_CHECK(run.schedule != nullptr, "train_ptb: schedule required");
+  const auto start = Clock::now();
+  models::PtbConfig mc = model_config;
+  mc.vocab = corpus.vocab();
+  mc.seed = model_config.seed + run.seed;
+  models::PtbModel model(mc);
+  auto opt = optim::make_optimizer(run.optimizer, model.parameters(),
+                                   run.weight_decay);
+  data::BpttBatcher batcher(corpus.train_tokens(), run.batch_size,
+                            mc.bptt_len);
+  core::Rng dropout_rng(run.seed * 7919ull + 3);
+
+  RunResult result;
+  StepLoop loop{opt.get(), &run, batcher.chunks_per_epoch()};
+  models::PtbModel::CarriedState carried = model.zero_carried(run.batch_size);
+
+  // Validation batch geometry: modest so evaluation stays cheap.
+  const i64 eval_batch = std::min<i64>(20, run.batch_size);
+
+  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
+    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      loop.begin_step();
+      auto chunk = batcher.next_chunk();
+      if (chunk.first_in_epoch) carried = model.zero_carried(run.batch_size);
+      model.zero_grad();
+      auto out = model.chunk_loss(chunk.inputs, chunk.targets, run.batch_size,
+                                  mc.bptt_len, carried, dropout_rng);
+      carried = std::move(out.carried);
+      result.final_train_loss = out.loss.value()[0];
+      if (loss_diverged(result.final_train_loss)) {
+        result.diverged = true;
+        break;
+      }
+      ag::backward(out.loss);
+      if (run.clip_norm > 0.0f) {
+        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      }
+      opt->step();
+      ++result.steps;
+    }
+    const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
+    const double ppl =
+        result.diverged
+            ? 1e9
+            : (eval_now ? perplexity(model.evaluate_nll(
+                              corpus.valid_tokens(), eval_batch, mc.bptt_len))
+                        : 0.0);
+    if (eval_now || result.diverged) result.per_epoch_metric.push_back(ppl);
+    if (run.verbose) {
+      std::printf("  [ptb] epoch %lld  loss %.4f  valid_ppl %.2f\n",
+                  static_cast<long long>(epoch + 1), result.final_train_loss,
+                  ppl);
+    }
+  }
+  result.final_metric =
+      result.per_epoch_metric.empty() ? 1e9 : result.per_epoch_metric.back();
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+RunResult train_gnmt(const data::SyntheticTranslation& dataset,
+                     const models::GnmtConfig& model_config,
+                     const RunConfig& run) {
+  LEGW_CHECK(run.schedule != nullptr, "train_gnmt: schedule required");
+  const auto start = Clock::now();
+  models::GnmtConfig mc = model_config;
+  mc.src_vocab = dataset.config().src_vocab;
+  mc.tgt_vocab = dataset.config().tgt_vocab;
+  mc.seed = model_config.seed + run.seed;
+  models::Gnmt model(mc);
+  auto opt = optim::make_optimizer(run.optimizer, model.parameters(),
+                                   run.weight_decay);
+  data::IndexBatcher batcher(static_cast<i64>(dataset.train().size()),
+                             run.batch_size, run.seed * 104729ull + 11);
+  core::Rng dropout_rng(run.seed * 31337ull + 1);
+
+  RunResult result;
+  StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
+
+  auto evaluate_bleu = [&]() {
+    model.set_training(false);
+    std::vector<std::vector<i32>> hyps;
+    std::vector<std::vector<i32>> refs;
+    const i64 chunk = 64;
+    const i64 n = static_cast<i64>(dataset.test().size());
+    for (i64 begin = 0; begin < n; begin += chunk) {
+      const i64 end = std::min(n, begin + chunk);
+      std::vector<i64> idx;
+      for (i64 i = begin; i < end; ++i) idx.push_back(i);
+      auto batch = data::make_translation_batch(dataset.test(), idx);
+      auto decoded = model.greedy_decode(batch, batch.tgt_len + 4);
+      for (i64 i = 0; i < end - begin; ++i) {
+        hyps.push_back(std::move(decoded[static_cast<std::size_t>(i)]));
+        refs.push_back(
+            dataset.test()[static_cast<std::size_t>(begin + i)].tgt);
+      }
+    }
+    model.set_training(true);
+    return corpus_bleu(hyps, refs);
+  };
+
+  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
+    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      loop.begin_step();
+      std::vector<i64> idx = batcher.next();
+      auto batch = data::make_translation_batch(dataset.train(), idx);
+      model.zero_grad();
+      ag::Variable loss = model.loss(batch, dropout_rng);
+      result.final_train_loss = loss.value()[0];
+      if (loss_diverged(result.final_train_loss)) {
+        result.diverged = true;
+        break;
+      }
+      ag::backward(loss);
+      if (run.clip_norm > 0.0f) {
+        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      }
+      opt->step();
+      ++result.steps;
+    }
+    const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
+    const double bleu = (result.diverged || !eval_now) ? 0.0 : evaluate_bleu();
+    if (eval_now || result.diverged) result.per_epoch_metric.push_back(bleu);
+    if (run.verbose) {
+      std::printf("  [gnmt] epoch %lld  loss %.4f  test_bleu %.2f\n",
+                  static_cast<long long>(epoch + 1), result.final_train_loss,
+                  bleu);
+    }
+  }
+  result.final_metric =
+      result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+RunResult train_resnet(const data::SyntheticImages& dataset,
+                       const models::ResNetConfig& model_config,
+                       const RunConfig& run) {
+  LEGW_CHECK(run.schedule != nullptr, "train_resnet: schedule required");
+  const auto start = Clock::now();
+  models::ResNetConfig mc = model_config;
+  mc.seed = model_config.seed + run.seed;
+  models::ResNet model(mc);
+  auto opt = optim::make_optimizer(run.optimizer, model.parameters(),
+                                   run.weight_decay);
+  data::IndexBatcher batcher(dataset.n_train(), run.batch_size,
+                             run.seed * 49157ull + 9);
+
+  RunResult result;
+  StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
+
+  auto evaluate = [&]() {
+    const i64 chunk = 128;
+    i64 correct_weighted = 0;
+    i64 total = 0;
+    for (i64 begin = 0; begin < dataset.n_test(); begin += chunk) {
+      const i64 end = std::min(dataset.n_test(), begin + chunk);
+      std::vector<i64> idx;
+      for (i64 i = begin; i < end; ++i) idx.push_back(i);
+      const double acc = model.accuracy(dataset.gather_images(idx, false),
+                                        dataset.gather_labels(idx, false));
+      correct_weighted += static_cast<i64>(std::lround(acc * (end - begin)));
+      total += end - begin;
+    }
+    return static_cast<double>(correct_weighted) / static_cast<double>(total);
+  };
+
+  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
+    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      loop.begin_step();
+      std::vector<i64> idx = batcher.next();
+      model.zero_grad();
+      ag::Variable loss = model.loss(dataset.gather_images(idx, true),
+                                     dataset.gather_labels(idx, true));
+      result.final_train_loss = loss.value()[0];
+      if (loss_diverged(result.final_train_loss)) {
+        result.diverged = true;
+        break;
+      }
+      ag::backward(loss);
+      if (run.clip_norm > 0.0f) {
+        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      }
+      opt->step();
+      ++result.steps;
+    }
+    const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
+    const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
+    if (eval_now) result.per_epoch_metric.push_back(acc);
+    if (run.verbose) {
+      std::printf("  [resnet] epoch %lld  loss %.4f  test_acc %.4f\n",
+                  static_cast<long long>(epoch + 1), result.final_train_loss,
+                  acc);
+    }
+  }
+  result.final_metric =
+      result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace legw::train

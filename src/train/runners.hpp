@@ -1,0 +1,72 @@
+// End-to-end training runners: one per paper application.
+//
+// The benches and examples all funnel through these four functions, so every
+// experiment uses the identical train loop: per-step LR from the schedule,
+// gradient clipping by global norm, divergence detection (NaN/explosion ->
+// the run is marked diverged and aborted, mirroring what "training diverged"
+// means in the paper's tuning sweeps).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "data/images.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "data/translation.hpp"
+#include "models/gnmt.hpp"
+#include "models/mnist_lstm.hpp"
+#include "models/ptb_model.hpp"
+#include "models/resnet.hpp"
+#include "sched/schedule.hpp"
+
+namespace legw::train {
+
+struct RunConfig {
+  i64 batch_size = 128;
+  i64 epochs = 5;
+  std::string optimizer = "momentum";  // see optim::make_optimizer
+  float weight_decay = 0.0f;
+  float clip_norm = 5.0f;  // 0 disables clipping
+  const sched::LrSchedule* schedule = nullptr;  // required
+  u64 seed = 1;
+  bool verbose = false;
+  // Skip intermediate metric evaluations and only evaluate after the final
+  // epoch (sweep benches set this — evaluation dominates short runs,
+  // especially GNMT's greedy decode).
+  bool final_eval_only = false;
+};
+
+struct RunResult {
+  // Task metric: accuracy in [0,1] (MNIST/ResNet), perplexity (PTB, lower is
+  // better), BLEU in [0,100] (GNMT).
+  double final_metric = 0.0;
+  std::vector<double> per_epoch_metric;
+  double final_train_loss = 0.0;
+  bool diverged = false;
+  double wall_seconds = 0.0;
+  i64 steps = 0;
+};
+
+RunResult train_mnist(const data::SyntheticMnist& dataset,
+                      const models::MnistLstmConfig& model_config,
+                      const RunConfig& run);
+
+RunResult train_ptb(const data::SyntheticCorpus& corpus,
+                    const models::PtbConfig& model_config,
+                    const RunConfig& run);
+
+RunResult train_gnmt(const data::SyntheticTranslation& dataset,
+                     const models::GnmtConfig& model_config,
+                     const RunConfig& run);
+
+RunResult train_resnet(const data::SyntheticImages& dataset,
+                       const models::ResNetConfig& model_config,
+                       const RunConfig& run);
+
+// Helper shared by the runners and tests: true if the loss value indicates a
+// diverged run (NaN, inf, or absurdly large).
+bool loss_diverged(double loss);
+
+}  // namespace legw::train

@@ -1,0 +1,194 @@
+// Convolution / batch-norm / pooling ops: reference forwards and gradchecks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ag/gradcheck.hpp"
+#include "ag/ops.hpp"
+
+namespace legw::ag {
+namespace {
+
+using core::Rng;
+using core::Shape;
+
+// Direct convolution reference.
+Tensor naive_conv(const Tensor& x, const Tensor& w, i64 stride, i64 pad) {
+  const i64 B = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  const i64 Cout = w.size(0), kh = w.size(2), kw = w.size(3);
+  const i64 Ho = (H + 2 * pad - kh) / stride + 1;
+  const i64 Wo = (W + 2 * pad - kw) / stride + 1;
+  Tensor out({B, Cout, Ho, Wo});
+  for (i64 b = 0; b < B; ++b)
+    for (i64 co = 0; co < Cout; ++co)
+      for (i64 oi = 0; oi < Ho; ++oi)
+        for (i64 oj = 0; oj < Wo; ++oj) {
+          double acc = 0.0;
+          for (i64 c = 0; c < C; ++c)
+            for (i64 ki = 0; ki < kh; ++ki)
+              for (i64 kj = 0; kj < kw; ++kj) {
+                const i64 ii = oi * stride + ki - pad;
+                const i64 jj = oj * stride + kj - pad;
+                if (ii < 0 || ii >= H || jj < 0 || jj >= W) continue;
+                acc += static_cast<double>(
+                           x[((b * C + c) * H + ii) * W + jj]) *
+                       w[((co * C + c) * kh + ki) * kw + kj];
+              }
+          out[((b * Cout + co) * Ho + oi) * Wo + oj] =
+              static_cast<float>(acc);
+        }
+  return out;
+}
+
+struct ConvCase {
+  i64 stride;
+  i64 pad;
+};
+
+class ConvForwardTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvForwardTest, MatchesNaive) {
+  const auto [stride, pad] = GetParam();
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  Tensor w = Tensor::randn({4, 3, 3, 3}, rng, 0.4f);
+  Variable out = conv2d(Variable::constant(x), Variable::constant(w),
+                        Variable(), stride, pad);
+  Tensor ref = naive_conv(x, w, stride, pad);
+  ASSERT_TRUE(out.value().same_shape(ref));
+  for (i64 i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(out.value()[i], ref[i], 1e-4f) << "elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StridesAndPads, ConvForwardTest,
+                         ::testing::Values(ConvCase{1, 0}, ConvCase{1, 1},
+                                           ConvCase{2, 1}, ConvCase{2, 0}));
+
+class ConvGradTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradTest, GradMatchesFiniteDiff) {
+  const auto [stride, pad] = GetParam();
+  Rng rng(2);
+  Variable x = Variable::leaf(Tensor::randn({2, 2, 5, 5}, rng, 0.5f), true);
+  Variable w = Variable::leaf(Tensor::randn({3, 2, 3, 3}, rng, 0.3f), true);
+  Variable b = Variable::leaf(Tensor::randn({3}, rng, 0.2f), true);
+  auto r = grad_check(
+      [&] {
+        Variable y = conv2d(x, w, b, stride, pad);
+        return sum_all(mul(y, y));
+      },
+      {x, w, b});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(StridesAndPads, ConvGradTest,
+                         ::testing::Values(ConvCase{1, 1}, ConvCase{2, 1}));
+
+TEST(BatchNorm2d, TrainingNormalisesBatch) {
+  Rng rng(3);
+  Variable x = Variable::leaf(Tensor::randn({4, 2, 3, 3}, rng, 2.0f, 5.0f),
+                              true);
+  Variable gamma = Variable::leaf(Tensor::ones({2}), true);
+  Variable beta = Variable::leaf(Tensor::zeros({2}), true);
+  Tensor rm = Tensor::zeros({2});
+  Tensor rv = Tensor::ones({2});
+  Variable y = batch_norm2d(x, gamma, beta, rm, rv, /*training=*/true);
+  // Per channel, output mean ~0 and var ~1.
+  for (i64 c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    i64 n = 0;
+    for (i64 b = 0; b < 4; ++b)
+      for (i64 s = 0; s < 9; ++s) {
+        mean += y.value()[(b * 2 + c) * 9 + s];
+        ++n;
+      }
+    mean /= n;
+    for (i64 b = 0; b < 4; ++b)
+      for (i64 s = 0; s < 9; ++s) {
+        const double d = y.value()[(b * 2 + c) * 9 + s] - mean;
+        var += d * d;
+      }
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+  // Running stats moved toward the batch stats.
+  EXPECT_GT(rm[0], 0.0f);
+}
+
+TEST(BatchNorm2d, GradCheckTraining) {
+  Rng rng(4);
+  Variable x = Variable::leaf(Tensor::randn({3, 2, 2, 2}, rng, 1.0f), true);
+  Variable gamma = Variable::leaf(Tensor::rand_uniform({2}, rng, 0.5f, 1.5f),
+                                  true);
+  Variable beta = Variable::leaf(Tensor::randn({2}, rng, 0.2f), true);
+  auto r = grad_check(
+      [&] {
+        Tensor rm = Tensor::zeros({2});
+        Tensor rv = Tensor::ones({2});
+        Variable y = batch_norm2d(x, gamma, beta, rm, rv, true);
+        Rng wrng(8);
+        Variable w = Variable::constant(Tensor::randn({3, 2, 2, 2}, wrng));
+        return sum_all(mul(y, w));
+      },
+      {x, gamma, beta}, /*eps=*/1e-2, /*rel_tol=*/4e-2, /*abs_tol=*/2e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  Rng rng(5);
+  Variable x = Variable::leaf(Tensor::randn({2, 1, 2, 2}, rng), true);
+  Variable gamma = Variable::leaf(Tensor::ones({1}), true);
+  Variable beta = Variable::leaf(Tensor::zeros({1}), true);
+  Tensor rm = Tensor::full({1}, 0.5f);
+  Tensor rv = Tensor::full({1}, 4.0f);
+  Variable y = batch_norm2d(x, gamma, beta, rm, rv, /*training=*/false);
+  for (i64 i = 0; i < x.numel(); ++i) {
+    const float expected =
+        (x.value()[i] - 0.5f) / std::sqrt(4.0f + 1e-5f);
+    EXPECT_NEAR(y.value()[i], expected, 1e-5f);
+  }
+  // Eval must not mutate the running stats.
+  EXPECT_EQ(rm[0], 0.5f);
+  EXPECT_EQ(rv[0], 4.0f);
+}
+
+TEST(GlobalAvgPool, ForwardAndGrad) {
+  Rng rng(6);
+  Variable x = Variable::leaf(Tensor::randn({2, 3, 2, 2}, rng), true);
+  Variable y = global_avg_pool(x);
+  EXPECT_EQ(y.size(0), 2);
+  EXPECT_EQ(y.size(1), 3);
+  float manual = 0.0f;
+  for (i64 s = 0; s < 4; ++s) manual += x.value()[s];
+  EXPECT_NEAR(y.value()[0], manual / 4.0f, 1e-5f);
+
+  auto r = grad_check(
+      [&] {
+        Variable p = global_avg_pool(x);
+        return sum_all(mul(p, p));
+      },
+      {x});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(AvgPool2x2, ForwardAndGrad) {
+  Rng rng(7);
+  Variable x = Variable::leaf(Tensor::randn({1, 2, 4, 4}, rng), true);
+  Variable y = avg_pool2x2(x);
+  EXPECT_EQ(y.value().shape(), (Shape{1, 2, 2, 2}));
+  const float expected = 0.25f * (x.value()[0] + x.value()[1] +
+                                  x.value()[4] + x.value()[5]);
+  EXPECT_NEAR(y.value()[0], expected, 1e-5f);
+  auto r = grad_check(
+      [&] {
+        Variable p = avg_pool2x2(x);
+        return sum_all(mul(p, p));
+      },
+      {x});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+}  // namespace
+}  // namespace legw::ag

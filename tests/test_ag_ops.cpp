@@ -1,0 +1,372 @@
+// Finite-difference gradient checks for every primitive autograd op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ag/gradcheck.hpp"
+#include "ag/ops.hpp"
+
+namespace legw::ag {
+namespace {
+
+using core::Rng;
+using core::Shape;
+
+Variable leaf(Shape shape, Rng& rng) {
+  return Variable::leaf(Tensor::randn(std::move(shape), rng, 0.5f), true);
+}
+
+#define EXPECT_GRADCHECK_OK(result) \
+  EXPECT_TRUE((result).ok) << (result).detail
+
+TEST(AgValue, LeafAndConstant) {
+  Variable v = Variable::leaf(Tensor({2}, {1.0f, 2.0f}), true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.numel(), 2);
+  Variable c = Variable::constant(Tensor({2}, {3.0f, 4.0f}));
+  EXPECT_FALSE(c.requires_grad());
+  // Ops on constants require no grad and backward through them is a no-op.
+  Variable s = sum_all(add(c, c));
+  EXPECT_FALSE(s.requires_grad());
+}
+
+TEST(AgBackward, AccumulatesAcrossCalls) {
+  Variable x = Variable::leaf(Tensor({1}, {2.0f}), true);
+  Variable y = mul(x, x);  // y = x^2, dy/dx = 4
+  backward(y);
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  // Fresh graph, same leaf: gradient accumulates (leaf semantics).
+  Variable y2 = mul(x, x);
+  backward(y2);
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AgBackward, DiamondGraphCountsBothPaths) {
+  // z = x*x + x*x: gradient must be 4x, requiring correct handling of a node
+  // used twice.
+  Variable x = Variable::leaf(Tensor({1}, {3.0f}), true);
+  Variable sq = mul(x, x);
+  Variable z = add(sq, sq);
+  backward(z);
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(AgBackward, DeepChainNoStackOverflow) {
+  // 20k sequential nodes: the iterative topo sort must handle this.
+  Variable x = Variable::leaf(Tensor({1}, {1.0f}), true);
+  Variable y = x;
+  for (int i = 0; i < 20000; ++i) y = add_scalar(y, 0.0f);
+  backward(y);
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+// ---- elementwise ops --------------------------------------------------------
+
+TEST(AgGrad, Add) {
+  Rng rng(1);
+  Variable a = leaf({3, 4}, rng), b = leaf({3, 4}, rng);
+  auto r = grad_check([&] { return sum_all(mul(add(a, b), add(a, b))); },
+                      {a, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, Sub) {
+  Rng rng(2);
+  Variable a = leaf({2, 5}, rng), b = leaf({2, 5}, rng);
+  auto r = grad_check([&] { return sum_all(mul(sub(a, b), sub(a, b))); },
+                      {a, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, MulAndScale) {
+  Rng rng(3);
+  Variable a = leaf({4}, rng), b = leaf({4}, rng);
+  auto r = grad_check([&] { return sum_all(scale(mul(a, b), 1.7f)); }, {a, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, AddBias) {
+  Rng rng(4);
+  Variable x = leaf({3, 5}, rng), b = leaf({5}, rng);
+  auto r = grad_check(
+      [&] { return sum_all(mul(add_bias(x, b), add_bias(x, b))); }, {x, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, MulColvec) {
+  Rng rng(5);
+  Variable x = leaf({4, 3}, rng), c = leaf({4, 1}, rng);
+  auto r = grad_check(
+      [&] { return sum_all(mul(mul_colvec(x, c), mul_colvec(x, c))); },
+      {x, c});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+// ---- matmul: all four transpose configurations ------------------------------
+
+class MatmulGradTest : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(MatmulGradTest, GradMatchesFiniteDiff) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(6);
+  const i64 m = 3, k = 4, n = 2;
+  Variable a = leaf(ta ? Shape{k, m} : Shape{m, k}, rng);
+  Variable b = leaf(tb ? Shape{n, k} : Shape{k, n}, rng);
+  auto r = grad_check(
+      [&] {
+        Variable c = matmul(a, b, ta, tb);
+        return sum_all(mul(c, c));
+      },
+      {a, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, MatmulGradTest,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+// ---- nonlinearities ----------------------------------------------------------
+
+TEST(AgGrad, Sigmoid) {
+  Rng rng(7);
+  Variable a = leaf({3, 3}, rng);
+  auto r = grad_check([&] { return sum_all(sigmoid(a)); }, {a});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, Tanh) {
+  Rng rng(8);
+  Variable a = leaf({6}, rng);
+  auto r = grad_check([&] { return sum_all(mul(tanh(a), tanh(a))); }, {a});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, Relu) {
+  Rng rng(9);
+  // Keep values away from the kink where the derivative is undefined.
+  Tensor init = Tensor::randn({10}, rng);
+  for (i64 i = 0; i < init.numel(); ++i) {
+    if (std::abs(init[i]) < 0.1f) init[i] = 0.5f;
+  }
+  Variable a = Variable::leaf(init, true);
+  auto r = grad_check([&] { return sum_all(mul(relu(a), relu(a))); }, {a});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, SoftmaxRows) {
+  Rng rng(10);
+  Variable a = leaf({3, 4}, rng);
+  Rng wrng(99);
+  Variable w = Variable::constant(Tensor::randn({3, 4}, wrng));
+  auto r = grad_check([&] { return sum_all(mul(softmax_rows(a), w)); }, {a});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgForward, SoftmaxRowsSumToOne) {
+  Rng rng(11);
+  Variable a = leaf({5, 7}, rng);
+  Variable s = softmax_rows(a);
+  for (i64 row = 0; row < 5; ++row) {
+    double sum = 0.0;
+    for (i64 c = 0; c < 7; ++c) sum += s.value().at(row, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+// ---- shape ops ----------------------------------------------------------------
+
+TEST(AgGrad, Reshape) {
+  Rng rng(12);
+  Variable a = leaf({2, 6}, rng);
+  auto r = grad_check(
+      [&] {
+        Variable b = reshape(a, {3, 4});
+        return sum_all(mul(b, b));
+      },
+      {a});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, ConcatAndSliceCols) {
+  Rng rng(13);
+  Variable a = leaf({3, 2}, rng), b = leaf({3, 4}, rng);
+  auto r = grad_check(
+      [&] {
+        Variable c = concat_cols({a, b});
+        Variable left = slice_cols(c, 0, 3);
+        Variable right = slice_cols(c, 3, 6);
+        return add(sum_all(mul(left, left)), sum_all(mul(right, right)));
+      },
+      {a, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, ConcatRows) {
+  Rng rng(14);
+  Variable a = leaf({2, 3}, rng), b = leaf({4, 3}, rng);
+  auto r = grad_check(
+      [&] {
+        Variable c = concat_rows({a, b});
+        return sum_all(mul(c, c));
+      },
+      {a, b});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgForward, ConcatColsLayout) {
+  Variable a = Variable::constant(Tensor({2, 1}, {1, 3}));
+  Variable b = Variable::constant(Tensor({2, 2}, {4, 5, 6, 7}));
+  Variable c = concat_cols({a, b});
+  EXPECT_EQ(c.value().at(0, 0), 1.0f);
+  EXPECT_EQ(c.value().at(0, 2), 5.0f);
+  EXPECT_EQ(c.value().at(1, 0), 3.0f);
+  EXPECT_EQ(c.value().at(1, 1), 6.0f);
+}
+
+// ---- reductions ----------------------------------------------------------------
+
+TEST(AgGrad, MeanAllAndSumRows) {
+  Rng rng(15);
+  Variable a = leaf({4, 3}, rng);
+  auto r1 = grad_check([&] { return mean_all(mul(a, a)); }, {a});
+  EXPECT_GRADCHECK_OK(r1);
+  auto r2 = grad_check(
+      [&] {
+        Variable s = sum_rows(a);  // [3]
+        return sum_all(mul(s, s));
+      },
+      {a});
+  EXPECT_GRADCHECK_OK(r2);
+}
+
+// ---- embedding -------------------------------------------------------------------
+
+TEST(AgGrad, EmbeddingScatterAdd) {
+  Rng rng(16);
+  Variable w = leaf({6, 3}, rng);
+  const std::vector<i32> idx = {0, 2, 2, 5};  // repeated index!
+  auto r = grad_check(
+      [&] {
+        Variable e = embedding(w, idx);
+        return sum_all(mul(e, e));
+      },
+      {w});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgForward, EmbeddingGathersRows) {
+  Variable w = Variable::constant(Tensor({3, 2}, {1, 2, 3, 4, 5, 6}));
+  Variable e = embedding(w, {2, 0});
+  EXPECT_EQ(e.value().at(0, 0), 5.0f);
+  EXPECT_EQ(e.value().at(1, 1), 2.0f);
+}
+
+// ---- normalize_vec ----------------------------------------------------------------
+
+TEST(AgGrad, NormalizeVec) {
+  Rng rng(17);
+  Variable v = leaf({5}, rng);
+  Rng wrng(3);
+  Variable w = Variable::constant(Tensor::randn({5}, wrng));
+  auto r = grad_check([&] { return sum_all(mul(normalize_vec(v), w)); }, {v});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgForward, NormalizeVecIsUnit) {
+  Rng rng(18);
+  Variable v = leaf({7}, rng);
+  EXPECT_NEAR(normalize_vec(v).value().l2_norm(), 1.0f, 1e-5f);
+}
+
+// ---- dropout --------------------------------------------------------------------
+
+TEST(AgForward, DropoutEvalIsIdentity) {
+  Rng rng(19);
+  Variable a = leaf({4, 4}, rng);
+  Rng drng(1);
+  Variable d = dropout(a, 0.5f, drng, /*training=*/false);
+  for (i64 i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(d.value()[i], a.value()[i]);
+  }
+}
+
+TEST(AgForward, DropoutTrainPreservesExpectation) {
+  Rng rng(20);
+  Variable a = Variable::leaf(Tensor::full({20000}, 1.0f), true);
+  Rng drng(2);
+  Variable d = dropout(a, 0.3f, drng, true);
+  // Inverted dropout: E[output] == input.
+  EXPECT_NEAR(d.value().mean(), 1.0f, 0.03f);
+  // Surviving entries are scaled by 1/keep.
+  int zeros = 0;
+  for (i64 i = 0; i < d.numel(); ++i) {
+    if (d.value()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(d.value()[i], 1.0f / 0.7f, 1e-5f);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / d.numel(), 0.3, 0.02);
+}
+
+TEST(AgGrad, DropoutMaskAppliedToGradient) {
+  Variable a = Variable::leaf(Tensor::full({1000}, 2.0f), true);
+  Rng drng(3);
+  Variable d = dropout(a, 0.5f, drng, true);
+  backward(sum_all(d));
+  for (i64 i = 0; i < a.numel(); ++i) {
+    if (d.value()[i] == 0.0f) {
+      EXPECT_EQ(a.grad()[i], 0.0f);
+    } else {
+      EXPECT_NEAR(a.grad()[i], 2.0f, 1e-5f);
+    }
+  }
+}
+
+// ---- cross-entropy -----------------------------------------------------------------
+
+TEST(AgGrad, SoftmaxCrossEntropy) {
+  Rng rng(21);
+  Variable logits = leaf({4, 5}, rng);
+  const std::vector<i32> targets = {0, 3, 2, 4};
+  auto r = grad_check([&] { return softmax_cross_entropy(logits, targets); },
+                      {logits});
+  EXPECT_GRADCHECK_OK(r);
+}
+
+TEST(AgGrad, SoftmaxCrossEntropyIgnoreIndex) {
+  Rng rng(22);
+  Variable logits = leaf({4, 3}, rng);
+  const std::vector<i32> targets = {1, -1, 0, -1};  // two ignored rows
+  i64 counted = 0;
+  Variable loss = softmax_cross_entropy(logits, targets, -1, &counted);
+  EXPECT_EQ(counted, 2);
+  auto r = grad_check(
+      [&] { return softmax_cross_entropy(logits, targets, -1); }, {logits});
+  EXPECT_GRADCHECK_OK(r);
+  // Ignored rows get exactly zero gradient.
+  logits.zero_grad();
+  backward(softmax_cross_entropy(logits, targets, -1));
+  for (i64 c = 0; c < 3; ++c) {
+    EXPECT_EQ(logits.grad().at(1, c), 0.0f);
+    EXPECT_EQ(logits.grad().at(3, c), 0.0f);
+  }
+}
+
+TEST(AgForward, CrossEntropyMatchesManual) {
+  // 2 rows, 2 classes, hand-computed.
+  Variable logits =
+      Variable::leaf(Tensor({2, 2}, {1.0f, 0.0f, 0.0f, 2.0f}), true);
+  const std::vector<i32> targets = {0, 0};
+  Variable loss = softmax_cross_entropy(logits, targets);
+  const double l0 = std::log(1.0 + std::exp(-1.0));       // -log p(class0|row0)
+  const double l1 = std::log(1.0 + std::exp(2.0));        // row1 target 0
+  EXPECT_NEAR(loss.value()[0], (l0 + l1) / 2.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace legw::ag

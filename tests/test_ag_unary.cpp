@@ -1,0 +1,93 @@
+// Gradient checks for the extended unary op set (exp/log/sqrt/abs/clamp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ag/gradcheck.hpp"
+#include "ag/ops.hpp"
+#include "core/kernels.hpp"
+
+namespace legw::ag {
+namespace {
+
+using core::Rng;
+using core::Tensor;
+
+TEST(AgUnary, ExpForwardAndGrad) {
+  Rng rng(1);
+  Variable a = Variable::leaf(Tensor::randn({6}, rng, 0.5f), true);
+  Variable e = exp(a);
+  for (i64 i = 0; i < 6; ++i) {
+    EXPECT_NEAR(e.value()[i], std::exp(a.value()[i]), 1e-5f);
+  }
+  auto r = grad_check([&] { return sum_all(mul(exp(a), exp(a))); }, {a});
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(AgUnary, LogIsInverseOfExpAndGrad) {
+  Rng rng(2);
+  Variable a = Variable::leaf(Tensor::rand_uniform({5}, rng, 0.5f, 3.0f), true);
+  Variable round_trip = log(exp(a));
+  for (i64 i = 0; i < 5; ++i) {
+    EXPECT_NEAR(round_trip.value()[i], a.value()[i], 1e-4f);
+  }
+  auto r = grad_check([&] { return sum_all(mul(log(a), log(a))); }, {a},
+                      /*eps=*/1e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(AgUnary, SqrtForwardAndGrad) {
+  Rng rng(3);
+  Variable a = Variable::leaf(Tensor::rand_uniform({5}, rng, 0.5f, 4.0f), true);
+  Variable s = sqrt(a);
+  for (i64 i = 0; i < 5; ++i) {
+    EXPECT_NEAR(s.value()[i] * s.value()[i], a.value()[i], 1e-4f);
+  }
+  auto r = grad_check([&] { return sum_all(mul(sqrt(a), sqrt(a))); }, {a},
+                      /*eps=*/1e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(AgUnary, AbsGradSign) {
+  Variable a = Variable::leaf(Tensor({3}, {-2.0f, 3.0f, -0.5f}), true);
+  backward(sum_all(abs(a)));
+  EXPECT_FLOAT_EQ(a.grad()[0], -1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[2], -1.0f);
+}
+
+TEST(AgUnary, ClampForwardAndSubgradient) {
+  Variable a = Variable::leaf(Tensor({4}, {-2.0f, 0.3f, 0.7f, 5.0f}), true);
+  Variable c = clamp(a, 0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(c.value()[0], 0.0f);
+  EXPECT_FLOAT_EQ(c.value()[1], 0.3f);
+  EXPECT_FLOAT_EQ(c.value()[2], 0.7f);
+  EXPECT_FLOAT_EQ(c.value()[3], 1.0f);
+  backward(sum_all(c));
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);  // below lo: cut
+  EXPECT_FLOAT_EQ(a.grad()[1], 1.0f);  // inside: pass-through
+  EXPECT_FLOAT_EQ(a.grad()[2], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[3], 0.0f);  // above hi: cut
+}
+
+TEST(AgUnary, ClampValidatesBounds) {
+  Variable a = Variable::leaf(Tensor::zeros({2}), true);
+  EXPECT_DEATH((void)clamp(a, 2.0f, 1.0f), "lo must be <= hi");
+}
+
+TEST(AgUnary, LogSumExpViaComposition) {
+  // softmax-free logsumexp: log(sum(exp(x))) composed from primitives,
+  // gradient must equal softmax(x).
+  Rng rng(4);
+  Variable x = Variable::leaf(Tensor::randn({1, 4}, rng), true);
+  Variable lse = log(sum_all(exp(x)));
+  backward(lse);
+  Tensor sm({1, 4});
+  core::softmax_rows(x.value().data(), sm.data(), 1, 4);
+  for (i64 i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x.grad()[i], sm[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace legw::ag

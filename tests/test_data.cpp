@@ -1,0 +1,247 @@
+// Synthetic datasets and batchers: determinism, coverage, alignment.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/corpus.hpp"
+#include "data/images.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "data/translation.hpp"
+
+namespace legw::data {
+namespace {
+
+TEST(SyntheticMnist, DeterministicForSeed) {
+  SyntheticMnist a(100, 20, 42);
+  SyntheticMnist b(100, 20, 42);
+  for (i64 i = 0; i < a.train_images().numel(); ++i) {
+    ASSERT_EQ(a.train_images()[i], b.train_images()[i]);
+  }
+  EXPECT_EQ(a.train_labels(), b.train_labels());
+}
+
+TEST(SyntheticMnist, PixelRangeAndLabelCoverage) {
+  SyntheticMnist d(500, 100, 1);
+  EXPECT_GE(d.train_images().min(), 0.0f);
+  EXPECT_LE(d.train_images().max(), 1.0f);
+  std::set<i32> classes(d.train_labels().begin(), d.train_labels().end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(SyntheticMnist, ClassesAreSeparable) {
+  // Nearest-template classification must beat chance by a wide margin —
+  // otherwise the LSTM task would be unlearnable noise.
+  SyntheticMnist d(10, 200, 3);
+  // Build per-class mean images from an independent big sample.
+  SyntheticMnist ref(2000, 10, 4);
+  std::vector<core::Tensor> means(10, core::Tensor::zeros({28 * 28}));
+  std::vector<int> counts(10, 0);
+  for (i64 i = 0; i < ref.n_train(); ++i) {
+    const i32 c = ref.train_labels()[static_cast<std::size_t>(i)];
+    for (i64 p = 0; p < 28 * 28; ++p) {
+      means[static_cast<std::size_t>(c)][p] += ref.train_images()[i * 28 * 28 + p];
+    }
+    counts[static_cast<std::size_t>(c)]++;
+  }
+  for (int c = 0; c < 10; ++c) {
+    means[static_cast<std::size_t>(c)].scale_(1.0f / counts[static_cast<std::size_t>(c)]);
+  }
+  int correct = 0;
+  for (i64 i = 0; i < d.n_test(); ++i) {
+    float best = 1e30f;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      float dist = 0.0f;
+      for (i64 p = 0; p < 28 * 28; ++p) {
+        const float diff =
+            d.test_images()[i * 28 * 28 + p] - means[static_cast<std::size_t>(c)][p];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == d.test_labels()[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.n_test(), 0.9);
+}
+
+TEST(SyntheticMnist, GatherAlignsImagesAndLabels) {
+  SyntheticMnist d(50, 10, 5);
+  std::vector<i64> idx = {3, 0, 7};
+  core::Tensor imgs = d.gather_images(idx, true);
+  std::vector<i32> labels = d.gather_labels(idx, true);
+  EXPECT_EQ(imgs.size(0), 3);
+  EXPECT_EQ(labels[0], d.train_labels()[3]);
+  EXPECT_EQ(imgs[0 * 784 + 100], d.train_images()[3 * 784 + 100]);
+}
+
+TEST(SyntheticCorpus, DeterministicAndInVocab) {
+  CorpusConfig cfg;
+  cfg.vocab = 50;
+  cfg.n_train_tokens = 5000;
+  cfg.n_valid_tokens = 500;
+  SyntheticCorpus a(cfg), b(cfg);
+  EXPECT_EQ(a.train_tokens(), b.train_tokens());
+  for (i32 t : a.train_tokens()) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 50);
+  }
+  EXPECT_EQ(static_cast<i64>(a.train_tokens().size()), 5000);
+}
+
+TEST(SyntheticCorpus, HasSequentialStructure) {
+  // Bigram entropy must be lower than unigram entropy: the HMM produces
+  // predictable sequences, not i.i.d. noise.
+  CorpusConfig cfg;
+  cfg.vocab = 30;
+  cfg.n_train_tokens = 60000;
+  SyntheticCorpus c(cfg);
+  const auto& toks = c.train_tokens();
+  std::vector<double> uni(30, 0.0);
+  std::vector<std::vector<double>> bi(30, std::vector<double>(30, 0.0));
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    uni[static_cast<std::size_t>(toks[i])] += 1.0;
+    bi[static_cast<std::size_t>(toks[i])][static_cast<std::size_t>(toks[i + 1])] += 1.0;
+  }
+  double h_uni = 0.0;
+  const double n = static_cast<double>(toks.size() - 1);
+  for (double c0 : uni) {
+    if (c0 > 0) h_uni -= (c0 / n) * std::log2(c0 / n);
+  }
+  double h_bi = 0.0;  // conditional entropy H(next | prev)
+  for (int p = 0; p < 30; ++p) {
+    double row_total = 0.0;
+    for (double v : bi[static_cast<std::size_t>(p)]) row_total += v;
+    if (row_total == 0.0) continue;
+    for (double v : bi[static_cast<std::size_t>(p)]) {
+      if (v > 0) h_bi -= (v / n) * std::log2(v / row_total);
+    }
+  }
+  EXPECT_LT(h_bi, h_uni - 0.1);
+}
+
+TEST(BpttBatcher, TargetsAreShiftedInputs) {
+  std::vector<i32> tokens;
+  for (int i = 0; i < 101; ++i) tokens.push_back(i % 97);
+  BpttBatcher batcher(tokens, /*batch=*/2, /*bptt=*/5);
+  auto chunk = batcher.next_chunk();
+  EXPECT_TRUE(chunk.first_in_epoch);
+  // For each stream, target[t] == input[t+1] within the stream.
+  for (i64 b = 0; b < 2; ++b) {
+    for (i64 t = 0; t + 1 < 5; ++t) {
+      EXPECT_EQ(chunk.targets[static_cast<std::size_t>(b * 5 + t)],
+                chunk.inputs[static_cast<std::size_t>(b * 5 + t + 1)]);
+    }
+  }
+}
+
+TEST(BpttBatcher, ChunksAreContiguousAcrossCalls) {
+  std::vector<i32> tokens;
+  for (int i = 0; i < 203; ++i) tokens.push_back(i);
+  BpttBatcher batcher(tokens, 2, 4);
+  auto c1 = batcher.next_chunk();
+  auto c2 = batcher.next_chunk();
+  EXPECT_FALSE(c2.first_in_epoch);
+  // Stream 0 of chunk 2 continues where chunk 1's targets left off.
+  EXPECT_EQ(c2.inputs[0], c1.targets[3]);
+}
+
+TEST(BpttBatcher, WrapsAtEpochBoundary) {
+  std::vector<i32> tokens(100, 1);
+  BpttBatcher batcher(tokens, 4, 6);
+  const i64 per_epoch = batcher.chunks_per_epoch();
+  for (i64 i = 0; i < per_epoch; ++i) batcher.next_chunk();
+  auto chunk = batcher.next_chunk();
+  EXPECT_TRUE(chunk.first_in_epoch);
+}
+
+TEST(IndexBatcher, CoversEveryIndexOncePerEpoch) {
+  IndexBatcher batcher(100, 10, 7);
+  std::multiset<i64> seen;
+  for (int i = 0; i < 10; ++i) {
+    for (i64 idx : batcher.next()) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  for (i64 i = 0; i < 100; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(IndexBatcher, ReshufflesBetweenEpochs) {
+  IndexBatcher batcher(64, 64, 9);
+  auto e1 = batcher.next();
+  auto e2 = batcher.next();
+  EXPECT_NE(e1, e2);  // astronomically unlikely to match if shuffling works
+}
+
+TEST(SyntheticTranslation, TransformIsDeterministicBijection) {
+  TranslationConfig cfg;
+  SyntheticTranslation d(cfg);
+  const std::vector<i32> src = {5, 6, 7, 8, 9};
+  auto t1 = d.translate(src);
+  auto t2 = d.translate(src);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.size(), src.size());
+  // Distinct sources map to distinct targets (bijectivity on tokens).
+  auto t3 = d.translate({6, 5, 7, 8, 9});
+  EXPECT_NE(t1, t3);
+}
+
+TEST(SyntheticTranslation, PairsAreConsistent) {
+  TranslationConfig cfg;
+  cfg.n_train = 50;
+  cfg.n_test = 10;
+  SyntheticTranslation d(cfg);
+  for (const auto& p : d.train()) {
+    EXPECT_EQ(d.translate(p.src), p.tgt);
+    EXPECT_GE(static_cast<i64>(p.src.size()), cfg.min_len);
+    EXPECT_LE(static_cast<i64>(p.src.size()), cfg.max_len);
+  }
+}
+
+TEST(TranslationBatch, PaddingAndSpecialTokens) {
+  TranslationConfig cfg;
+  cfg.n_train = 20;
+  cfg.min_len = 4;
+  cfg.max_len = 8;
+  SyntheticTranslation d(cfg);
+  std::vector<i64> idx = {0, 1, 2, 3};
+  auto batch = make_translation_batch(d.train(), idx);
+  EXPECT_EQ(batch.batch, 4);
+  for (i64 r = 0; r < 4; ++r) {
+    const auto& p = d.train()[static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])];
+    // tgt_in starts with BOS.
+    EXPECT_EQ(batch.tgt_in[static_cast<std::size_t>(r * batch.tgt_len)], kBosId);
+    // tgt_out ends the sentence with EOS.
+    EXPECT_EQ(batch.tgt_out[static_cast<std::size_t>(r * batch.tgt_len) + p.tgt.size()],
+              kEosId);
+    // Source is left-aligned and padded with kPadId.
+    for (i64 t = static_cast<i64>(p.src.size()); t < batch.src_len; ++t) {
+      EXPECT_EQ(batch.src[static_cast<std::size_t>(r * batch.src_len + t)], kPadId);
+    }
+    // Positions past EOS in tgt_out are padding (ignored by the loss).
+    for (i64 t = static_cast<i64>(p.tgt.size()) + 1; t < batch.tgt_len; ++t) {
+      EXPECT_EQ(batch.tgt_out[static_cast<std::size_t>(r * batch.tgt_len + t)], kPadId);
+    }
+  }
+}
+
+TEST(SyntheticImages, DeterministicShapesAndRange) {
+  SyntheticImages a(50, 10, 3), b(50, 10, 3);
+  std::vector<i64> idx = {0, 5};
+  auto ia = a.gather_images(idx, true);
+  auto ib = b.gather_images(idx, true);
+  EXPECT_EQ(ia.shape(), (core::Shape{2, 3, 16, 16}));
+  for (i64 i = 0; i < ia.numel(); ++i) ASSERT_EQ(ia[i], ib[i]);
+  EXPECT_GE(ia.min(), 0.0f);
+  EXPECT_LE(ia.max(), 1.0f);
+}
+
+TEST(SyntheticImages, AllClassesPresent) {
+  SyntheticImages d(500, 50, 11);
+  std::set<i32> classes(d.train_labels().begin(), d.train_labels().end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+}  // namespace
+}  // namespace legw::data

@@ -1,0 +1,93 @@
+// Metric implementations: perplexity and corpus BLEU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/metrics.hpp"
+
+namespace legw::train {
+namespace {
+
+TEST(Perplexity, ExpOfNll) {
+  EXPECT_NEAR(perplexity(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(perplexity(std::log(116.0)), 116.0, 1e-6);
+}
+
+TEST(Perplexity, ClampedOnDivergence) {
+  EXPECT_LT(perplexity(1e9), 1.2e13);  // exp(30) cap
+}
+
+TEST(CorpusBleu, PerfectMatchIs100) {
+  std::vector<std::vector<i32>> hyp = {{1, 2, 3, 4, 5}, {7, 8, 9, 10}};
+  EXPECT_NEAR(corpus_bleu(hyp, hyp), 100.0, 1e-6);
+}
+
+TEST(CorpusBleu, CompletelyWrongIsLow) {
+  std::vector<std::vector<i32>> hyp = {{1, 2, 3, 4, 5, 6}};
+  std::vector<std::vector<i32>> ref = {{10, 11, 12, 13, 14, 15}};
+  EXPECT_LT(corpus_bleu(hyp, ref), 10.0);
+}
+
+TEST(CorpusBleu, EmptyHypothesisIsZero) {
+  std::vector<std::vector<i32>> hyp = {{}};
+  std::vector<std::vector<i32>> ref = {{1, 2, 3}};
+  EXPECT_EQ(corpus_bleu(hyp, ref), 0.0);
+}
+
+TEST(CorpusBleu, BrevityPenaltyAppliesToShortOutput) {
+  // Hypothesis is a correct prefix of half the reference length: n-gram
+  // precision is perfect, so BLEU == BP == exp(1 - r/h).
+  std::vector<std::vector<i32>> hyp = {{1, 2, 3, 4, 5}};
+  std::vector<std::vector<i32>> ref = {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  const double expected_bp = std::exp(1.0 - 10.0 / 5.0);
+  EXPECT_NEAR(corpus_bleu(hyp, ref, 4, false), 100.0 * expected_bp, 1e-4);
+}
+
+TEST(CorpusBleu, NoLengthPenaltyForLongOutput) {
+  // Longer-than-reference output is penalised through precision, not BP.
+  std::vector<std::vector<i32>> hyp = {{1, 2, 3, 4, 99, 98}};
+  std::vector<std::vector<i32>> ref = {{1, 2, 3, 4}};
+  const double b = corpus_bleu(hyp, ref);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 100.0);
+}
+
+TEST(CorpusBleu, ClippingPreventsRepeatGaming) {
+  // Repeating a correct token must not inflate precision: counts are clipped
+  // at the reference count.
+  std::vector<std::vector<i32>> spam = {{1, 1, 1, 1, 1, 1}};
+  std::vector<std::vector<i32>> honest = {{1, 9, 9, 9, 9, 9}};
+  std::vector<std::vector<i32>> ref = {{1, 2, 3, 4, 5, 6}};
+  // Both get exactly one clipped unigram match; the spam must not win.
+  EXPECT_LE(corpus_bleu(spam, ref), corpus_bleu(honest, ref) + 1e-9);
+}
+
+TEST(CorpusBleu, OrderMatters) {
+  std::vector<std::vector<i32>> inorder = {{1, 2, 3, 4, 5, 6}};
+  std::vector<std::vector<i32>> shuffled = {{4, 2, 6, 1, 5, 3}};
+  std::vector<std::vector<i32>> ref = {{1, 2, 3, 4, 5, 6}};
+  EXPECT_GT(corpus_bleu(inorder, ref), corpus_bleu(shuffled, ref));
+}
+
+TEST(CorpusBleu, MonotoneInQuality) {
+  std::vector<std::vector<i32>> ref = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  std::vector<std::vector<i32>> half_right = {{1, 2, 3, 4, 90, 91, 92, 93}};
+  std::vector<std::vector<i32>> mostly_right = {{1, 2, 3, 4, 5, 6, 90, 91}};
+  const double b_half = corpus_bleu(half_right, ref);
+  const double b_most = corpus_bleu(mostly_right, ref);
+  EXPECT_GT(b_most, b_half);
+  EXPECT_LT(b_most, 100.0);
+}
+
+TEST(CorpusBleu, CorpusLevelAggregation) {
+  // One perfect and one empty hypothesis: corpus BLEU sits strictly between
+  // the two sentence scores.
+  std::vector<std::vector<i32>> hyp = {{1, 2, 3, 4, 5}, {}};
+  std::vector<std::vector<i32>> ref = {{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}};
+  const double b = corpus_bleu(hyp, ref);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 100.0);
+}
+
+}  // namespace
+}  // namespace legw::train

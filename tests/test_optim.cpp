@@ -1,0 +1,197 @@
+// Optimizer unit tests: hand-computed single steps for every solver, plus a
+// parameterized convergence sweep on a quadratic bowl.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "ag/ops.hpp"
+#include "optim/optimizer.hpp"
+
+namespace legw::optim {
+namespace {
+
+using ag::Variable;
+using core::Tensor;
+
+// One scalar parameter with a preset gradient.
+Variable param_with_grad(float w, float g) {
+  Variable p = Variable::leaf(Tensor({1}, {w}), true);
+  p.mutable_grad()[0] = g;
+  return p;
+}
+
+TEST(Sgd, SingleStep) {
+  Variable p = param_with_grad(1.0f, 0.5f);
+  Sgd opt({p});
+  opt.set_lr(0.1f);
+  opt.step();
+  EXPECT_NEAR(p.value()[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayAddsL2Term) {
+  Variable p = param_with_grad(2.0f, 0.0f);
+  Sgd opt({p}, /*weight_decay=*/0.1f);
+  opt.set_lr(1.0f);
+  opt.step();
+  // g_eff = 0 + 0.1*2 = 0.2 -> w = 2 - 0.2
+  EXPECT_NEAR(p.value()[0], 1.8f, 1e-6f);
+}
+
+TEST(Momentum, VelocityAccumulates) {
+  Variable p = param_with_grad(0.0f, 1.0f);
+  Momentum opt({p}, 0.9f);
+  opt.set_lr(0.1f);
+  opt.step();  // v=1, w=-0.1
+  EXPECT_NEAR(p.value()[0], -0.1f, 1e-6f);
+  p.mutable_grad()[0] = 1.0f;  // same gradient again
+  opt.step();  // v=1.9, w=-0.1-0.19
+  EXPECT_NEAR(p.value()[0], -0.29f, 1e-6f);
+}
+
+TEST(Nesterov, LookaheadStep) {
+  Variable p = param_with_grad(0.0f, 1.0f);
+  Nesterov opt({p}, 0.9f);
+  opt.set_lr(0.1f);
+  opt.step();  // v=1, update = g + m*v = 1.9 -> w = -0.19
+  EXPECT_NEAR(p.value()[0], -0.19f, 1e-6f);
+}
+
+TEST(Adagrad, AccumulatorShrinksSteps) {
+  Variable p = param_with_grad(0.0f, 2.0f);
+  Adagrad opt({p});
+  opt.set_lr(1.0f);
+  opt.step();  // acc=4, step = 2/sqrt(4) = 1
+  EXPECT_NEAR(p.value()[0], -1.0f, 1e-4f);
+  p.mutable_grad()[0] = 2.0f;
+  opt.step();  // acc=8, step = 2/sqrt(8)
+  EXPECT_NEAR(p.value()[0], -1.0f - 2.0f / std::sqrt(8.0f), 1e-4f);
+}
+
+TEST(RmsProp, ExponentialAverage) {
+  Variable p = param_with_grad(0.0f, 1.0f);
+  RmsProp opt({p}, 0.9f, 1e-8f);
+  opt.set_lr(0.1f);
+  opt.step();  // E=0.1, step = 0.1 * 1/sqrt(0.1)
+  EXPECT_NEAR(p.value()[0], -0.1f / std::sqrt(0.1f + 1e-8f), 1e-5f);
+}
+
+TEST(Adam, BiasCorrectedFirstStep) {
+  Variable p = param_with_grad(0.0f, 0.3f);
+  Adam opt({p});
+  opt.set_lr(0.01f);
+  opt.step();
+  // First Adam step with any nonzero gradient is ~ -lr * sign(g).
+  EXPECT_NEAR(p.value()[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, StepsShrinkWithOscillatingGradients) {
+  Variable p = param_with_grad(0.0f, 1.0f);
+  Adam opt({p});
+  opt.set_lr(0.1f);
+  opt.step();
+  const float first_move = std::abs(p.value()[0]);
+  // Oscillating gradients -> first moment shrinks -> smaller steps.
+  float prev = p.value()[0];
+  p.mutable_grad()[0] = -1.0f;
+  opt.step();
+  const float second_move = std::abs(p.value()[0] - prev);
+  EXPECT_LT(second_move, first_move);
+}
+
+TEST(Adadelta, RunsWithoutLrTuning) {
+  Variable p = param_with_grad(1.0f, 1.0f);
+  Adadelta opt({p});
+  const float before = p.value()[0];
+  opt.step();
+  EXPECT_LT(p.value()[0], before);  // moved downhill
+  EXPECT_NEAR(p.value()[0], before, 0.1f);  // but conservatively
+}
+
+TEST(Lars, TrustRatioScalesUpdate) {
+  // ||w|| = 2, ||g|| = 1, wd = 0 -> local_lr = eta * 2.
+  Variable p = Variable::leaf(Tensor({2}, {2.0f, 0.0f}), true);
+  p.mutable_grad()[0] = 0.0f;
+  p.mutable_grad()[1] = 1.0f;
+  Lars opt({p}, /*eta=*/0.01f, /*momentum=*/0.0f, /*weight_decay=*/0.0f);
+  opt.set_lr(1.0f);
+  opt.step();
+  // update = lr * local_lr * g = 1 * 0.02 * 1 on the second coord.
+  EXPECT_NEAR(p.value()[1], -0.02f, 1e-5f);
+  EXPECT_NEAR(p.value()[0], 2.0f, 1e-6f);
+}
+
+TEST(Lars, ZeroNormParameterFallsBack) {
+  Variable p = param_with_grad(0.0f, 1.0f);  // ||w|| = 0
+  Lars opt({p}, 0.001f, 0.0f, 0.0f);
+  opt.set_lr(0.5f);
+  opt.step();
+  // local_lr falls back to 1 -> plain SGD step.
+  EXPECT_NEAR(p.value()[0], -0.5f, 1e-6f);
+}
+
+TEST(ClipGradNorm, RescalesOnlyAboveThreshold) {
+  Variable p = Variable::leaf(Tensor({2}, {0.0f, 0.0f}), true);
+  p.mutable_grad()[0] = 3.0f;
+  p.mutable_grad()[1] = 4.0f;  // norm 5
+  const float norm = clip_grad_norm({p}, 2.5f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(p.grad().l2_norm(), 2.5f, 1e-5f);
+  // Below threshold: untouched.
+  const float norm2 = clip_grad_norm({p}, 100.0f);
+  EXPECT_NEAR(norm2, 2.5f, 1e-5f);
+  EXPECT_NEAR(p.grad().l2_norm(), 2.5f, 1e-5f);
+}
+
+TEST(Factory, KnownNames) {
+  Variable p = param_with_grad(1.0f, 0.0f);
+  for (const char* name : {"sgd", "momentum", "nesterov", "adagrad", "rmsprop",
+                           "adam", "adadelta", "lars"}) {
+    auto opt = make_optimizer(name, {p});
+    ASSERT_NE(opt, nullptr);
+    EXPECT_EQ(opt->name(), name);
+  }
+}
+
+// ---- convergence sweep: every solver minimises a quadratic bowl -------------
+
+class OptimizerConvergenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizerConvergenceTest, MinimisesQuadraticBowl) {
+  // f(w) = 0.5 * sum(a_i * w_i^2) with condition number 10.
+  core::Rng rng(77);
+  Variable w = Variable::leaf(Tensor::randn({4}, rng, 1.0f), true);
+  Variable a = Variable::constant(Tensor({4}, {1.0f, 2.0f, 5.0f, 10.0f}));
+  auto opt = make_optimizer(GetParam(), {w});
+  // Per-solver LR in a reasonable regime.
+  const std::string name = GetParam();
+  float lr = 0.05f;
+  if (name == "adam" || name == "rmsprop") lr = 0.05f;
+  if (name == "adagrad") lr = 0.5f;
+  if (name == "adadelta") lr = 1.0f;  // Adadelta is designed to run at lr=1
+  if (name == "lars") lr = 50.0f;      // trust ratio makes the step tiny
+  opt->set_lr(lr);
+
+  // Adadelta's accumulator warms up slowly: give it a longer horizon.
+  const int n_iters = name == "adadelta" ? 6000 : 300;
+  float initial = 0.0f, final_loss = 0.0f;
+  for (int iter = 0; iter < n_iters; ++iter) {
+    opt->zero_grad();
+    Variable loss = ag::scale(ag::sum_all(ag::mul(a, ag::mul(w, w))), 0.5f);
+    if (iter == 0) initial = loss.value()[0];
+    final_loss = loss.value()[0];
+    ag::backward(loss);
+    opt->step();
+  }
+  EXPECT_LT(final_loss, 0.05f * initial)
+      << GetParam() << " failed to reduce loss by 20x: " << initial << " -> "
+      << final_loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, OptimizerConvergenceTest,
+                         ::testing::Values("sgd", "momentum", "nesterov",
+                                           "adagrad", "rmsprop", "adam",
+                                           "adadelta", "lars"));
+
+}  // namespace
+}  // namespace legw::optim

@@ -1,0 +1,175 @@
+// Schedules and the LEGW scaling policy — including the paper's Table 2/3
+// recipes as exact regression values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/legw.hpp"
+#include "sched/schedule.hpp"
+
+namespace legw::sched {
+namespace {
+
+TEST(ScalingRules, LinearAndSqrt) {
+  EXPECT_FLOAT_EQ(linear_scaling(0.1f, 256, 1024), 0.4f);
+  EXPECT_FLOAT_EQ(sqrt_scaling(0.1f, 256, 1024), 0.2f);
+  // Downscaling works symmetrically.
+  EXPECT_FLOAT_EQ(linear_scaling(0.4f, 1024, 256), 0.1f);
+  EXPECT_NEAR(sqrt_scaling(0.2f, 1024, 256), 0.1f, 1e-6f);
+}
+
+TEST(ConstantLr, IsConstant) {
+  ConstantLr s(0.3f);
+  EXPECT_FLOAT_EQ(s.lr(0.0), 0.3f);
+  EXPECT_FLOAT_EQ(s.lr(123.4), 0.3f);
+}
+
+TEST(MultiStepLr, PaperImagenetShape) {
+  // Paper Fig. 2.1: decay x0.1 at epochs 30, 60, 80 from peak 2^2.5.
+  const float peak = std::pow(2.0f, 2.5f);
+  MultiStepLr s(peak, {30.0, 60.0, 80.0}, 0.1f);
+  EXPECT_FLOAT_EQ(s.lr(0.0), peak);
+  EXPECT_FLOAT_EQ(s.lr(29.9), peak);
+  EXPECT_FLOAT_EQ(s.lr(30.0), 0.1f * peak);
+  EXPECT_FLOAT_EQ(s.lr(59.9), 0.1f * peak);
+  EXPECT_NEAR(s.lr(60.0), 0.01f * peak, 1e-6f);
+  EXPECT_NEAR(s.lr(85.0), 0.001f * peak, 1e-6f);
+}
+
+TEST(ExponentialEpochDecay, PtbSmallShape) {
+  // Paper: constant LR for the first 7 epochs, then x0.4 per epoch.
+  ExponentialEpochDecay s(1.0f, 7.0, 0.4f);
+  EXPECT_FLOAT_EQ(s.lr(0.0), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr(6.9), 1.0f);
+  EXPECT_NEAR(s.lr(7.0), 0.4f, 1e-6f);
+  EXPECT_NEAR(s.lr(8.5), 0.16f, 1e-6f);
+}
+
+TEST(PolynomialLr, PowerTwoShape) {
+  PolynomialLr s(2.0f, 10.0, 2.0f);
+  EXPECT_FLOAT_EQ(s.lr(0.0), 2.0f);
+  EXPECT_NEAR(s.lr(5.0), 2.0f * 0.25f, 1e-6f);
+  EXPECT_FLOAT_EQ(s.lr(10.0), 0.0f);
+  EXPECT_FLOAT_EQ(s.lr(15.0), 0.0f);  // clamped past the end
+}
+
+TEST(GradualWarmup, LinearRampThenInner) {
+  auto inner = std::make_shared<ConstantLr>(1.0f);
+  GradualWarmup s(2.0, inner);
+  EXPECT_FLOAT_EQ(s.lr(0.0), 0.0f);
+  EXPECT_FLOAT_EQ(s.lr(1.0), 0.5f);
+  EXPECT_FLOAT_EQ(s.lr(2.0), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr(50.0), 1.0f);
+}
+
+TEST(GradualWarmup, ComposesWithDecayTarget) {
+  // The ramp tracks the inner schedule, so warmup into a poly decay never
+  // overshoots the decayed value.
+  auto inner = std::make_shared<PolynomialLr>(1.0f, 10.0, 2.0f);
+  GradualWarmup s(2.0, inner);
+  EXPECT_LE(s.lr(1.0), inner->lr(1.0));
+  EXPECT_FLOAT_EQ(s.lr(2.0), inner->lr(2.0));
+}
+
+TEST(GradualWarmup, ZeroWarmupIsIdentity) {
+  auto inner = std::make_shared<ConstantLr>(0.7f);
+  GradualWarmup s(0.0, inner);
+  EXPECT_FLOAT_EQ(s.lr(0.0), 0.7f);
+}
+
+// ---- LEGW policy -------------------------------------------------------------
+
+class LegwScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LegwScaleTest, SqrtLrAndLinearWarmup) {
+  const int log2k = GetParam();
+  const i64 k = i64{1} << log2k;
+  LegwBaseline base{128, 0.1f, 0.3125};
+  LegwRecipe r = legw_scale(base, 128 * k);
+  EXPECT_NEAR(r.peak_lr, 0.1f * std::sqrt(static_cast<float>(k)), 1e-6f);
+  EXPECT_NEAR(r.warmup_epochs, 0.3125 * static_cast<double>(k), 1e-9);
+  EXPECT_NEAR(r.scale_factor, static_cast<double>(k), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, LegwScaleTest,
+                         ::testing::Range(0, 9));  // k = 1 .. 256
+
+TEST(Legw, DownscalingInvertsExactly) {
+  // Tune at 32K, derive 1K (the paper's §3.3 reverse direction).
+  LegwBaseline big{32768, 1.0f, 10.0};
+  LegwRecipe small = legw_scale(big, 1024);
+  EXPECT_NEAR(small.peak_lr, 1.0f / std::sqrt(32.0f), 1e-6f);
+  EXPECT_NEAR(small.warmup_epochs, 10.0 / 32.0, 1e-9);
+  // Round-tripping recovers the baseline.
+  LegwBaseline derived{small.batch_size, small.peak_lr, small.warmup_epochs};
+  LegwRecipe back = legw_scale(derived, 32768);
+  EXPECT_NEAR(back.peak_lr, 1.0f, 1e-5f);
+  EXPECT_NEAR(back.warmup_epochs, 10.0, 1e-6);
+}
+
+TEST(Legw, Table3ImagenetRecipes) {
+  // Paper Table 3: base batch 1K with LR 2^2.5 and 10/2^5 warmup epochs.
+  LegwBaseline base{1024, std::pow(2.0f, 2.5f), 10.0 / 32.0};
+  const struct {
+    i64 batch;
+    float lr_exp;
+    double warmup;
+  } rows[] = {
+      {1024, 2.5f, 10.0 / 32.0}, {2048, 3.0f, 10.0 / 16.0},
+      {4096, 3.5f, 10.0 / 8.0},  {8192, 4.0f, 10.0 / 4.0},
+      {16384, 4.5f, 10.0 / 2.0}, {32768, 5.0f, 10.0},
+  };
+  for (const auto& row : rows) {
+    LegwRecipe r = legw_scale(base, row.batch);
+    EXPECT_NEAR(r.peak_lr, std::pow(2.0f, row.lr_exp), 1e-3f)
+        << "batch " << row.batch;
+    EXPECT_NEAR(r.warmup_epochs, row.warmup, 1e-9) << "batch " << row.batch;
+  }
+}
+
+TEST(Legw, Table2GnmtRecipes) {
+  // Paper Table 2: base batch 256 with LR 2^-0.5/10^3, warmup 0.0145 epochs.
+  LegwBaseline base{256, std::pow(2.0f, -0.5f) / 1000.0f, 0.0145};
+  const struct {
+    i64 batch;
+    float lr_exp;
+    double warmup;
+  } rows[] = {
+      {256, -0.5f, 0.0145}, {512, 0.0f, 0.0290},   {1024, 0.5f, 0.0580},
+      {2048, 1.0f, 0.1160}, {4096, 1.5f, 0.2320},
+  };
+  for (const auto& row : rows) {
+    LegwRecipe r = legw_scale(base, row.batch);
+    EXPECT_NEAR(r.peak_lr, std::pow(2.0f, row.lr_exp) / 1000.0f, 1e-7f)
+        << "batch " << row.batch;
+    EXPECT_NEAR(r.warmup_epochs, row.warmup, 1e-4) << "batch " << row.batch;
+  }
+}
+
+TEST(Legw, ScheduleBuilderWiresWarmupAndPeak) {
+  LegwBaseline base{128, 0.2f, 0.5};
+  auto sched = legw_schedule(base, 512, [](float peak) {
+    return std::make_shared<MultiStepLr>(peak, std::vector<double>{10.0}, 0.1f);
+  });
+  // k = 4: peak = 0.4, warmup = 2 epochs.
+  EXPECT_NEAR(sched->lr(1.0), 0.5 * 0.4f, 1e-6f);  // mid-warmup
+  EXPECT_NEAR(sched->lr(2.0), 0.4f, 1e-6f);        // warmup done
+  EXPECT_NEAR(sched->lr(10.0), 0.04f, 1e-6f);      // after decay milestone
+}
+
+TEST(Legw, ConstantConvenience) {
+  LegwBaseline base{128, 0.1f, 1.0};
+  auto sched = legw_constant(base, 512);
+  // k = 4: peak 0.2, warmup 4 epochs.
+  EXPECT_NEAR(sched->lr(4.0), 0.2f, 1e-6f);
+  EXPECT_NEAR(sched->lr(2.0), 0.1f, 1e-6f);  // halfway through warmup
+}
+
+TEST(Legw, DescribeMentionsWarmup) {
+  LegwBaseline base{128, 0.1f, 1.0};
+  auto sched = legw_constant(base, 256);
+  EXPECT_NE(sched->describe().find("warmup"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legw::sched

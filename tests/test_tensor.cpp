@@ -1,0 +1,204 @@
+// Core tensor substrate: shapes, arithmetic, reductions, GEMM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace legw::core {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({5, 0}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2,3]");
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(-1), 3);
+  for (i64 i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+
+  Tensor f = Tensor::full({4}, 2.5f);
+  EXPECT_EQ(f.sum(), 10.0f);
+  f.fill_(1.0f);
+  EXPECT_EQ(f.sum(), 4.0f);
+}
+
+TEST(Tensor, FromValuesAndAt) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  t.at(1, 1) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b({3}, {10.0f, 20.0f, 30.0f});
+  Tensor c = a + b;
+  EXPECT_EQ(c[0], 11.0f);
+  EXPECT_EQ(c[2], 33.0f);
+  Tensor d = b - a;
+  EXPECT_EQ(d[1], 18.0f);
+  Tensor e = a * b;
+  EXPECT_EQ(e[2], 90.0f);
+  Tensor f = a * 2.0f;
+  EXPECT_EQ(f[0], 2.0f);
+  Tensor g = 3.0f * a;
+  EXPECT_EQ(g[2], 9.0f);
+  Tensor h = a + 1.0f;
+  EXPECT_EQ(h[0], 2.0f);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {3.0f, 4.0f});
+  a.add_(b);
+  EXPECT_EQ(a[0], 4.0f);
+  a.add_(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[1], 8.0f);
+  a.sub_(b);
+  EXPECT_FLOAT_EQ(a[0], 2.5f);
+  a.mul_(b);
+  EXPECT_FLOAT_EQ(a[0], 7.5f);
+  a.scale_(2.0f);
+  EXPECT_FLOAT_EQ(a[0], 15.0f);
+  a.zero_();
+  EXPECT_EQ(a.sum(), 0.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {-1.0f, 2.0f, -3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(t.sum(), 2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.5f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(1.0 + 4.0 + 9.0 + 16.0), 1e-6);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.dim(), 2);
+  EXPECT_EQ(r.size(0), 3);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, Transposed2d) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tr = t.transposed_2d();
+  EXPECT_EQ(tr.size(0), 3);
+  EXPECT_EQ(tr.size(1), 2);
+  EXPECT_EQ(tr.at(0, 1), 4.0f);
+  EXPECT_EQ(tr.at(2, 0), 3.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(123);
+  Tensor t = Tensor::randn({10000}, rng, 2.0f, 1.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+  double var = 0.0;
+  for (i64 i = 0; i < t.numel(); ++i) {
+    const double d = t[i] - t.mean();
+    var += d * d;
+  }
+  var /= t.numel();
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Tensor, RandUniformRange) {
+  Rng rng(99);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -2.0f, 3.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 3.0f);
+  EXPECT_NEAR(t.mean(), 0.5f, 0.2f);
+}
+
+// ---- GEMM ------------------------------------------------------------------
+
+// Reference matmul for validation.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const i64 m = ta ? a.size(1) : a.size(0);
+  const i64 k = ta ? a.size(0) : a.size(1);
+  const i64 n = tb ? b.size(0) : b.size(1);
+  Tensor c({m, n});
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (i64 p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class GemmTransposeTest : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(GemmTransposeTest, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(42);
+  const i64 m = 7, k = 5, n = 9;
+  Tensor a = Tensor::randn(ta ? Shape{k, m} : Shape{m, k}, rng);
+  Tensor b = Tensor::randn(tb ? Shape{n, k} : Shape{k, n}, rng);
+  Tensor c = matmul(a, b, ta, tb);
+  Tensor ref = naive_matmul(a, b, ta, tb);
+  ASSERT_TRUE(c.same_shape(ref));
+  for (i64 i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f) << "elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTransposeTest,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+TEST(Gemm, AlphaBetaAccumulation) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor b = Tensor::randn({4, 2}, rng);
+  Tensor c0 = Tensor::full({3, 2}, 1.0f);
+  Tensor c = c0;
+  gemm(false, false, 3, 2, 4, 2.0f, a.data(), 4, b.data(), 2, 0.5f, c.data(), 2);
+  Tensor ab = naive_matmul(a, b, false, false);
+  for (i64 i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], 2.0f * ab[i] + 0.5f, 1e-4f);
+  }
+}
+
+TEST(Gemm, LargeParallelMatchesNaive) {
+  Rng rng(11);
+  Tensor a = Tensor::randn({97, 64}, rng);
+  Tensor b = Tensor::randn({64, 83}, rng);
+  Tensor c = matmul(a, b);
+  Tensor ref = naive_matmul(a, b, false, false);
+  double max_err = 0.0;
+  for (i64 i = 0; i < c.numel(); ++i) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(c[i]) - ref[i]));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(Gemm, ZeroKIsBetaScale) {
+  Tensor c({2, 2}, {1, 2, 3, 4});
+  gemm(false, false, 2, 2, 0, 1.0f, nullptr, 1, nullptr, 1, 2.0f, c.data(), 2);
+  EXPECT_EQ(c[0], 2.0f);
+  EXPECT_EQ(c[3], 8.0f);
+}
+
+}  // namespace
+}  // namespace legw::core

@@ -1,0 +1,150 @@
+// Checkpointing, gradient accumulation, and batch-size schedules.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ag/ops.hpp"
+#include "models/mnist_lstm.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "sched/batch_schedule.hpp"
+#include "train/accumulate.hpp"
+
+namespace legw {
+namespace {
+
+using core::Rng;
+using core::Tensor;
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string("/tmp/legw_test_") + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Checkpoint, RoundTripsLinearLayer) {
+  TempFile tmp("linear.ckpt");
+  Rng rng(1);
+  nn::Linear a(4, 3, rng);
+  nn::save_checkpoint(a, tmp.path);
+
+  Rng rng2(999);  // different init
+  nn::Linear b(4, 3, rng2);
+  EXPECT_NE(a.weight().value()[0], b.weight().value()[0]);
+  const i64 restored = nn::load_checkpoint(b, tmp.path);
+  EXPECT_EQ(restored, 2);
+  for (i64 i = 0; i < a.weight().numel(); ++i) {
+    ASSERT_EQ(a.weight().value()[i], b.weight().value()[i]);
+  }
+  for (i64 i = 0; i < a.bias().numel(); ++i) {
+    ASSERT_EQ(a.bias().value()[i], b.bias().value()[i]);
+  }
+}
+
+TEST(Checkpoint, RoundTripsFullModelAndPreservesOutputs) {
+  TempFile tmp("mnist.ckpt");
+  models::MnistLstmConfig cfg;
+  cfg.transform_dim = 8;
+  cfg.hidden_dim = 8;
+  models::MnistLstm a(cfg);
+  Rng rng(2);
+  Tensor images = Tensor::rand_uniform({2, 784}, rng);
+  ag::Variable out_a = a.forward(images);
+
+  nn::save_checkpoint(a, tmp.path);
+  models::MnistLstmConfig cfg_b = cfg;
+  cfg_b.seed = 777;  // different init
+  models::MnistLstm b(cfg_b);
+  nn::load_checkpoint(b, tmp.path);
+  ag::Variable out_b = b.forward(images);
+  for (i64 i = 0; i < out_a.numel(); ++i) {
+    ASSERT_EQ(out_a.value()[i], out_b.value()[i]);
+  }
+}
+
+TEST(Checkpoint, RejectsShapeMismatch) {
+  TempFile tmp("mismatch.ckpt");
+  Rng rng(3);
+  nn::Linear a(4, 3, rng);
+  nn::save_checkpoint(a, tmp.path);
+  nn::Linear b(5, 3, rng);
+  EXPECT_DEATH(nn::load_checkpoint(b, tmp.path), "shape mismatch");
+}
+
+TEST(Checkpoint, RejectsCorruptMagic) {
+  TempFile tmp("corrupt.ckpt");
+  std::FILE* f = std::fopen(tmp.path.c_str(), "wb");
+  std::fwrite("NOTACKPT_________", 1, 16, f);
+  std::fclose(f);
+  Rng rng(4);
+  nn::Linear a(2, 2, rng);
+  EXPECT_DEATH(nn::load_checkpoint(a, tmp.path), "bad magic");
+}
+
+TEST(GradientAccumulator, MatchesLargeBatchGradient) {
+  // mean-of-means over equal micro-batches == mean over the union.
+  Rng rng(5);
+  nn::Linear layer(3, 2, rng);
+  Tensor x = Tensor::randn({8, 3}, rng);
+  Rng wrng(6);
+  Tensor w = Tensor::randn({8, 2}, wrng);
+
+  // Full batch.
+  layer.zero_grad();
+  ag::backward(ag::mean_all(ag::mul(
+      layer.forward(ag::Variable::constant(x)), ag::Variable::constant(w))));
+  Tensor full = layer.weight().grad();
+
+  // 4 micro-batches of 2.
+  layer.zero_grad();
+  train::GradientAccumulator acc(layer.parameters());
+  for (int m = 0; m < 4; ++m) {
+    acc.micro_step([&] {
+      Tensor xm({2, 3});
+      Tensor wm({2, 2});
+      for (i64 r = 0; r < 2; ++r) {
+        for (i64 c = 0; c < 3; ++c) xm.at(r, c) = x.at(m * 2 + r, c);
+        for (i64 c = 0; c < 2; ++c) wm.at(r, c) = w.at(m * 2 + r, c);
+      }
+      return ag::mean_all(ag::mul(layer.forward(ag::Variable::constant(xm)),
+                                  ag::Variable::constant(wm)));
+    });
+  }
+  EXPECT_EQ(acc.pending_micro_steps(), 4);
+  acc.finish();
+  EXPECT_EQ(acc.pending_micro_steps(), 0);
+  for (i64 i = 0; i < full.numel(); ++i) {
+    EXPECT_NEAR(layer.weight().grad()[i], full[i], 1e-5f) << "elem " << i;
+  }
+}
+
+TEST(BatchSchedule, ConstantAndMultiStep) {
+  sched::ConstantBatch c(64);
+  EXPECT_EQ(c.batch(0.0), 64);
+  EXPECT_EQ(c.batch(99.0), 64);
+
+  sched::MultiStepBatch m(32, {2.0, 4.0}, 4);
+  EXPECT_EQ(m.batch(0.0), 32);
+  EXPECT_EQ(m.batch(1.9), 32);
+  EXPECT_EQ(m.batch(2.0), 128);
+  EXPECT_EQ(m.batch(4.0), 512);
+}
+
+TEST(BatchSchedule, GrowthDualOfLrDecay) {
+  // LR decay x0.25 at epochs {2,4,6} with a 512 memory cap from batch 32:
+  // factor 4, but the third milestone would hit 2048 > 512, so it's dropped.
+  auto dual = sched::batch_growth_dual(32, {2.0, 4.0, 6.0}, 0.25f, 512);
+  EXPECT_EQ(dual->batch(0.0), 32);
+  EXPECT_EQ(dual->batch(3.0), 128);
+  EXPECT_EQ(dual->batch(5.0), 512);
+  EXPECT_EQ(dual->batch(7.0), 512);  // capped: third step dropped
+}
+
+TEST(BatchSchedule, DescribeIsInformative) {
+  sched::MultiStepBatch m(32, {1.0}, 2);
+  EXPECT_NE(m.describe().find("multistep_batch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legw
