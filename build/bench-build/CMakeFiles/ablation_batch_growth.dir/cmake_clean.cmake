@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batch_growth"
+  "../bench/ablation_batch_growth.pdb"
+  "CMakeFiles/ablation_batch_growth.dir/ablation_batch_growth.cpp.o"
+  "CMakeFiles/ablation_batch_growth.dir/ablation_batch_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

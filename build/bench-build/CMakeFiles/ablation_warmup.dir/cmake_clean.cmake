@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_warmup"
+  "../bench/ablation_warmup.pdb"
+  "CMakeFiles/ablation_warmup.dir/ablation_warmup.cpp.o"
+  "CMakeFiles/ablation_warmup.dir/ablation_warmup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_noise_scale"
+  "../bench/analysis_noise_scale.pdb"
+  "CMakeFiles/analysis_noise_scale.dir/analysis_noise_scale.cpp.o"
+  "CMakeFiles/analysis_noise_scale.dir/analysis_noise_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_noise_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

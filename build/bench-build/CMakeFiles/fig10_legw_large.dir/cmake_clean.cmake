@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_legw_large"
+  "../bench/fig10_legw_large.pdb"
+  "CMakeFiles/fig10_legw_large.dir/fig10_legw_large.cpp.o"
+  "CMakeFiles/fig10_legw_large.dir/fig10_legw_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_legw_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_lipschitz"
+  "../bench/fig3_lipschitz.pdb"
+  "CMakeFiles/fig3_lipschitz.dir/fig3_lipschitz.cpp.o"
+  "CMakeFiles/fig3_lipschitz.dir/fig3_lipschitz.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lipschitz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

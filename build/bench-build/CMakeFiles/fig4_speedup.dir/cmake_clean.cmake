@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_speedup"
+  "../bench/fig4_speedup.pdb"
+  "CMakeFiles/fig4_speedup.dir/fig4_speedup.cpp.o"
+  "CMakeFiles/fig4_speedup.dir/fig4_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_adam_vs_tuning"
+  "../bench/fig5_adam_vs_tuning.pdb"
+  "CMakeFiles/fig5_adam_vs_tuning.dir/fig5_adam_vs_tuning.cpp.o"
+  "CMakeFiles/fig5_adam_vs_tuning.dir/fig5_adam_vs_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_adam_vs_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_legw_vs_adam"
+  "../bench/fig6_legw_vs_adam.pdb"
+  "CMakeFiles/fig6_legw_vs_adam.dir/fig6_legw_vs_adam.cpp.o"
+  "CMakeFiles/fig6_legw_vs_adam.dir/fig6_legw_vs_adam.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_legw_vs_adam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_comprehensive_8k"
+  "../bench/fig7_comprehensive_8k.pdb"
+  "CMakeFiles/fig7_comprehensive_8k.dir/fig7_comprehensive_8k.cpp.o"
+  "CMakeFiles/fig7_comprehensive_8k.dir/fig7_comprehensive_8k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_comprehensive_8k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_tuning_longer"
+  "../bench/fig8_tuning_longer.pdb"
+  "CMakeFiles/fig8_tuning_longer.dir/fig8_tuning_longer.cpp.o"
+  "CMakeFiles/fig8_tuning_longer.dir/fig8_tuning_longer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tuning_longer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

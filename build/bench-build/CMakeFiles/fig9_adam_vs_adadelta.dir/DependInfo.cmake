@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_adam_vs_adadelta.cpp" "bench-build/CMakeFiles/fig9_adam_vs_adadelta.dir/fig9_adam_vs_adadelta.cpp.o" "gcc" "bench-build/CMakeFiles/fig9_adam_vs_adadelta.dir/fig9_adam_vs_adadelta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ag/CMakeFiles/legw_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/legw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/legw_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/legw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/legw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/legw_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/legw_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/legw_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/legw_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_adam_vs_adadelta"
+  "../bench/fig9_adam_vs_adadelta.pdb"
+  "CMakeFiles/fig9_adam_vs_adadelta.dir/fig9_adam_vs_adadelta.cpp.o"
+  "CMakeFiles/fig9_adam_vs_adadelta.dir/fig9_adam_vs_adadelta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_adam_vs_adadelta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_resnet_scaling"
+  "../bench/table3_resnet_scaling.pdb"
+  "CMakeFiles/table3_resnet_scaling.dir/table3_resnet_scaling.cpp.o"
+  "CMakeFiles/table3_resnet_scaling.dir/table3_resnet_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_resnet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

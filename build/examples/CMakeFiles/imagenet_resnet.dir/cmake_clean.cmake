@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_resnet.dir/imagenet_resnet.cpp.o"
+  "CMakeFiles/imagenet_resnet.dir/imagenet_resnet.cpp.o.d"
+  "imagenet_resnet"
+  "imagenet_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_finder.dir/lr_finder.cpp.o"
+  "CMakeFiles/lr_finder.dir/lr_finder.cpp.o.d"
+  "lr_finder"
+  "lr_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

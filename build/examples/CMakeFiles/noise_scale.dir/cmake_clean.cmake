@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_scale.dir/noise_scale.cpp.o"
+  "CMakeFiles/noise_scale.dir/noise_scale.cpp.o.d"
+  "noise_scale"
+  "noise_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

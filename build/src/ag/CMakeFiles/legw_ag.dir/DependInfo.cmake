@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ag/gradcheck.cpp" "src/ag/CMakeFiles/legw_ag.dir/gradcheck.cpp.o" "gcc" "src/ag/CMakeFiles/legw_ag.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/ag/ops.cpp" "src/ag/CMakeFiles/legw_ag.dir/ops.cpp.o" "gcc" "src/ag/CMakeFiles/legw_ag.dir/ops.cpp.o.d"
+  "/root/repo/src/ag/ops_conv.cpp" "src/ag/CMakeFiles/legw_ag.dir/ops_conv.cpp.o" "gcc" "src/ag/CMakeFiles/legw_ag.dir/ops_conv.cpp.o.d"
+  "/root/repo/src/ag/ops_rnn.cpp" "src/ag/CMakeFiles/legw_ag.dir/ops_rnn.cpp.o" "gcc" "src/ag/CMakeFiles/legw_ag.dir/ops_rnn.cpp.o.d"
+  "/root/repo/src/ag/variable.cpp" "src/ag/CMakeFiles/legw_ag.dir/variable.cpp.o" "gcc" "src/ag/CMakeFiles/legw_ag.dir/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

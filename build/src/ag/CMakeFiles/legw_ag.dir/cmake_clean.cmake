@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_ag.dir/gradcheck.cpp.o"
+  "CMakeFiles/legw_ag.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/legw_ag.dir/ops.cpp.o"
+  "CMakeFiles/legw_ag.dir/ops.cpp.o.d"
+  "CMakeFiles/legw_ag.dir/ops_conv.cpp.o"
+  "CMakeFiles/legw_ag.dir/ops_conv.cpp.o.d"
+  "CMakeFiles/legw_ag.dir/ops_rnn.cpp.o"
+  "CMakeFiles/legw_ag.dir/ops_rnn.cpp.o.d"
+  "CMakeFiles/legw_ag.dir/variable.cpp.o"
+  "CMakeFiles/legw_ag.dir/variable.cpp.o.d"
+  "liblegw_ag.a"
+  "liblegw_ag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_ag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/curvature.cpp" "src/analysis/CMakeFiles/legw_analysis.dir/curvature.cpp.o" "gcc" "src/analysis/CMakeFiles/legw_analysis.dir/curvature.cpp.o.d"
+  "/root/repo/src/analysis/gradient_noise.cpp" "src/analysis/CMakeFiles/legw_analysis.dir/gradient_noise.cpp.o" "gcc" "src/analysis/CMakeFiles/legw_analysis.dir/gradient_noise.cpp.o.d"
+  "/root/repo/src/analysis/lipschitz.cpp" "src/analysis/CMakeFiles/legw_analysis.dir/lipschitz.cpp.o" "gcc" "src/analysis/CMakeFiles/legw_analysis.dir/lipschitz.cpp.o.d"
+  "/root/repo/src/analysis/lr_finder.cpp" "src/analysis/CMakeFiles/legw_analysis.dir/lr_finder.cpp.o" "gcc" "src/analysis/CMakeFiles/legw_analysis.dir/lr_finder.cpp.o.d"
+  "/root/repo/src/analysis/tuning.cpp" "src/analysis/CMakeFiles/legw_analysis.dir/tuning.cpp.o" "gcc" "src/analysis/CMakeFiles/legw_analysis.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ag/CMakeFiles/legw_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

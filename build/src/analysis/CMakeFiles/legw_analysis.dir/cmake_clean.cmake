@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_analysis.dir/curvature.cpp.o"
+  "CMakeFiles/legw_analysis.dir/curvature.cpp.o.d"
+  "CMakeFiles/legw_analysis.dir/gradient_noise.cpp.o"
+  "CMakeFiles/legw_analysis.dir/gradient_noise.cpp.o.d"
+  "CMakeFiles/legw_analysis.dir/lipschitz.cpp.o"
+  "CMakeFiles/legw_analysis.dir/lipschitz.cpp.o.d"
+  "CMakeFiles/legw_analysis.dir/lr_finder.cpp.o"
+  "CMakeFiles/legw_analysis.dir/lr_finder.cpp.o.d"
+  "CMakeFiles/legw_analysis.dir/tuning.cpp.o"
+  "CMakeFiles/legw_analysis.dir/tuning.cpp.o.d"
+  "liblegw_analysis.a"
+  "liblegw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flags.cpp" "src/core/CMakeFiles/legw_core.dir/flags.cpp.o" "gcc" "src/core/CMakeFiles/legw_core.dir/flags.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/legw_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/legw_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/legw_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/legw_core.dir/tensor.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/legw_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/legw_core.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

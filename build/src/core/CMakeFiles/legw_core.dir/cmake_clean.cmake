@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_core.dir/flags.cpp.o"
+  "CMakeFiles/legw_core.dir/flags.cpp.o.d"
+  "CMakeFiles/legw_core.dir/kernels.cpp.o"
+  "CMakeFiles/legw_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/legw_core.dir/tensor.cpp.o"
+  "CMakeFiles/legw_core.dir/tensor.cpp.o.d"
+  "CMakeFiles/legw_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/legw_core.dir/thread_pool.cpp.o.d"
+  "liblegw_core.a"
+  "liblegw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/legw_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/legw_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/images.cpp" "src/data/CMakeFiles/legw_data.dir/images.cpp.o" "gcc" "src/data/CMakeFiles/legw_data.dir/images.cpp.o.d"
+  "/root/repo/src/data/loaders.cpp" "src/data/CMakeFiles/legw_data.dir/loaders.cpp.o" "gcc" "src/data/CMakeFiles/legw_data.dir/loaders.cpp.o.d"
+  "/root/repo/src/data/synthetic_mnist.cpp" "src/data/CMakeFiles/legw_data.dir/synthetic_mnist.cpp.o" "gcc" "src/data/CMakeFiles/legw_data.dir/synthetic_mnist.cpp.o.d"
+  "/root/repo/src/data/translation.cpp" "src/data/CMakeFiles/legw_data.dir/translation.cpp.o" "gcc" "src/data/CMakeFiles/legw_data.dir/translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

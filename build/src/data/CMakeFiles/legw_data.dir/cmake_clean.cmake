@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_data.dir/corpus.cpp.o"
+  "CMakeFiles/legw_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/legw_data.dir/images.cpp.o"
+  "CMakeFiles/legw_data.dir/images.cpp.o.d"
+  "CMakeFiles/legw_data.dir/loaders.cpp.o"
+  "CMakeFiles/legw_data.dir/loaders.cpp.o.d"
+  "CMakeFiles/legw_data.dir/synthetic_mnist.cpp.o"
+  "CMakeFiles/legw_data.dir/synthetic_mnist.cpp.o.d"
+  "CMakeFiles/legw_data.dir/translation.cpp.o"
+  "CMakeFiles/legw_data.dir/translation.cpp.o.d"
+  "liblegw_data.a"
+  "liblegw_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

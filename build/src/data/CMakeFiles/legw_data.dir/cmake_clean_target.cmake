@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblegw_data.a"
+)

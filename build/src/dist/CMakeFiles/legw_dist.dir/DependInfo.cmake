@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/allreduce.cpp" "src/dist/CMakeFiles/legw_dist.dir/allreduce.cpp.o" "gcc" "src/dist/CMakeFiles/legw_dist.dir/allreduce.cpp.o.d"
+  "/root/repo/src/dist/cluster_model.cpp" "src/dist/CMakeFiles/legw_dist.dir/cluster_model.cpp.o" "gcc" "src/dist/CMakeFiles/legw_dist.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/dist/compression.cpp" "src/dist/CMakeFiles/legw_dist.dir/compression.cpp.o" "gcc" "src/dist/CMakeFiles/legw_dist.dir/compression.cpp.o.d"
+  "/root/repo/src/dist/data_parallel.cpp" "src/dist/CMakeFiles/legw_dist.dir/data_parallel.cpp.o" "gcc" "src/dist/CMakeFiles/legw_dist.dir/data_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_dist.dir/allreduce.cpp.o"
+  "CMakeFiles/legw_dist.dir/allreduce.cpp.o.d"
+  "CMakeFiles/legw_dist.dir/cluster_model.cpp.o"
+  "CMakeFiles/legw_dist.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/legw_dist.dir/compression.cpp.o"
+  "CMakeFiles/legw_dist.dir/compression.cpp.o.d"
+  "CMakeFiles/legw_dist.dir/data_parallel.cpp.o"
+  "CMakeFiles/legw_dist.dir/data_parallel.cpp.o.d"
+  "liblegw_dist.a"
+  "liblegw_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gnmt.cpp" "src/models/CMakeFiles/legw_models.dir/gnmt.cpp.o" "gcc" "src/models/CMakeFiles/legw_models.dir/gnmt.cpp.o.d"
+  "/root/repo/src/models/mnist_lstm.cpp" "src/models/CMakeFiles/legw_models.dir/mnist_lstm.cpp.o" "gcc" "src/models/CMakeFiles/legw_models.dir/mnist_lstm.cpp.o.d"
+  "/root/repo/src/models/ptb_model.cpp" "src/models/CMakeFiles/legw_models.dir/ptb_model.cpp.o" "gcc" "src/models/CMakeFiles/legw_models.dir/ptb_model.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/legw_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/legw_models.dir/resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/legw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/legw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ag/CMakeFiles/legw_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

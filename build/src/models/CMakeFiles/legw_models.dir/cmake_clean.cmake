@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_models.dir/gnmt.cpp.o"
+  "CMakeFiles/legw_models.dir/gnmt.cpp.o.d"
+  "CMakeFiles/legw_models.dir/mnist_lstm.cpp.o"
+  "CMakeFiles/legw_models.dir/mnist_lstm.cpp.o.d"
+  "CMakeFiles/legw_models.dir/ptb_model.cpp.o"
+  "CMakeFiles/legw_models.dir/ptb_model.cpp.o.d"
+  "CMakeFiles/legw_models.dir/resnet.cpp.o"
+  "CMakeFiles/legw_models.dir/resnet.cpp.o.d"
+  "liblegw_models.a"
+  "liblegw_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

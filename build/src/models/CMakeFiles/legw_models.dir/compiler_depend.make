@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for legw_models.
+# This may be replaced when dependencies are built.

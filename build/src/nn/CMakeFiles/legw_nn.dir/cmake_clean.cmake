@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_nn.dir/attention.cpp.o"
+  "CMakeFiles/legw_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/legw_nn.dir/conv.cpp.o"
+  "CMakeFiles/legw_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/legw_nn.dir/layers.cpp.o"
+  "CMakeFiles/legw_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/legw_nn.dir/lstm.cpp.o"
+  "CMakeFiles/legw_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/legw_nn.dir/module.cpp.o"
+  "CMakeFiles/legw_nn.dir/module.cpp.o.d"
+  "CMakeFiles/legw_nn.dir/serialize.cpp.o"
+  "CMakeFiles/legw_nn.dir/serialize.cpp.o.d"
+  "liblegw_nn.a"
+  "liblegw_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_optim.dir/ema.cpp.o"
+  "CMakeFiles/legw_optim.dir/ema.cpp.o.d"
+  "CMakeFiles/legw_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/legw_optim.dir/optimizer.cpp.o.d"
+  "liblegw_optim.a"
+  "liblegw_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

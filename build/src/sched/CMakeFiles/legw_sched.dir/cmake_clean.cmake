@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_sched.dir/batch_schedule.cpp.o"
+  "CMakeFiles/legw_sched.dir/batch_schedule.cpp.o.d"
+  "CMakeFiles/legw_sched.dir/legw.cpp.o"
+  "CMakeFiles/legw_sched.dir/legw.cpp.o.d"
+  "CMakeFiles/legw_sched.dir/schedule.cpp.o"
+  "CMakeFiles/legw_sched.dir/schedule.cpp.o.d"
+  "liblegw_sched.a"
+  "liblegw_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

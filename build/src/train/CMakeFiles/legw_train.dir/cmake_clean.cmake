@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legw_train.dir/metrics.cpp.o"
+  "CMakeFiles/legw_train.dir/metrics.cpp.o.d"
+  "CMakeFiles/legw_train.dir/recorder.cpp.o"
+  "CMakeFiles/legw_train.dir/recorder.cpp.o.d"
+  "CMakeFiles/legw_train.dir/runners.cpp.o"
+  "CMakeFiles/legw_train.dir/runners.cpp.o.d"
+  "liblegw_train.a"
+  "liblegw_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legw_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

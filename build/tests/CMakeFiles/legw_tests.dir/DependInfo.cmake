@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ag_conv.cpp" "tests/CMakeFiles/legw_tests.dir/test_ag_conv.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_ag_conv.cpp.o.d"
+  "/root/repo/tests/test_ag_ops.cpp" "tests/CMakeFiles/legw_tests.dir/test_ag_ops.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_ag_ops.cpp.o.d"
+  "/root/repo/tests/test_ag_rnn.cpp" "tests/CMakeFiles/legw_tests.dir/test_ag_rnn.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_ag_rnn.cpp.o.d"
+  "/root/repo/tests/test_ag_unary.cpp" "tests/CMakeFiles/legw_tests.dir/test_ag_unary.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_ag_unary.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/legw_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_compression_lrfinder.cpp" "tests/CMakeFiles/legw_tests.dir/test_compression_lrfinder.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_compression_lrfinder.cpp.o.d"
+  "/root/repo/tests/test_contracts.cpp" "tests/CMakeFiles/legw_tests.dir/test_contracts.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_contracts.cpp.o.d"
+  "/root/repo/tests/test_core_parallel.cpp" "tests/CMakeFiles/legw_tests.dir/test_core_parallel.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_core_parallel.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/legw_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_data_parallel.cpp" "tests/CMakeFiles/legw_tests.dir/test_data_parallel.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_data_parallel.cpp.o.d"
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/legw_tests.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_dist.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/legw_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_loaders.cpp" "tests/CMakeFiles/legw_tests.dir/test_loaders.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_loaders.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/legw_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/legw_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_more_coverage.cpp" "tests/CMakeFiles/legw_tests.dir/test_more_coverage.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_more_coverage.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/legw_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_nn_extra.cpp" "tests/CMakeFiles/legw_tests.dir/test_nn_extra.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_nn_extra.cpp.o.d"
+  "/root/repo/tests/test_optim.cpp" "tests/CMakeFiles/legw_tests.dir/test_optim.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_optim.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/legw_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runners.cpp" "tests/CMakeFiles/legw_tests.dir/test_runners.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_runners.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/legw_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/legw_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_train_extras.cpp" "tests/CMakeFiles/legw_tests.dir/test_train_extras.cpp.o" "gcc" "tests/CMakeFiles/legw_tests.dir/test_train_extras.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ag/CMakeFiles/legw_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/legw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/legw_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/legw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/legw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/legw_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/legw_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/legw_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/legw_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
