@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ag/ops.hpp"
+#include "core/flags.hpp"
 #include "data/translation.hpp"
 #include "dist/allreduce.hpp"
 #include "dist/compression.hpp"
@@ -18,6 +19,7 @@ using core::Rng;
 using core::Tensor;
 
 void BM_Gemm(benchmark::State& state) {
+  // Production dispatch path (honours LEGW_KERNEL; default blocked).
   const i64 n = state.range(0);
   Rng rng(1);
   Tensor a = Tensor::randn({n, n}, rng);
@@ -28,7 +30,59 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Pinned-kernel square GEMM: the ref/blocked A/B that BENCH_kernels.json
+// tracks, runnable standalone from the google-benchmark harness.
+void BM_GemmKernel(benchmark::State& state, core::GemmKernel kernel) {
+  const i64 n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c = Tensor::zeros({n, n});
+  for (auto _ : state) {
+    if (kernel == core::GemmKernel::kRef) {
+      core::gemm_ref(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                     0.0f, c.data(), n);
+    } else {
+      core::gemm_blocked(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                         0.0f, c.data(), n);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+void BM_GemmRef(benchmark::State& state) {
+  BM_GemmKernel(state, core::GemmKernel::kRef);
+}
+void BM_GemmBlocked(benchmark::State& state) {
+  BM_GemmKernel(state, core::GemmKernel::kBlocked);
+}
+BENCHMARK(BM_GemmRef)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmBlocked)->Arg(256)->Arg(512);
+
+// Model-shaped GEMM sweeps: {m, n, k} via the dispatch path.
+//  - LSTM gate matmul [B, I+H] x [I+H, 4H]
+//  - GNMT attention scores [B, H] x [H, T] (B rows against T keys)
+//  - ResNet im2col [Cout, C*9] x [C*9, OH*OW]
+void BM_GemmShape(benchmark::State& state) {
+  const i64 m = state.range(0), n = state.range(1), k = state.range(2);
+  Rng rng(1);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  for (auto _ : state) {
+    Tensor c = core::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_GemmShape)
+    ->Args({32, 512, 256})     // lstm gates, B=32 H=128
+    ->Args({128, 1024, 512})   // lstm gates, B=128 H=256
+    ->Args({512, 2048, 1024})  // lstm gates, B=512 H=512
+    ->Args({64, 32, 256})      // gnmt attention scores, T=32
+    ->Args({64, 1024, 576})    // resnet im2col, C=64 32x32
+    ->Args({128, 256, 1152});  // resnet im2col, C=128 16x16
 
 void BM_LstmCellFused(benchmark::State& state) {
   const i64 batch = state.range(0), hidden = 128;

@@ -1,0 +1,188 @@
+// Kernel performance baseline: times gemm_ref vs gemm_blocked over the GEMM
+// shapes the real models hit (square sweeps, LSTM gate matmuls, GNMT
+// attention, ResNet im2col) plus the fused LSTM cell, and emits
+// BENCH_kernels.json so future PRs can track per-shape GFLOP/s regressions.
+//
+// Usage: perf_baseline [--out BENCH_kernels.json] [--reps N] [--min-ms M]
+// See docs/KERNELS.md for how to read the output.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ag/ops.hpp"
+#include "core/flags.hpp"
+#include "core/tensor.hpp"
+#include "core/thread_pool.hpp"
+#include "nn/lstm.hpp"
+
+namespace {
+
+using namespace legw;
+using core::Rng;
+using core::Tensor;
+
+struct GemmShape {
+  const char* name;
+  i64 m, n, k;
+  bool trans_a, trans_b;
+};
+
+// Shapes mirror the models' hot GEMMs:
+//  - lstm_gates_*: [B, I+H] x [I+H, 4H] gate matmul (mnist/PTB/GNMT cells)
+//  - lstm_dw_*:    trans_a weight-gradient GEMM of the same cell
+//  - attn_*:       GNMT Bahdanau attention score/context matmuls
+//  - im2col_*:     ResNet 3x3 conv lowered to [Cout, C*9] x [C*9, OH*OW]
+const GemmShape kShapes[] = {
+    {"square_64", 64, 64, 64, false, false},
+    {"square_128", 128, 128, 128, false, false},
+    {"square_256", 256, 256, 256, false, false},
+    {"square_512", 512, 512, 512, false, false},
+    {"lstm_gates_b32_h128", 32, 512, 256, false, false},
+    {"lstm_gates_b128_h256", 128, 1024, 512, false, false},
+    {"lstm_gates_b512_h512", 512, 2048, 1024, false, false},
+    {"lstm_dw_b128_h256", 512, 1024, 128, true, false},
+    {"attn_scores_b64_t32_h256", 64, 32, 256, false, true},
+    {"attn_context_b64_t32_h256", 64, 256, 32, false, false},
+    {"im2col_c64_hw32", 64, 1024, 576, false, false},
+    {"im2col_c128_hw16", 128, 256, 1152, false, false},
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs fn repeatedly until both `reps` iterations and `min_ms` of wall time
+// have elapsed; returns mean seconds per iteration.
+template <typename Fn>
+double time_loop(Fn&& fn, int reps, double min_ms) {
+  fn();  // warm-up (first call pays allocator/pool setup)
+  int done = 0;
+  const double t0 = now_seconds();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++done;
+    elapsed = now_seconds() - t0;
+  } while (done < reps || elapsed * 1e3 < min_ms);
+  return elapsed / done;
+}
+
+double gemm_gflops(const GemmShape& s, core::GemmKernel kernel, int reps,
+                   double min_ms) {
+  Rng rng(42);
+  const i64 a_rows = s.trans_a ? s.k : s.m;
+  const i64 a_cols = s.trans_a ? s.m : s.k;
+  const i64 b_rows = s.trans_b ? s.n : s.k;
+  const i64 b_cols = s.trans_b ? s.k : s.n;
+  Tensor a = Tensor::randn({a_rows, a_cols}, rng);
+  Tensor b = Tensor::randn({b_rows, b_cols}, rng);
+  Tensor c = Tensor::zeros({s.m, s.n});
+  auto run = [&] {
+    if (kernel == core::GemmKernel::kRef) {
+      core::gemm_ref(s.trans_a, s.trans_b, s.m, s.n, s.k, 1.0f, a.data(),
+                     a_cols, b.data(), b_cols, 0.0f, c.data(), s.n);
+    } else {
+      core::gemm_blocked(s.trans_a, s.trans_b, s.m, s.n, s.k, 1.0f, a.data(),
+                         a_cols, b.data(), b_cols, 0.0f, c.data(), s.n);
+    }
+  };
+  const double sec = time_loop(run, reps, min_ms);
+  return 2.0 * s.m * s.n * s.k / sec / 1e9;
+}
+
+struct LstmResult {
+  i64 batch, hidden;
+  double fused_steps_per_s = 0.0;
+  double composed_steps_per_s = 0.0;
+};
+
+LstmResult lstm_cell_rate(i64 batch, i64 hidden, int reps, double min_ms) {
+  LstmResult res{batch, hidden, 0.0, 0.0};
+  for (bool fused : {true, false}) {
+    Rng rng(7);
+    nn::LstmCellLayer layer(hidden, hidden, rng, 1.0f, fused);
+    ag::Variable x =
+        ag::Variable::constant(Tensor::randn({batch, hidden}, rng));
+    auto run = [&] {
+      layer.zero_grad();
+      nn::LstmState s = layer.step(x, layer.zero_state(batch));
+      ag::backward(ag::sum_all(s.h));
+    };
+    const double sec = time_loop(run, reps, min_ms);
+    (fused ? res.fused_steps_per_s : res.composed_steps_per_s) = 1.0 / sec;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Flags flags(argc, argv);
+  const std::string out_path =
+      flags.get_string("out", "BENCH_kernels.json");
+  const int reps = static_cast<int>(flags.get_int("reps", 5));
+  const double min_ms = flags.get_double("min-ms", 50.0);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  LEGW_CHECK(f != nullptr, "perf_baseline: cannot open " + out_path);
+
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"threads\": %d,\n", core::ThreadPool::global().size());
+  std::fprintf(f, "  \"gemm\": [\n");
+  const std::size_t n_shapes = sizeof(kShapes) / sizeof(kShapes[0]);
+  for (std::size_t i = 0; i < n_shapes; ++i) {
+    const GemmShape& s = kShapes[i];
+    const double ref =
+        gemm_gflops(s, core::GemmKernel::kRef, reps, min_ms);
+    const double blocked =
+        gemm_gflops(s, core::GemmKernel::kBlocked, reps, min_ms);
+    std::printf("gemm %-28s m=%-4lld n=%-4lld k=%-4lld %sx%s  "
+                "ref %7.2f GF/s  blocked %7.2f GF/s  speedup %.2fx\n",
+                s.name, static_cast<long long>(s.m),
+                static_cast<long long>(s.n), static_cast<long long>(s.k),
+                s.trans_a ? "T" : "N", s.trans_b ? "T" : "N", ref, blocked,
+                blocked / ref);
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+        "\"trans_a\": %s, \"trans_b\": %s, \"ref_gflops\": %.3f, "
+        "\"blocked_gflops\": %.3f, \"speedup\": %.3f}%s\n",
+        s.name, static_cast<long long>(s.m), static_cast<long long>(s.n),
+        static_cast<long long>(s.k), s.trans_a ? "true" : "false",
+        s.trans_b ? "true" : "false", ref, blocked, blocked / ref,
+        i + 1 < n_shapes ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  std::fprintf(f, "  \"lstm_cell\": [\n");
+  const std::vector<std::pair<i64, i64>> lstm_shapes = {
+      {32, 128}, {128, 128}, {128, 512}};
+  for (std::size_t i = 0; i < lstm_shapes.size(); ++i) {
+    const LstmResult r =
+        lstm_cell_rate(lstm_shapes[i].first, lstm_shapes[i].second, reps,
+                       min_ms);
+    std::printf("lstm_cell b=%-4lld h=%-4lld  fused %9.1f step/s  "
+                "composed %9.1f step/s  speedup %.2fx\n",
+                static_cast<long long>(r.batch),
+                static_cast<long long>(r.hidden), r.fused_steps_per_s,
+                r.composed_steps_per_s,
+                r.fused_steps_per_s / r.composed_steps_per_s);
+    std::fprintf(f,
+                 "    {\"batch\": %lld, \"hidden\": %lld, "
+                 "\"fused_steps_per_s\": %.2f, \"composed_steps_per_s\": "
+                 "%.2f, \"speedup\": %.3f}%s\n",
+                 static_cast<long long>(r.batch),
+                 static_cast<long long>(r.hidden), r.fused_steps_per_s,
+                 r.composed_steps_per_s,
+                 r.fused_steps_per_s / r.composed_steps_per_s,
+                 i + 1 < lstm_shapes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,13 +1,15 @@
 // Fused LSTM cell with hand-derived backward.
 //
 // The cell is the hot loop of every model in this repo, so it is implemented
-// as a single graph node: one GEMM for all four gates, fused activations, and
-// a backward pass that re-uses the saved gate activations. The gradient is
+// as a single graph node: one GEMM for all four gates, and a single-pass
+// elementwise block (bias, activations, cell update) provided by
+// core::lstm_cell_forward / core::lstm_cell_backward. The gradient is
 // cross-checked in tests against both finite differences and an op-by-op
 // composition of the identical math.
 #include <cmath>
 
 #include "ag/ops.hpp"
+#include "core/kernels.hpp"
 
 namespace legw::ag {
 
@@ -41,54 +43,15 @@ Variable lstm_cell(const Variable& x, const Variable& h, const Variable& c,
     }
   }
 
-  // gates (pre-activation): [B, 4H] = xh * W + b
-  Tensor gates = core::matmul(xh, w.value());
-  {
-    float* g = gates.data();
-    const float* bp = b.value().data();
-    for (i64 r = 0; r < batch; ++r)
-      for (i64 col = 0; col < 4 * hidden; ++col) g[r * 4 * hidden + col] += bp[col];
-  }
-
-  // Activations in place on the gate buffer: gate order (i, f, g, o).
-  Tensor acts = std::move(gates);  // post-activation values
-  {
-    float* a = acts.data();
-    for (i64 r = 0; r < batch; ++r) {
-      float* row = a + r * 4 * hidden;
-      for (i64 j = 0; j < hidden; ++j)
-        row[j] = 1.0f / (1.0f + std::exp(-row[j]));  // i
-      for (i64 j = hidden; j < 2 * hidden; ++j)
-        row[j] = 1.0f / (1.0f + std::exp(-row[j]));  // f
-      for (i64 j = 2 * hidden; j < 3 * hidden; ++j)
-        row[j] = std::tanh(row[j]);                  // g
-      for (i64 j = 3 * hidden; j < 4 * hidden; ++j)
-        row[j] = 1.0f / (1.0f + std::exp(-row[j]));  // o
-    }
-  }
-
+  // Pre-activation gates [B, 4H] = xh * W; the fused kernel folds in the
+  // bias, the activations (gate order i, f, g, o) and the cell update in a
+  // single pass, leaving the post-activation gates in `acts` for backward.
+  Tensor acts = core::matmul(xh, w.value());
   // out: [B, 2H] — h' in columns [0,H), c' in [H,2H).
   Tensor out(core::Shape{batch, 2 * hidden});
   Tensor tanh_c_new(core::Shape{batch, hidden});
-  {
-    const float* a = acts.data();
-    const float* cp = c.value().data();
-    float* o = out.data();
-    float* tc = tanh_c_new.data();
-    for (i64 r = 0; r < batch; ++r) {
-      const float* ig = a + r * 4 * hidden;
-      const float* fg = ig + hidden;
-      const float* gg = ig + 2 * hidden;
-      const float* og = ig + 3 * hidden;
-      for (i64 j = 0; j < hidden; ++j) {
-        const float c_new = fg[j] * cp[r * hidden + j] + ig[j] * gg[j];
-        const float t = std::tanh(c_new);
-        tc[r * hidden + j] = t;
-        o[r * 2 * hidden + j] = og[j] * t;          // h'
-        o[r * 2 * hidden + hidden + j] = c_new;      // c'
-      }
-    }
-  }
+  core::lstm_cell_forward(batch, hidden, b.value().data(), acts.data(),
+                          c.value().data(), out.data(), tanh_c_new.data());
 
   return make_op_node(
       std::move(out), {x, h, c, w, b},
@@ -108,30 +71,8 @@ Variable lstm_cell(const Variable& x, const Variable& h, const Variable& c,
         Tensor dz(core::Shape{batch, 4 * hidden});
         Tensor dc_prev(core::Shape{batch, hidden});
         float* dzp = dz.data();
-        float* dcp = dc_prev.data();
-        for (i64 r = 0; r < batch; ++r) {
-          const float* ig = a + r * 4 * hidden;
-          const float* fg = ig + hidden;
-          const float* gg = ig + 2 * hidden;
-          const float* og = ig + 3 * hidden;
-          const float* dh = g + r * 2 * hidden;
-          const float* dc_up = dh + hidden;
-          float* dzr = dzp + r * 4 * hidden;
-          for (i64 j = 0; j < hidden; ++j) {
-            const float t = tc[r * hidden + j];
-            // Total gradient into c_new: direct upstream plus through h'.
-            const float dct = dc_up[j] + dh[j] * og[j] * (1.0f - t * t);
-            const float do_ = dh[j] * t;
-            const float di = dct * gg[j];
-            const float df = dct * cp[r * hidden + j];
-            const float dg = dct * ig[j];
-            dzr[j] = di * ig[j] * (1.0f - ig[j]);
-            dzr[hidden + j] = df * fg[j] * (1.0f - fg[j]);
-            dzr[2 * hidden + j] = dg * (1.0f - gg[j] * gg[j]);
-            dzr[3 * hidden + j] = do_ * og[j] * (1.0f - og[j]);
-            dcp[r * hidden + j] = dct * fg[j];
-          }
-        }
+        core::lstm_cell_backward(batch, hidden, a, tc, cp, g, dzp,
+                                 dc_prev.data());
 
         if (pc.requires_grad) pc.ensure_grad().add_(dc_prev);
         if (pb.requires_grad) {

@@ -1,8 +1,71 @@
 #include "core/flags.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 namespace legw::core {
+
+namespace {
+
+std::atomic<GemmKernel>& gemm_kernel_state() {
+  static std::atomic<GemmKernel> state{[] {
+    if (const char* env = std::getenv("LEGW_KERNEL")) {
+      const std::string v(env);
+      if (v == "ref") return GemmKernel::kRef;
+      LEGW_CHECK(v == "blocked" || v.empty(),
+                 "LEGW_KERNEL must be 'ref' or 'blocked', got '" + v + "'");
+    }
+    return GemmKernel::kBlocked;
+  }()};
+  return state;
+}
+
+std::atomic<bool>& fused_lstm_state() {
+  static std::atomic<bool> state{[] {
+    if (const char* env = std::getenv("LEGW_LSTM")) {
+      const std::string v(env);
+      if (v == "composed") return false;
+      LEGW_CHECK(v == "fused" || v.empty(),
+                 "LEGW_LSTM must be 'fused' or 'composed', got '" + v + "'");
+    }
+    return true;
+  }()};
+  return state;
+}
+
+}  // namespace
+
+GemmKernel gemm_kernel() {
+  return gemm_kernel_state().load(std::memory_order_relaxed);
+}
+
+void set_gemm_kernel(GemmKernel k) {
+  gemm_kernel_state().store(k, std::memory_order_relaxed);
+}
+
+bool set_gemm_kernel(const std::string& name) {
+  if (name == "ref") {
+    set_gemm_kernel(GemmKernel::kRef);
+    return true;
+  }
+  if (name == "blocked") {
+    set_gemm_kernel(GemmKernel::kBlocked);
+    return true;
+  }
+  return false;
+}
+
+const char* gemm_kernel_name(GemmKernel k) {
+  return k == GemmKernel::kRef ? "ref" : "blocked";
+}
+
+bool fused_lstm_enabled() {
+  return fused_lstm_state().load(std::memory_order_relaxed);
+}
+
+void set_fused_lstm_enabled(bool enabled) {
+  fused_lstm_state().store(enabled, std::memory_order_relaxed);
+}
 
 Flags::Flags(int argc, char** argv) {
   LEGW_CHECK(argc >= 1, "Flags: empty argv");

@@ -1,6 +1,8 @@
 // Minimal command-line flag parsing for the examples and benches:
 // `--name value` and `--name=value` forms, typed getters with defaults,
-// and an auto-generated usage string. No global state.
+// and an auto-generated usage string. No global state — except the
+// process-wide kernel-dispatch switches below, which exist precisely so
+// tests and benches can pin a specific numeric kernel.
 #pragma once
 
 #include <map>
@@ -10,6 +12,32 @@
 #include "core/common.hpp"
 
 namespace legw::core {
+
+// ---- kernel dispatch -------------------------------------------------------
+//
+// core::gemm dispatches between two implementations that share one contract:
+//   kRef      — the scalar row-kernel reference; always correct, never tuned.
+//   kBlocked  — the cache-blocked, register-tiled fast path.
+// The initial selection comes from the LEGW_KERNEL environment variable
+// ("ref" or "blocked", default "blocked"), read once on first use. Tests and
+// benches may override at runtime with set_gemm_kernel; parity suites run the
+// same binary under both settings.
+enum class GemmKernel { kRef, kBlocked };
+
+// Current selection (lazily initialised from LEGW_KERNEL).
+GemmKernel gemm_kernel();
+// Programmatic override, e.g. for pinning one side of an A/B benchmark.
+void set_gemm_kernel(GemmKernel k);
+// Parses "ref" / "blocked" (the LEGW_KERNEL vocabulary); returns false on an
+// unknown name and leaves the selection unchanged.
+bool set_gemm_kernel(const std::string& name);
+const char* gemm_kernel_name(GemmKernel k);
+
+// Whether nn layers should use the fused LSTM-cell kernel (single graph node,
+// single-pass elementwise block) or the op-composed reference path. Initial
+// value comes from LEGW_LSTM ("fused" default, "composed" to disable).
+bool fused_lstm_enabled();
+void set_fused_lstm_enabled(bool enabled);
 
 class Flags {
  public:

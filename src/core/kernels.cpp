@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.hpp"
+
 namespace legw::core {
 
 void sigmoid_forward(const float* x, float* y, i64 n) {
@@ -98,6 +100,88 @@ void softmax_cross_entropy_backward(const float* probs, const i32* targets,
     for (i64 c = 0; c < cols; ++c) dr[c] += scale * pr[c];
     dr[t] -= scale;
   }
+}
+
+namespace {
+
+inline float sigmoid1(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Rows are independent; size chunks so each does a few thousand exp calls.
+inline i64 lstm_row_grain(i64 hidden) {
+  return std::max<i64>(1, 1024 / std::max<i64>(1, hidden));
+}
+
+}  // namespace
+
+void lstm_cell_forward(i64 batch, i64 hidden, const float* bias, float* z,
+                       const float* c_prev, float* out, float* tanh_c) {
+  parallel_for(0, batch, lstm_row_grain(hidden), [&](i64 rb, i64 re) {
+    for (i64 r = rb; r < re; ++r) {
+      float* ig = z + r * 4 * hidden;
+      float* fg = ig + hidden;
+      float* gg = ig + 2 * hidden;
+      float* og = ig + 3 * hidden;
+      const float* cp = c_prev + r * hidden;
+      float* hr = out + r * 2 * hidden;
+      float* cr = hr + hidden;
+      float* tc = tanh_c + r * hidden;
+      if (bias != nullptr) {
+        for (i64 j = 0; j < hidden; ++j) {
+          ig[j] = sigmoid1(ig[j] + bias[j]);
+          fg[j] = sigmoid1(fg[j] + bias[hidden + j]);
+          gg[j] = std::tanh(gg[j] + bias[2 * hidden + j]);
+          og[j] = sigmoid1(og[j] + bias[3 * hidden + j]);
+        }
+      } else {
+        for (i64 j = 0; j < hidden; ++j) {
+          ig[j] = sigmoid1(ig[j]);
+          fg[j] = sigmoid1(fg[j]);
+          gg[j] = std::tanh(gg[j]);
+          og[j] = sigmoid1(og[j]);
+        }
+      }
+      for (i64 j = 0; j < hidden; ++j) {
+        const float c_new = fg[j] * cp[j] + ig[j] * gg[j];
+        const float t = std::tanh(c_new);
+        tc[j] = t;
+        hr[j] = og[j] * t;
+        cr[j] = c_new;
+      }
+    }
+  });
+}
+
+void lstm_cell_backward(i64 batch, i64 hidden, const float* acts,
+                        const float* tanh_c, const float* c_prev,
+                        const float* dout, float* dz, float* dc_prev) {
+  parallel_for(0, batch, lstm_row_grain(hidden), [&](i64 rb, i64 re) {
+    for (i64 r = rb; r < re; ++r) {
+      const float* ig = acts + r * 4 * hidden;
+      const float* fg = ig + hidden;
+      const float* gg = ig + 2 * hidden;
+      const float* og = ig + 3 * hidden;
+      const float* tc = tanh_c + r * hidden;
+      const float* cp = c_prev + r * hidden;
+      const float* dh = dout + r * 2 * hidden;
+      const float* dc_up = dh + hidden;
+      float* dzr = dz + r * 4 * hidden;
+      float* dcp = dc_prev + r * hidden;
+      for (i64 j = 0; j < hidden; ++j) {
+        const float t = tc[j];
+        // Total gradient into c_new: direct upstream plus through h'.
+        const float dct = dc_up[j] + dh[j] * og[j] * (1.0f - t * t);
+        const float do_ = dh[j] * t;
+        const float di = dct * gg[j];
+        const float df = dct * cp[j];
+        const float dg = dct * ig[j];
+        dzr[j] = di * ig[j] * (1.0f - ig[j]);
+        dzr[hidden + j] = df * fg[j] * (1.0f - fg[j]);
+        dzr[2 * hidden + j] = dg * (1.0f - gg[j] * gg[j]);
+        dzr[3 * hidden + j] = do_ * og[j] * (1.0f - og[j]);
+        dcp[j] = dct * fg[j];
+      }
+    }
+  });
 }
 
 }  // namespace legw::core

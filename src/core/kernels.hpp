@@ -39,4 +39,27 @@ void softmax_cross_entropy_backward(const float* probs, const i32* targets,
                                     i64 rows, i64 cols, i32 ignore_index,
                                     float scale, float* dlogits);
 
+// ---- fused LSTM cell -------------------------------------------------------
+// The four-gate elementwise block of one LSTM step (bias add, sigmoid/tanh
+// activations, cell update) fused into a single pass per row, parallelised
+// over the batch. Gate order within a row is (i, f, g, o).
+//
+// Forward. z: [batch, 4*hidden] holds the pre-activation gate block
+// (the [x|h]·W product, bias NOT yet added) on entry and the post-activation
+// gates on exit. bias: [4*hidden], may be null. c_prev: [batch, hidden].
+// out: [batch, 2*hidden] receives h' in columns [0,hidden) and c' in
+// [hidden, 2*hidden). tanh_c: [batch, hidden] receives tanh(c'), saved for
+// the backward pass.
+void lstm_cell_forward(i64 batch, i64 hidden, const float* bias, float* z,
+                       const float* c_prev, float* out, float* tanh_c);
+
+// Backward, single pass. acts / tanh_c / c_prev as saved by forward;
+// dout: [batch, 2*hidden] = (dh | dc') upstream gradient. Overwrites
+// dz: [batch, 4*hidden] with the gradient w.r.t. the pre-activation gates
+// and dc_prev: [batch, hidden] with the gradient w.r.t. the previous cell
+// state.
+void lstm_cell_backward(i64 batch, i64 hidden, const float* acts,
+                        const float* tanh_c, const float* c_prev,
+                        const float* dout, float* dz, float* dc_prev);
+
 }  // namespace legw::core

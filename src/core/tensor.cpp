@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/flags.hpp"
 #include "core/thread_pool.hpp"
 
 namespace legw::core {
@@ -256,8 +257,9 @@ inline void gemm_nn_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
     for (i64 i = row_begin; i < row_end; ++i) {
       float* ci = c + i * ldc;
       for (i64 p = kk; p < kend; ++p) {
+        // No zero-skip branch here (or in the tn kernel): it would defeat
+        // vectorisation and make FLOP cost input-dependent.
         const float aip = alpha * a[i * lda + p];
-        if (aip == 0.0f) continue;
         const float* bp = b + p * ldb;
         for (i64 j = 0; j < n; ++j) ci[j] += aip * bp[j];
       }
@@ -290,7 +292,6 @@ inline void gemm_tn_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
     float* ci = c + i * ldc;
     for (i64 p = 0; p < k; ++p) {
       const float aip = alpha * a[p * lda + i];
-      if (aip == 0.0f) continue;
       const float* bp = b + p * ldb;
       for (i64 j = 0; j < n; ++j) ci[j] += aip * bp[j];
     }
@@ -312,9 +313,9 @@ inline void gemm_tt_rows(i64 row_begin, i64 row_end, i64 n, i64 k, float alpha,
 
 }  // namespace
 
-void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
-          const float* a, i64 lda, const float* b, i64 ldb, float beta,
-          float* c, i64 ldc) {
+void gemm_ref(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
+              const float* a, i64 lda, const float* b, i64 ldb, float beta,
+              float* c, i64 ldc) {
   LEGW_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
   if (m == 0 || n == 0) return;
 
@@ -343,6 +344,17 @@ void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
       gemm_tt_rows(rb, re, n, k, alpha, a, lda, b, ldb, c, ldc);
     }
   });
+}
+
+void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
+          const float* a, i64 lda, const float* b, i64 ldb, float beta,
+          float* c, i64 ldc) {
+  if (gemm_kernel() == GemmKernel::kRef) {
+    gemm_ref(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else {
+    gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                 ldc);
+  }
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {

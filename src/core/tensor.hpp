@@ -101,9 +101,28 @@ Tensor operator*(float s, const Tensor& t);
 
 // C[m,n] = A[m,k] (or A^T) times B[k,n] (or B^T), accumulated into
 // beta*C + alpha*A*B. Parallelised over row blocks of C.
+//
+// gemm() dispatches on core::gemm_kernel() (LEGW_KERNEL env / programmatic
+// override) between the two implementations below. Both honour the same
+// determinism contract: the reduction over k for any C element is performed
+// by a single thread in ascending-k order, so results are bitwise identical
+// across repeated runs, thread counts, and row-partition boundaries.
 void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
           const float* a, i64 lda, const float* b, i64 ldb, float beta,
           float* c, i64 ldc);
+
+// Scalar row-kernel reference implementation. Always correct, never tuned;
+// the parity oracle for gemm_blocked.
+void gemm_ref(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
+              const float* a, i64 lda, const float* b, i64 ldb, float beta,
+              float* c, i64 ldc);
+
+// Cache-blocked (MC/KC/NC panels), register-tiled (8x48 micro-kernel) fast
+// path with packed operands; covers all four transpose cases. Defined in
+// gemm_blocked.cpp; see docs/KERNELS.md for the blocking scheme.
+void gemm_blocked(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
+                  const float* a, i64 lda, const float* b, i64 ldb, float beta,
+                  float* c, i64 ldc);
 
 // Tensor-level matmul: a is [m,k], b is [k,n] after optional transposes.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
