@@ -66,7 +66,8 @@ double train_with_batch_schedule(const bench::MnistWorkload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header(
       "Ablation: LR decay vs batch growth (Smith et al. dual)",
       "extension of paper ref [27]");

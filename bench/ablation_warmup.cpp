@@ -19,7 +19,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Ablation: warmup policy at fixed sqrt-scaled LR",
                       "DESIGN.md ablation #2/#3 (supports paper §3)");
   bench::MnistWorkload w;

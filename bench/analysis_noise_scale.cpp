@@ -27,7 +27,8 @@ void report_line(const char* label, int n_draws, GradSqFn&& grad_sq) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Gradient noise scale per application",
                       "extension: McCandlish et al. critical-batch analysis");
   const int draws = 8;

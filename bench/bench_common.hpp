@@ -6,12 +6,14 @@
 // multiply dataset sizes and epochs for higher-fidelity runs.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "data/corpus.hpp"
 #include "data/images.hpp"
 #include "data/synthetic_mnist.hpp"
@@ -20,6 +22,7 @@
 #include "models/mnist_lstm.hpp"
 #include "models/ptb_model.hpp"
 #include "models/resnet.hpp"
+#include "obs/trace.hpp"
 #include "sched/legw.hpp"
 #include "train/runners.hpp"
 
@@ -32,6 +35,60 @@ inline int bench_scale() {
   }
   return 1;
 }
+
+// ---- tracing ------------------------------------------------------------------
+//
+// Every bench binary constructs one of these first thing in main. Tracing
+// turns on when a trace output path is given, via `--trace <path>` /
+// `--trace=<path>` (argv is scanned directly so benches without a Flags
+// parser honour it too) or the LEGW_TRACE environment variable. At exit the
+// destructor prints the per-phase summary table (with thread-pool
+// utilisation over the binary's wall time) and writes the
+// chrome://tracing-compatible JSON to the path. With no path this is inert
+// and the bench pays only the disabled-flag branches.
+class ScopedTrace {
+ public:
+  ScopedTrace(int argc, char** argv)
+      : start_(std::chrono::steady_clock::now()) {
+    path_ = obs::trace_env_path();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0) {
+        path_ = arg.substr(8);
+      } else if (arg == "--trace" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      }
+    }
+    if (!path_.empty()) {
+      obs::set_tracing_enabled(true);
+      obs::TraceRecorder::global().clear();
+      core::ThreadPool::global().reset_stats();
+    }
+  }
+
+  ~ScopedTrace() {
+    if (path_.empty()) return;
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    auto& rec = obs::TraceRecorder::global();
+    std::printf("\n%s", rec.summary_table(wall).c_str());
+    std::string err;
+    if (rec.write_chrome_trace(path_, &err)) {
+      std::printf("trace written to %s (open via chrome://tracing)\n",
+                  path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+    }
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // ---- canonical workloads -----------------------------------------------------
 

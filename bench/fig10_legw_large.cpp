@@ -9,7 +9,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 10: LEGW vs tuned Adam (PTB-large, GNMT)",
                       "paper Figure 10 (appendix)");
 

@@ -19,7 +19,8 @@ struct Method {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header(
       "Figure 1: LEGW vs previous large-batch tuning techniques",
       "paper Figure 1 (ResNet50/ImageNet analog)");

@@ -21,7 +21,8 @@ void trace(const char* name, const sched::LrSchedule& s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 2: LEGW schedules for ImageNet/ResNet50",
                       "paper Figure 2 (2.1 multi-step, 2.2 poly decay)");
 

@@ -15,7 +15,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 3: local Lipschitz constant vs iteration",
                       "paper Figure 3 (MNIST-LSTM, batch 512..4K analog)");
   bench::MnistWorkload w;

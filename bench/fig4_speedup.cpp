@@ -62,7 +62,8 @@ void report(const AppTiming& t, double* speedup_accum) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 4: large-batch speedup on the same hardware",
                       "paper Figure 4 (5.3x average over 4 LSTM apps)");
   double speedup_sum = 0.0;
@@ -78,11 +79,26 @@ int main() {
     for (i64 batch : {32, 64, 128, 256, 512}) {
       data::IndexBatcher batcher(w.dataset.n_train(), batch, 1);
       const double secs = measure_step_seconds([&] {
-        std::vector<i64> idx = batcher.next();
+        obs::Span step_span("step");
+        core::Tensor images;
+        std::vector<i32> labels;
+        {
+          obs::Span span("data");
+          const std::vector<i64> idx = batcher.next();
+          images = w.dataset.gather_images(idx, true);
+          labels = w.dataset.gather_labels(idx, true);
+        }
         model.zero_grad();
-        ag::Variable loss = model.loss(w.dataset.gather_images(idx, true),
-                                       w.dataset.gather_labels(idx, true));
-        ag::backward(loss);
+        ag::Variable loss;
+        {
+          obs::Span span("forward");
+          loss = model.loss(images, labels);
+        }
+        {
+          obs::Span span("backward");
+          ag::backward(loss);
+        }
+        obs::Span span("optimizer");
         opt->step();
       });
       t.samples.emplace_back(batch, secs);
@@ -106,11 +122,24 @@ int main() {
                                 w.model.bptt_len);
       auto carried = model.zero_carried(batch);
       const double secs = measure_step_seconds([&] {
-        auto chunk = batcher.next_chunk();
+        obs::Span step_span("step");
+        data::BpttBatcher::Chunk chunk;
+        {
+          obs::Span span("data");
+          chunk = batcher.next_chunk();
+        }
         model.zero_grad();
-        auto out = model.chunk_loss(chunk.inputs, chunk.targets, batch,
-                                    w.model.bptt_len, carried, drng);
-        ag::backward(out.loss);
+        models::PtbModel::ChunkResult out;
+        {
+          obs::Span span("forward");
+          out = model.chunk_loss(chunk.inputs, chunk.targets, batch,
+                                 w.model.bptt_len, carried, drng);
+        }
+        {
+          obs::Span span("backward");
+          ag::backward(out.loss);
+        }
+        obs::Span span("optimizer");
         opt->step();
       });
       // One "sample" = one BPTT stream position; a step covers `batch`.
@@ -138,11 +167,24 @@ int main() {
       data::BpttBatcher batcher(w.corpus.train_tokens(), batch, large.bptt_len);
       auto carried = model.zero_carried(batch);
       const double secs = measure_step_seconds([&] {
-        auto chunk = batcher.next_chunk();
+        obs::Span step_span("step");
+        data::BpttBatcher::Chunk chunk;
+        {
+          obs::Span span("data");
+          chunk = batcher.next_chunk();
+        }
         model.zero_grad();
-        auto out = model.chunk_loss(chunk.inputs, chunk.targets, batch,
-                                    large.bptt_len, carried, drng);
-        ag::backward(out.loss);
+        models::PtbModel::ChunkResult out;
+        {
+          obs::Span span("forward");
+          out = model.chunk_loss(chunk.inputs, chunk.targets, batch,
+                                 large.bptt_len, carried, drng);
+        }
+        {
+          obs::Span span("backward");
+          ag::backward(out.loss);
+        }
+        obs::Span span("optimizer");
         opt->step();
       });
       t.samples.emplace_back(batch, secs);
@@ -164,11 +206,24 @@ int main() {
       data::IndexBatcher batcher(static_cast<i64>(w.dataset.train().size()),
                                  batch, 2);
       const double secs = measure_step_seconds([&] {
-        std::vector<i64> idx = batcher.next();
-        auto b = data::make_translation_batch(w.dataset.train(), idx);
+        obs::Span step_span("step");
+        data::TranslationBatch b;
+        {
+          obs::Span span("data");
+          const std::vector<i64> idx = batcher.next();
+          b = data::make_translation_batch(w.dataset.train(), idx);
+        }
         model.zero_grad();
-        ag::Variable loss = model.loss(b, drng);
-        ag::backward(loss);
+        ag::Variable loss;
+        {
+          obs::Span span("forward");
+          loss = model.loss(b, drng);
+        }
+        {
+          obs::Span span("backward");
+          ag::backward(loss);
+        }
+        obs::Span span("optimizer");
         opt->step();
       });
       t.samples.emplace_back(batch, secs);

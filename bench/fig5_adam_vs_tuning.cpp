@@ -13,7 +13,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 5: Adam vs existing tuning techniques",
                       "paper Figure 5 (MNIST-LSTM)");
   bench::MnistWorkload w;

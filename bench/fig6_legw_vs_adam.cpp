@@ -27,7 +27,8 @@ void print_table(const char* title, const std::vector<i64>& batches,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 6: LEGW vs tuned Adam across batch sizes",
                       "paper Figure 6 (MNIST / PTB / GNMT)");
 

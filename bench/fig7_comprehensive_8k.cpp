@@ -9,7 +9,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header(
       "Figure 7: comprehensive tuning vs LEGW at the largest batch",
       "paper Figure 7 (8K-batch analog)");

@@ -9,7 +9,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 8: longer training does not save tuned baselines",
                       "paper Figure 8 (640-batch analog, 4x epochs)");
 

@@ -7,7 +7,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Figure 9: default-hyper Adam vs Adadelta",
                       "paper Figure 9 (appendix)");
 

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "ag/ops.hpp"
+#include "bench_common.hpp"
 #include "core/flags.hpp"
 #include "core/tensor.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/lstm.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -118,9 +120,52 @@ LstmResult lstm_cell_rate(i64 batch, i64 hidden, int reps, double min_ms) {
   return res;
 }
 
+// Re-runs every shape a few times under tracing so the phase summary in the
+// output JSON has per-kernel rows. Kept separate from the timed loops above:
+// those run with tracing in its default (disabled) state so the reported
+// GFLOP/s stay comparable against older baselines.
+void traced_characterisation_pass(int reps) {
+  for (const GemmShape& s : kShapes) {
+    Rng rng(42);
+    const i64 a_rows = s.trans_a ? s.k : s.m;
+    const i64 a_cols = s.trans_a ? s.m : s.k;
+    const i64 b_rows = s.trans_b ? s.n : s.k;
+    const i64 b_cols = s.trans_b ? s.k : s.n;
+    Tensor a = Tensor::randn({a_rows, a_cols}, rng);
+    Tensor b = Tensor::randn({b_rows, b_cols}, rng);
+    Tensor c = Tensor::zeros({s.m, s.n});
+    for (int r = 0; r < reps; ++r) {
+      {
+        obs::Span span("gemm.ref");
+        core::gemm_ref(s.trans_a, s.trans_b, s.m, s.n, s.k, 1.0f, a.data(),
+                       a_cols, b.data(), b_cols, 0.0f, c.data(), s.n);
+      }
+      obs::Span span("gemm.blocked");
+      core::gemm_blocked(s.trans_a, s.trans_b, s.m, s.n, s.k, 1.0f, a.data(),
+                         a_cols, b.data(), b_cols, 0.0f, c.data(), s.n);
+    }
+  }
+  for (const auto& [batch, hidden] :
+       std::vector<std::pair<i64, i64>>{{32, 128}, {128, 128}, {128, 512}}) {
+    for (bool fused : {true, false}) {
+      Rng rng(7);
+      nn::LstmCellLayer layer(hidden, hidden, rng, 1.0f, fused);
+      ag::Variable x =
+          ag::Variable::constant(Tensor::randn({batch, hidden}, rng));
+      for (int r = 0; r < reps; ++r) {
+        obs::Span span(fused ? "lstm_cell.fused" : "lstm_cell.composed");
+        layer.zero_grad();
+        nn::LstmState s = layer.step(x, layer.zero_state(batch));
+        ag::backward(ag::sum_all(s.h));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   core::Flags flags(argc, argv);
   const std::string out_path =
       flags.get_string("out", "BENCH_kernels.json");
@@ -181,8 +226,39 @@ int main(int argc, char** argv) {
                  r.fused_steps_per_s / r.composed_steps_per_s,
                  i + 1 < lstm_shapes.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+
+  // Phase summary: short traced re-run of every shape (see the helper's doc
+  // comment — the timed numbers above are collected with tracing disabled).
+  const bool was_enabled = obs::tracing_enabled();
+  auto& rec = obs::TraceRecorder::global();
+  obs::set_tracing_enabled(true);
+  rec.clear();
+  traced_characterisation_pass(3);
+  obs::set_tracing_enabled(was_enabled);
+
+  const auto phases = rec.phase_summary();
+  std::fprintf(f, "  \"phases\": {\n");
+  std::size_t pi = 0;
+  for (const auto& [name, st] : phases) {
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %lld, \"total_ms\": %.4f, "
+                 "\"mean_ms\": %.5f, \"p50_ms\": %.5f, \"p95_ms\": %.5f}%s\n",
+                 name.c_str(), static_cast<long long>(st.count), st.total_ms,
+                 st.mean_ms, st.p50_ms, st.p95_ms,
+                 ++pi < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  const auto ctrs = rec.counters();
+  std::fprintf(f, "  \"counters\": {\n");
+  std::size_t ci = 0;
+  for (const auto& [name, v] : ctrs) {
+    std::fprintf(f, "    \"%s\": %lld%s\n", name.c_str(),
+                 static_cast<long long>(v), ++ci < ctrs.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
+  if (!was_enabled) rec.clear();
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -8,7 +8,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Table 2: GNMT batch scaling with LEGW",
                       "paper Table 2");
   bench::GnmtWorkload w;

@@ -9,7 +9,8 @@
 
 using namespace legw;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
   bench::print_header("Table 3: ResNet batch scaling with LEGW + LARS",
                       "paper Table 3");
   bench::ResnetWorkload w;

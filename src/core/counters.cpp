@@ -1,0 +1,49 @@
+#include "core/counters.hpp"
+
+#include <atomic>
+
+namespace legw::core {
+
+namespace {
+
+constexpr int kNumCounters = static_cast<int>(DispatchCounter::kCount);
+
+std::atomic<i64>& counter_slot(DispatchCounter c) {
+  static std::atomic<i64> slots[kNumCounters] = {};
+  return slots[static_cast<int>(c)];
+}
+
+}  // namespace
+
+void bump_dispatch(DispatchCounter c) {
+  counter_slot(c).fetch_add(1, std::memory_order_relaxed);
+}
+
+i64 dispatch_count(DispatchCounter c) {
+  return counter_slot(c).load(std::memory_order_relaxed);
+}
+
+const char* dispatch_counter_name(DispatchCounter c) {
+  switch (c) {
+    case DispatchCounter::kGemmRef:
+      return "dispatch.gemm.ref";
+    case DispatchCounter::kGemmBlocked:
+      return "dispatch.gemm.blocked";
+    case DispatchCounter::kLstmCellForward:
+      return "dispatch.lstm_cell.forward";
+    case DispatchCounter::kLstmCellBackward:
+      return "dispatch.lstm_cell.backward";
+    case DispatchCounter::kCount:
+      break;
+  }
+  return "dispatch.unknown";
+}
+
+void reset_dispatch_counters() {
+  for (int i = 0; i < kNumCounters; ++i) {
+    counter_slot(static_cast<DispatchCounter>(i))
+        .store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace legw::core

@@ -1,0 +1,35 @@
+// Always-on dispatch counters for the numeric kernels.
+//
+// These live in core (not obs) because the dispatch sites — core::gemm and
+// the fused LSTM-cell kernels — sit below the observability layer in the
+// link order. Each counter is one relaxed atomic increment per kernel call,
+// cheap against the kernels they count, so they stay on even when tracing is
+// disabled. obs::TraceRecorder folds a snapshot of these into its exported
+// counter set (see obs/trace.hpp).
+#pragma once
+
+#include "core/common.hpp"
+
+namespace legw::core {
+
+enum class DispatchCounter {
+  kGemmRef = 0,      // core::gemm dispatched to the scalar reference kernel
+  kGemmBlocked,      // core::gemm dispatched to the blocked/tiled kernel
+  kLstmCellForward,  // fused lstm_cell_forward invocations
+  kLstmCellBackward, // fused lstm_cell_backward invocations
+  kCount
+};
+
+// Relaxed atomic increment; safe from any thread.
+void bump_dispatch(DispatchCounter c);
+
+// Current value (relaxed load).
+i64 dispatch_count(DispatchCounter c);
+
+// Stable export name, e.g. "dispatch.gemm.blocked".
+const char* dispatch_counter_name(DispatchCounter c);
+
+// Zeroes every counter (tests and benches isolate measurement windows).
+void reset_dispatch_counters();
+
+}  // namespace legw::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/counters.hpp"
 #include "core/thread_pool.hpp"
 
 namespace legw::core {
@@ -115,6 +116,7 @@ inline i64 lstm_row_grain(i64 hidden) {
 
 void lstm_cell_forward(i64 batch, i64 hidden, const float* bias, float* z,
                        const float* c_prev, float* out, float* tanh_c) {
+  bump_dispatch(DispatchCounter::kLstmCellForward);
   parallel_for(0, batch, lstm_row_grain(hidden), [&](i64 rb, i64 re) {
     for (i64 r = rb; r < re; ++r) {
       float* ig = z + r * 4 * hidden;
@@ -154,6 +156,7 @@ void lstm_cell_forward(i64 batch, i64 hidden, const float* bias, float* z,
 void lstm_cell_backward(i64 batch, i64 hidden, const float* acts,
                         const float* tanh_c, const float* c_prev,
                         const float* dout, float* dz, float* dc_prev) {
+  bump_dispatch(DispatchCounter::kLstmCellBackward);
   parallel_for(0, batch, lstm_row_grain(hidden), [&](i64 rb, i64 re) {
     for (i64 r = rb; r < re; ++r) {
       const float* ig = acts + r * 4 * hidden;

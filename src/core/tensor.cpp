@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/counters.hpp"
 #include "core/flags.hpp"
 #include "core/thread_pool.hpp"
 
@@ -350,8 +351,10 @@ void gemm(bool trans_a, bool trans_b, i64 m, i64 n, i64 k, float alpha,
           const float* a, i64 lda, const float* b, i64 ldb, float beta,
           float* c, i64 ldc) {
   if (gemm_kernel() == GemmKernel::kRef) {
+    bump_dispatch(DispatchCounter::kGemmRef);
     gemm_ref(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   } else {
+    bump_dispatch(DispatchCounter::kGemmBlocked);
     gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                  ldc);
   }

@@ -1,11 +1,18 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 namespace legw::core {
 
 namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 // True while the current thread is executing inside a parallel_for region
 // (either as a pool worker or as the submitting thread running its own
 // chunk). Nested parallel_for calls then degrade to serial execution, which
@@ -20,10 +27,13 @@ ThreadPool::ThreadPool(int n_threads) {
     if (n_threads <= 0) n_threads = 1;
   }
   // The submitting thread counts as one worker.
-  const int spawned = n_threads - 1;
-  workers_.reserve(static_cast<std::size_t>(std::max(spawned, 0)));
+  const int spawned = std::max(n_threads - 1, 0);
+  worker_busy_ns_ = std::make_unique<std::atomic<i64>[]>(
+      static_cast<std::size_t>(std::max(spawned, 1)));
+  for (int i = 0; i < spawned; ++i) worker_busy_ns_[i] = 0;
+  workers_.reserve(static_cast<std::size_t>(spawned));
   for (int i = 0; i < spawned; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -36,7 +46,7 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
   for (;;) {
     Task task;
     {
@@ -45,9 +55,13 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       task = queue_[next_task_++];
     }
+    const i64 t0 = now_ns();
     t_in_parallel_region = true;
     (*task.fn)(task.begin, task.end);
     t_in_parallel_region = false;
+    worker_busy_ns_[worker_index].fetch_add(now_ns() - t0,
+                                            std::memory_order_relaxed);
+    chunks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
@@ -68,7 +82,10 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
   // Static partition: ceil-divide into at most `size()` chunks of >= grain.
   i64 n_chunks = std::min<i64>((n + grain - 1) / grain, max_chunks);
   if (n_chunks <= 1) {
+    const i64 t0 = now_ns();
     fn(begin, end);
+    inline_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    chunks_inline_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const i64 chunk = (n + n_chunks - 1) / n_chunks;
@@ -77,6 +94,8 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
   // per-submission, so two overlapping parallel_for calls (e.g. from
   // simulated distributed workers) must not interleave their task batches.
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  i64 queued = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Queue all chunks except the first, which the caller runs itself.
@@ -86,19 +105,50 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
       if (b >= e) continue;
       queue_.push_back(Task{&fn, b, e});
       ++pending_;
+      ++queued;
     }
   }
+  chunks_queued_.fetch_add(queued, std::memory_order_relaxed);
   cv_.notify_all();
 
+  const i64 t0 = now_ns();
   t_in_parallel_region = true;
   fn(begin, std::min(end, begin + chunk));
   t_in_parallel_region = false;
+  inline_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  chunks_inline_.fetch_add(1, std::memory_order_relaxed);
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   // All chunks done; reset the queue for the next call.
   queue_.clear();
   next_task_ = 0;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.worker_busy_ns.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    s.worker_busy_ns.push_back(
+        worker_busy_ns_[i].load(std::memory_order_relaxed));
+  }
+  s.inline_busy_ns = inline_busy_ns_.load(std::memory_order_relaxed);
+  s.chunks_queued = chunks_queued_.load(std::memory_order_relaxed);
+  s.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  s.chunks_inline = chunks_inline_.load(std::memory_order_relaxed);
+  s.submissions = submissions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    worker_busy_ns_[i].store(0, std::memory_order_relaxed);
+  }
+  inline_busy_ns_.store(0, std::memory_order_relaxed);
+  chunks_queued_.store(0, std::memory_order_relaxed);
+  chunks_executed_.store(0, std::memory_order_relaxed);
+  chunks_inline_.store(0, std::memory_order_relaxed);
+  submissions_.store(0, std::memory_order_relaxed);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -8,8 +8,10 @@
 // accumulate per-chunk partials.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -40,6 +42,23 @@ class ThreadPool {
   // LEGW_NUM_THREADS or hardware concurrency).
   static ThreadPool& global();
 
+  // Lifetime utilisation statistics, maintained with relaxed atomics (two
+  // clock reads per executed chunk — negligible against chunk work, so they
+  // stay on unconditionally). At quiescence (no parallel_for in flight)
+  // chunks_executed == chunks_queued: every queued chunk was run by exactly
+  // one worker. Inline work (the submitter's own chunk, serial fallbacks and
+  // nested calls) is attributed to inline_busy_ns / chunks_inline.
+  struct Stats {
+    std::vector<i64> worker_busy_ns;  // per spawned worker
+    i64 inline_busy_ns = 0;
+    i64 chunks_queued = 0;    // chunks handed to the worker queue
+    i64 chunks_executed = 0;  // chunks completed by pool workers
+    i64 chunks_inline = 0;    // chunks run on the submitting thread
+    i64 submissions = 0;      // parallel_for calls that used the queue
+  };
+  Stats stats() const;
+  void reset_stats();
+
  private:
   struct Task {
     const std::function<void(i64, i64)>* fn = nullptr;
@@ -47,9 +66,15 @@ class ThreadPool {
     i64 end = 0;
   };
 
-  void worker_loop();
+  void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<std::atomic<i64>[]> worker_busy_ns_;
+  std::atomic<i64> inline_busy_ns_{0};
+  std::atomic<i64> chunks_queued_{0};
+  std::atomic<i64> chunks_executed_{0};
+  std::atomic<i64> chunks_inline_{0};
+  std::atomic<i64> submissions_{0};
   std::mutex submit_mu_;  // serialises concurrent parallel_for submissions
   std::mutex mu_;
   std::condition_variable cv_;        // wakes workers when tasks arrive

@@ -2,10 +2,13 @@
 
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace legw::dist {
 
 void tree_allreduce_mean(std::vector<core::Tensor*>& shards) {
   LEGW_CHECK(!shards.empty(), "tree_allreduce_mean: no shards");
+  obs::Span span("allreduce");
   const std::size_t n = shards.size();
   for (std::size_t i = 0; i < n; ++i) {
     LEGW_CHECK(shards[i] != nullptr, "tree_allreduce_mean: null shard");
@@ -24,6 +27,12 @@ void tree_allreduce_mean(std::vector<core::Tensor*>& shards) {
   for (std::size_t i = 1; i < n; ++i) {
     *shards[i] = *shards[0];
   }
+  // Payload accounting: every shard's buffer crosses the (simulated) wire
+  // once in the reduce tree and once in the broadcast.
+  obs::count("allreduce.bytes",
+             static_cast<i64>(n) * shards[0]->numel() *
+                 static_cast<i64>(sizeof(float)) * 2);
+  obs::count("allreduce.calls", 1);
 }
 
 std::vector<core::Tensor> parallel_gradients(

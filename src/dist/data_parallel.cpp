@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "dist/allreduce.hpp"
+#include "obs/trace.hpp"
 
 namespace legw::dist {
 
@@ -22,6 +23,9 @@ float synchronous_backward(
   threads.reserve(static_cast<std::size_t>(n_replicas));
   for (int r = 0; r < n_replicas; ++r) {
     threads.emplace_back([&, r] {
+      // One span per replica shard: the trace shows the per-replica compute
+      // skew that the synchronous allreduce then waits out.
+      obs::Span span("replica_backward");
       for (const auto& p : replica_params[static_cast<std::size_t>(r)]) {
         ag::Variable handle = p;  // cheap shared handle
         handle.zero_grad();

@@ -1,0 +1,111 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace legw::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string render_run_telemetry(const RunRecord& record,
+                                 const TraceRecorder& recorder) {
+  std::ostringstream os;
+  os << "{\"run\":" << json_escape(record.run);
+
+  os << ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : record.config) {
+    if (!first) os << ",";
+    first = false;
+    os << json_escape(key) << ":" << json_escape(value);
+  }
+  os << "}";
+
+  os << ",\"result\":{";
+  first = true;
+  char num[64];
+  for (const auto& [key, value] : record.metrics) {
+    if (!first) os << ",";
+    first = false;
+    std::snprintf(num, sizeof(num), "%.9g", value);
+    os << json_escape(key) << ":" << num;
+  }
+  os << "}";
+
+  os << ",\"phases\":{";
+  first = true;
+  for (const auto& [name, st] : recorder.phase_summary()) {
+    if (!first) os << ",";
+    first = false;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%lld,\"total_ms\":%.4f,\"mean_ms\":%.5f,"
+                  "\"p50_ms\":%.5f,\"p95_ms\":%.5f}",
+                  static_cast<long long>(st.count), st.total_ms, st.mean_ms,
+                  st.p50_ms, st.p95_ms);
+    os << json_escape(name) << ":" << buf;
+  }
+  os << "}";
+
+  os << ",\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : recorder.counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << json_escape(name) << ":" << v;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool append_run_telemetry(const std::string& path, const RunRecord& record,
+                          const TraceRecorder& recorder, std::string* error) {
+  const std::string line = render_run_telemetry(record, recorder) + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for appending";
+    return false;
+  }
+  const bool ok = std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace legw::obs

@@ -1,0 +1,47 @@
+// JSONL run telemetry: one machine-readable JSON object per training run,
+// merging the run's identity/config, its headline results, and the tracing
+// state (per-phase timings + counters) captured while it executed. Appending
+// to one file across a sweep yields a record-per-run log that plotting and
+// regression tooling can consume without parsing stdout.
+//
+// obs sits below train in the link order, so the record is a generic
+// key/value bag here; train::make_run_record (train/runners.hpp) flattens a
+// RunConfig + RunResult into one.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/common.hpp"
+#include "obs/trace.hpp"
+
+namespace legw::obs {
+
+// Escapes and quotes a string as a JSON string literal (adds the quotes).
+std::string json_escape(const std::string& s);
+
+struct RunRecord {
+  std::string run;  // experiment/run name, e.g. "fig4.mnist_lstm.b512"
+  // Stringified configuration key/values, emitted under "config".
+  std::vector<std::pair<std::string, std::string>> config;
+  // Numeric results, emitted under "result" (final_metric, wall_seconds, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// Renders the record merged with `recorder`'s phase summary and counters as
+// a single-line JSON object:
+//   {"run":..., "config":{...}, "result":{...},
+//    "phases":{name:{count,total_ms,mean_ms,p50_ms,p95_ms},...},
+//    "counters":{...}}
+std::string render_run_telemetry(const RunRecord& record,
+                                 const TraceRecorder& recorder);
+
+// Appends the rendered record plus '\n' to `path` (JSONL). Returns false and
+// sets *error on I/O failure instead of aborting.
+[[nodiscard]] bool append_run_telemetry(const std::string& path,
+                                        const RunRecord& record,
+                                        const TraceRecorder& recorder,
+                                        std::string* error = nullptr);
+
+}  // namespace legw::obs

@@ -19,6 +19,12 @@ const std::vector<Recorder::Point>& Recorder::series(
   return it->second;
 }
 
+const std::vector<Recorder::Point>* Recorder::find_series(
+    const std::string& name) const {
+  const auto it = data_.find(name);
+  return it == data_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> Recorder::series_names() const {
   std::vector<std::string> names;
   names.reserve(data_.size());
@@ -37,13 +43,20 @@ std::string Recorder::to_csv() const {
   return os.str();
 }
 
-void Recorder::write_csv(const std::string& path) const {
+bool Recorder::write_csv(const std::string& path, std::string* error) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  LEGW_CHECK(f != nullptr, "Recorder: cannot open " + path);
+  if (f == nullptr) {
+    if (error != nullptr) *error = "Recorder: cannot open " + path;
+    return false;
+  }
   const std::string csv = to_csv();
   const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
-  std::fclose(f);
-  LEGW_CHECK(ok, "Recorder: short write to " + path);
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    if (error != nullptr) *error = "Recorder: short write to " + path;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace legw::train

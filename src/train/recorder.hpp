@@ -22,12 +22,16 @@ class Recorder {
     double value;
   };
   const std::vector<Point>& series(const std::string& name) const;
+  // Lookup that tolerates unknown names: nullptr instead of aborting.
+  const std::vector<Point>* find_series(const std::string& name) const;
   std::vector<std::string> series_names() const;
   bool empty() const { return data_.empty(); }
 
   // Writes all series in long form: series,step,value — one row per point,
-  // series in lexicographic order. Aborts on I/O failure.
-  void write_csv(const std::string& path) const;
+  // series in lexicographic order. Returns false and sets *error on I/O
+  // failure (unwritable path, short write) instead of aborting.
+  [[nodiscard]] bool write_csv(const std::string& path,
+                               std::string* error = nullptr) const;
   // Renders the same content to a string (for tests and logging).
   std::string to_csv() const;
 

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/flags.hpp"
+#include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "train/metrics.hpp"
+#include "train/recorder.hpp"
 
 namespace legw::train {
 
@@ -39,6 +42,62 @@ struct StepLoop {
   }
 };
 
+// Shared post-forward tail of one training step: divergence check, backward,
+// clip, optimizer update, bookkeeping. Returns false when the run diverged.
+bool finish_step(const RunConfig& run, StepLoop& loop, optim::Optimizer* opt,
+                 double loss_value, RunResult* result) {
+  result->final_train_loss = loss_value;
+  if (run.recorder != nullptr) {
+    run.recorder->record("train_loss", loop.step - 1, loss_value);
+  }
+  if (loss_diverged(loss_value)) {
+    result->diverged = true;
+    return false;
+  }
+  if (run.clip_norm > 0.0f) {
+    obs::Span span("clip");
+    optim::clip_grad_norm(opt->params(), run.clip_norm);
+  }
+  {
+    obs::Span span("optimizer");
+    opt->step();
+  }
+  obs::count("steps", 1);
+  ++result->steps;
+  return true;
+}
+
+void record_epoch_metric(const RunConfig& run, const char* series, i64 epoch,
+                         double value) {
+  if (run.recorder != nullptr) run.recorder->record(series, epoch, value);
+}
+
+void capture_params(const RunConfig& run,
+                    const std::vector<ag::Variable>& params,
+                    RunResult* result) {
+  if (!run.capture_final_params) return;
+  result->final_params.reserve(params.size());
+  for (const ag::Variable& p : params) result->final_params.push_back(p.value());
+}
+
+// When LEGW_TELEMETRY names a file, every runner appends one JSONL record
+// there, so sweeps driven by any bench binary produce a machine-readable log
+// without per-bench wiring. Export failures are reported, never fatal: a full
+// sweep should not die on a bad log path.
+void maybe_emit_telemetry(const char* runner, const RunConfig& run,
+                          const RunResult& result) {
+  const char* path = std::getenv("LEGW_TELEMETRY");
+  if (path == nullptr || path[0] == '\0') return;
+  const std::string name = std::string(runner) + ".b" +
+                           std::to_string(run.batch_size) + ".s" +
+                           std::to_string(run.seed);
+  std::string err;
+  if (!obs::append_run_telemetry(path, make_run_record(name, run, result),
+                                 obs::TraceRecorder::global(), &err)) {
+    std::fprintf(stderr, "telemetry append failed: %s\n", err.c_str());
+  }
+}
+
 }  // namespace
 
 RunResult train_mnist(const data::SyntheticMnist& dataset,
@@ -58,6 +117,7 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
   StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
 
   auto evaluate = [&]() {
+    obs::Span span("eval");
     // Chunked test-set accuracy to bound graph memory.
     const i64 chunk = 256;
     i64 correct_weighted = 0;
@@ -77,26 +137,35 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
 
   for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
     for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      obs::Span step_span("step");
       loop.begin_step();
-      std::vector<i64> idx = batcher.next();
+      core::Tensor images;
+      std::vector<i32> labels;
+      {
+        obs::Span span("data");
+        const std::vector<i64> idx = batcher.next();
+        images = dataset.gather_images(idx, true);
+        labels = dataset.gather_labels(idx, true);
+      }
       model.zero_grad();
-      ag::Variable loss = model.loss(dataset.gather_images(idx, true),
-                                     dataset.gather_labels(idx, true));
-      result.final_train_loss = loss.value()[0];
-      if (loss_diverged(result.final_train_loss)) {
-        result.diverged = true;
-        break;
+      ag::Variable loss;
+      {
+        obs::Span span("forward");
+        loss = model.loss(images, labels);
       }
-      ag::backward(loss);
-      if (run.clip_norm > 0.0f) {
-        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      const double loss_value = loss.value()[0];
+      if (!loss_diverged(loss_value)) {
+        obs::Span span("backward");
+        ag::backward(loss);
       }
-      opt->step();
-      ++result.steps;
+      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
-    if (eval_now) result.per_epoch_metric.push_back(acc);
+    if (eval_now) {
+      result.per_epoch_metric.push_back(acc);
+      record_epoch_metric(run, "test_acc", epoch, acc);
+    }
     if (run.verbose) {
       std::printf("  [mnist] epoch %lld  loss %.4f  test_acc %.4f\n",
                   static_cast<long long>(epoch + 1), result.final_train_loss,
@@ -105,7 +174,9 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
+  capture_params(run, opt->params(), &result);
   result.wall_seconds = seconds_since(start);
+  maybe_emit_telemetry("train_mnist", run, result);
   return result;
 }
 
@@ -133,33 +204,42 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
 
   for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
     for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      obs::Span step_span("step");
       loop.begin_step();
-      auto chunk = batcher.next_chunk();
+      data::BpttBatcher::Chunk chunk;
+      {
+        obs::Span span("data");
+        chunk = batcher.next_chunk();
+      }
       if (chunk.first_in_epoch) carried = model.zero_carried(run.batch_size);
       model.zero_grad();
-      auto out = model.chunk_loss(chunk.inputs, chunk.targets, run.batch_size,
-                                  mc.bptt_len, carried, dropout_rng);
+      models::PtbModel::ChunkResult out;
+      {
+        obs::Span span("forward");
+        out = model.chunk_loss(chunk.inputs, chunk.targets, run.batch_size,
+                               mc.bptt_len, carried, dropout_rng);
+      }
       carried = std::move(out.carried);
-      result.final_train_loss = out.loss.value()[0];
-      if (loss_diverged(result.final_train_loss)) {
-        result.diverged = true;
-        break;
+      const double loss_value = out.loss.value()[0];
+      if (!loss_diverged(loss_value)) {
+        obs::Span span("backward");
+        ag::backward(out.loss);
       }
-      ag::backward(out.loss);
-      if (run.clip_norm > 0.0f) {
-        optim::clip_grad_norm(opt->params(), run.clip_norm);
-      }
-      opt->step();
-      ++result.steps;
+      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
-    const double ppl =
-        result.diverged
-            ? 1e9
-            : (eval_now ? perplexity(model.evaluate_nll(
-                              corpus.valid_tokens(), eval_batch, mc.bptt_len))
-                        : 0.0);
-    if (eval_now || result.diverged) result.per_epoch_metric.push_back(ppl);
+    double ppl = 0.0;
+    if (result.diverged) {
+      ppl = 1e9;
+    } else if (eval_now) {
+      obs::Span span("eval");
+      ppl = perplexity(
+          model.evaluate_nll(corpus.valid_tokens(), eval_batch, mc.bptt_len));
+    }
+    if (eval_now || result.diverged) {
+      result.per_epoch_metric.push_back(ppl);
+      record_epoch_metric(run, "valid_ppl", epoch, ppl);
+    }
     if (run.verbose) {
       std::printf("  [ptb] epoch %lld  loss %.4f  valid_ppl %.2f\n",
                   static_cast<long long>(epoch + 1), result.final_train_loss,
@@ -168,7 +248,9 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 1e9 : result.per_epoch_metric.back();
+  capture_params(run, opt->params(), &result);
   result.wall_seconds = seconds_since(start);
+  maybe_emit_telemetry("train_ptb", run, result);
   return result;
 }
 
@@ -192,6 +274,7 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
   StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
 
   auto evaluate_bleu = [&]() {
+    obs::Span span("eval");
     model.set_training(false);
     std::vector<std::vector<i32>> hyps;
     std::vector<std::vector<i32>> refs;
@@ -215,26 +298,33 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
 
   for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
     for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      obs::Span step_span("step");
       loop.begin_step();
-      std::vector<i64> idx = batcher.next();
-      auto batch = data::make_translation_batch(dataset.train(), idx);
+      data::TranslationBatch batch;
+      {
+        obs::Span span("data");
+        const std::vector<i64> idx = batcher.next();
+        batch = data::make_translation_batch(dataset.train(), idx);
+      }
       model.zero_grad();
-      ag::Variable loss = model.loss(batch, dropout_rng);
-      result.final_train_loss = loss.value()[0];
-      if (loss_diverged(result.final_train_loss)) {
-        result.diverged = true;
-        break;
+      ag::Variable loss;
+      {
+        obs::Span span("forward");
+        loss = model.loss(batch, dropout_rng);
       }
-      ag::backward(loss);
-      if (run.clip_norm > 0.0f) {
-        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      const double loss_value = loss.value()[0];
+      if (!loss_diverged(loss_value)) {
+        obs::Span span("backward");
+        ag::backward(loss);
       }
-      opt->step();
-      ++result.steps;
+      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double bleu = (result.diverged || !eval_now) ? 0.0 : evaluate_bleu();
-    if (eval_now || result.diverged) result.per_epoch_metric.push_back(bleu);
+    if (eval_now || result.diverged) {
+      result.per_epoch_metric.push_back(bleu);
+      record_epoch_metric(run, "test_bleu", epoch, bleu);
+    }
     if (run.verbose) {
       std::printf("  [gnmt] epoch %lld  loss %.4f  test_bleu %.2f\n",
                   static_cast<long long>(epoch + 1), result.final_train_loss,
@@ -243,7 +333,9 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
+  capture_params(run, opt->params(), &result);
   result.wall_seconds = seconds_since(start);
+  maybe_emit_telemetry("train_gnmt", run, result);
   return result;
 }
 
@@ -264,6 +356,7 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
   StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
 
   auto evaluate = [&]() {
+    obs::Span span("eval");
     const i64 chunk = 128;
     i64 correct_weighted = 0;
     i64 total = 0;
@@ -281,26 +374,35 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
 
   for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
     for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+      obs::Span step_span("step");
       loop.begin_step();
-      std::vector<i64> idx = batcher.next();
+      core::Tensor images;
+      std::vector<i32> labels;
+      {
+        obs::Span span("data");
+        const std::vector<i64> idx = batcher.next();
+        images = dataset.gather_images(idx, true);
+        labels = dataset.gather_labels(idx, true);
+      }
       model.zero_grad();
-      ag::Variable loss = model.loss(dataset.gather_images(idx, true),
-                                     dataset.gather_labels(idx, true));
-      result.final_train_loss = loss.value()[0];
-      if (loss_diverged(result.final_train_loss)) {
-        result.diverged = true;
-        break;
+      ag::Variable loss;
+      {
+        obs::Span span("forward");
+        loss = model.loss(images, labels);
       }
-      ag::backward(loss);
-      if (run.clip_norm > 0.0f) {
-        optim::clip_grad_norm(opt->params(), run.clip_norm);
+      const double loss_value = loss.value()[0];
+      if (!loss_diverged(loss_value)) {
+        obs::Span span("backward");
+        ag::backward(loss);
       }
-      opt->step();
-      ++result.steps;
+      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
-    if (eval_now) result.per_epoch_metric.push_back(acc);
+    if (eval_now) {
+      result.per_epoch_metric.push_back(acc);
+      record_epoch_metric(run, "test_acc", epoch, acc);
+    }
     if (run.verbose) {
       std::printf("  [resnet] epoch %lld  loss %.4f  test_acc %.4f\n",
                   static_cast<long long>(epoch + 1), result.final_train_loss,
@@ -309,8 +411,30 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
+  capture_params(run, opt->params(), &result);
   result.wall_seconds = seconds_since(start);
+  maybe_emit_telemetry("train_resnet", run, result);
   return result;
+}
+
+obs::RunRecord make_run_record(const std::string& name, const RunConfig& run,
+                               const RunResult& result) {
+  obs::RunRecord rec;
+  rec.run = name;
+  rec.config.emplace_back("batch_size", std::to_string(run.batch_size));
+  rec.config.emplace_back("epochs", std::to_string(run.epochs));
+  rec.config.emplace_back("optimizer", run.optimizer);
+  rec.config.emplace_back("weight_decay", std::to_string(run.weight_decay));
+  rec.config.emplace_back("clip_norm", std::to_string(run.clip_norm));
+  rec.config.emplace_back("seed", std::to_string(run.seed));
+  rec.config.emplace_back("kernel",
+                          core::gemm_kernel_name(core::gemm_kernel()));
+  rec.metrics.emplace_back("final_metric", result.final_metric);
+  rec.metrics.emplace_back("final_train_loss", result.final_train_loss);
+  rec.metrics.emplace_back("diverged", result.diverged ? 1.0 : 0.0);
+  rec.metrics.emplace_back("wall_seconds", result.wall_seconds);
+  rec.metrics.emplace_back("steps", static_cast<double>(result.steps));
+  return rec;
 }
 
 }  // namespace legw::train

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/tensor.hpp"
 #include "data/corpus.hpp"
 #include "data/images.hpp"
 #include "data/synthetic_mnist.hpp"
@@ -19,9 +20,12 @@
 #include "models/mnist_lstm.hpp"
 #include "models/ptb_model.hpp"
 #include "models/resnet.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/schedule.hpp"
 
 namespace legw::train {
+
+class Recorder;
 
 struct RunConfig {
   i64 batch_size = 128;
@@ -36,6 +40,14 @@ struct RunConfig {
   // epoch (sweep benches set this — evaluation dominates short runs,
   // especially GNMT's greedy decode).
   bool final_eval_only = false;
+  // Optional metric sink: when set, every runner records "train_loss" per
+  // step and its task metric per evaluated epoch ("test_acc" / "valid_ppl" /
+  // "test_bleu"). Deterministic for a fixed seed, so two identically-seeded
+  // runs render identical CSV.
+  Recorder* recorder = nullptr;
+  // When true, RunResult::final_params receives a copy of every parameter
+  // tensor after the last step (golden-determinism tests compare bitwise).
+  bool capture_final_params = false;
 };
 
 struct RunResult {
@@ -47,6 +59,9 @@ struct RunResult {
   bool diverged = false;
   double wall_seconds = 0.0;
   i64 steps = 0;
+  // Filled only when RunConfig::capture_final_params is set: one tensor per
+  // parameter, in Module::parameters() order.
+  std::vector<core::Tensor> final_params;
 };
 
 RunResult train_mnist(const data::SyntheticMnist& dataset,
@@ -68,5 +83,11 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
 // Helper shared by the runners and tests: true if the loss value indicates a
 // diverged run (NaN, inf, or absurdly large).
 bool loss_diverged(double loss);
+
+// Flattens a run's config and result into an obs::RunRecord so benches can
+// append one JSONL telemetry line per run (obs::append_run_telemetry merges
+// in the phase summary and counters captured while the run executed).
+obs::RunRecord make_run_record(const std::string& name, const RunConfig& run,
+                               const RunResult& result);
 
 }  // namespace legw::train

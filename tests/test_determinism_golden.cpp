@@ -1,0 +1,125 @@
+// Golden determinism: two identically-seeded training runs must be bitwise
+// identical — final parameters, recorded metric CSV, and traced span
+// structure — under both GEMM kernels. This is the repro guarantee every
+// figure bench leans on (the paper's sweeps only make sense if a (seed,
+// config) pair names one unique trajectory).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/flags.hpp"
+#include "obs/trace.hpp"
+#include "sched/schedule.hpp"
+#include "train/recorder.hpp"
+#include "train/runners.hpp"
+
+namespace legw {
+namespace {
+
+struct GoldenRun {
+  std::vector<core::Tensor> params;
+  std::string csv;
+  std::map<std::string, i64> span_counts;
+  double final_metric = 0.0;
+  double final_train_loss = 0.0;
+};
+
+// One seeded train_mnist run with tracing on, capturing everything the
+// determinism contract covers. The recorder is cleared first so each run's
+// span structure stands alone.
+GoldenRun run_once(u64 seed) {
+  obs::TraceRecorder::global().clear();
+  data::SyntheticMnist dataset(256, 64, 42);
+  models::MnistLstmConfig mcfg;
+  mcfg.transform_dim = 16;
+  mcfg.hidden_dim = 16;
+
+  sched::ConstantLr schedule(0.05f);
+  train::Recorder recorder;
+  train::RunConfig run;
+  run.batch_size = 32;
+  run.epochs = 2;
+  run.optimizer = "momentum";
+  run.schedule = &schedule;
+  run.seed = seed;
+  run.recorder = &recorder;
+  run.capture_final_params = true;
+
+  train::RunResult result = train::train_mnist(dataset, mcfg, run);
+  GoldenRun golden;
+  golden.params = std::move(result.final_params);
+  golden.csv = recorder.to_csv();
+  golden.span_counts = obs::TraceRecorder::global().span_counts();
+  golden.final_metric = result.final_metric;
+  golden.final_train_loss = result.final_train_loss;
+  return golden;
+}
+
+bool bitwise_equal(const core::Tensor& a, const core::Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+class GoldenDeterminism : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    saved_kernel_ = core::gemm_kernel();
+    ASSERT_TRUE(core::set_gemm_kernel(GetParam()));
+    obs::set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    obs::TraceRecorder::global().clear();
+    obs::set_tracing_enabled(false);
+    core::set_gemm_kernel(saved_kernel_);
+  }
+
+ private:
+  core::GemmKernel saved_kernel_;
+};
+
+TEST_P(GoldenDeterminism, RepeatedSeededRunsAreBitwiseIdentical) {
+  const GoldenRun a = run_once(3);
+  const GoldenRun b = run_once(3);
+
+  // Parameters: bitwise, not approximately.
+  ASSERT_FALSE(a.params.empty());
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(a.params[i], b.params[i])) << "param " << i;
+  }
+
+  // Recorded training curves render to identical CSV.
+  EXPECT_FALSE(a.csv.empty());
+  EXPECT_EQ(a.csv, b.csv);
+
+  // Traced span structure (name -> count) matches exactly, and the expected
+  // training phases all appear.
+  EXPECT_EQ(a.span_counts, b.span_counts);
+  for (const char* phase : {"step", "data", "forward", "backward", "clip",
+                            "optimizer", "eval"}) {
+    EXPECT_GT(a.span_counts.count(phase), 0u) << phase;
+  }
+  EXPECT_DOUBLE_EQ(a.final_metric, b.final_metric);
+  EXPECT_DOUBLE_EQ(a.final_train_loss, b.final_train_loss);
+}
+
+TEST_P(GoldenDeterminism, DifferentSeedsDiverge) {
+  const GoldenRun a = run_once(3);
+  const GoldenRun b = run_once(4);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.params.size() && !any_diff; ++i) {
+    any_diff = !bitwise_equal(a.params[i], b.params[i]);
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_NE(a.csv, b.csv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, GoldenDeterminism,
+                         ::testing::Values("ref", "blocked"));
+
+}  // namespace
+}  // namespace legw

@@ -143,7 +143,7 @@ TEST(Recorder, WriteCsvRoundTrip) {
   train::Recorder rec;
   rec.record("acc", 5, 0.75);
   const std::string path = "/tmp/legw_test_recorder.csv";
-  rec.write_csv(path);
+  ASSERT_TRUE(rec.write_csv(path));
   std::FILE* f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
   char buf[256] = {};

@@ -1,0 +1,156 @@
+// ThreadPool concurrency stress + accounting tests. Lives in the kernel-test
+// binary so it runs under every LEGW_KERNEL/LEGW_NUM_THREADS registration and
+// under the ASan/UBSan preset (ctest -L kernels): the pool is the single
+// parallelism primitive, so races here would poison every kernel above it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace legw::core {
+namespace {
+
+i64 total_busy_ns(const ThreadPool::Stats& s) {
+  return s.inline_busy_ns +
+         std::accumulate(s.worker_busy_ns.begin(), s.worker_busy_ns.end(),
+                         i64{0});
+}
+
+TEST(PoolStress, ConcurrentSubmittersEachCoverTheirRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr i64 kN = 4096;
+  constexpr int kRounds = 25;
+  // One slot per (submitter, index); every parallel_for must write each of
+  // its indices exactly once per round.
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& v : hits) {
+    std::vector<std::atomic<int>> row(kN);
+    for (auto& a : row) a.store(0, std::memory_order_relaxed);
+    v = std::move(row);
+  }
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(0, kN, 64, [&, t](i64 begin, i64 end) {
+          for (i64 i = begin; i < end; ++i) {
+            hits[t][static_cast<std::size_t>(i)].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int t = 0; t < kSubmitters; ++t) {
+    for (i64 i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[t][static_cast<std::size_t>(i)].load(), kRounds)
+          << "submitter " << t << " index " << i;
+    }
+  }
+  // Quiescence invariant: every queued chunk was executed by exactly one
+  // worker; nothing lost, nothing run twice.
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.chunks_queued, stats.chunks_executed);
+  EXPECT_GT(stats.chunks_inline, 0);  // each submitter runs its own chunk
+  EXPECT_GT(stats.submissions, 0);
+}
+
+TEST(PoolStress, NestedParallelForDegradesSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr i64 kOuter = 64;
+  constexpr i64 kInner = 256;
+  std::atomic<i64> total{0};
+  pool.parallel_for(0, kOuter, 1, [&](i64 ob, i64 oe) {
+    for (i64 o = ob; o < oe; ++o) {
+      // Reentrant call from inside a worker chunk: must run (serially) and
+      // must not deadlock waiting on workers already busy with the outer
+      // loop.
+      pool.parallel_for(0, kInner, 16, [&](i64 ib, i64 ie) {
+        total.fetch_add(ie - ib, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.chunks_queued, stats.chunks_executed);
+}
+
+TEST(PoolStress, StatsPartitionAccountsForEveryChunk) {
+  ThreadPool pool(4);  // 1 inline + 3 workers
+  pool.parallel_for(0, 400, 100, [](i64, i64) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  const auto stats = pool.stats();
+  // Static partition: 4 chunks of 100 — one inline, three queued.
+  EXPECT_EQ(stats.chunks_inline, 1);
+  EXPECT_EQ(stats.chunks_queued, 3);
+  EXPECT_EQ(stats.chunks_executed, 3);
+  EXPECT_EQ(stats.submissions, 1);
+  EXPECT_EQ(stats.worker_busy_ns.size(), 3u);
+  EXPECT_GT(total_busy_ns(stats), 0);
+}
+
+TEST(PoolStress, SmallRangeRunsInlineOnly) {
+  ThreadPool pool(4);
+  std::atomic<i64> total{0};
+  pool.parallel_for(0, 10, 100, [&](i64 b, i64 e) {
+    total.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 10);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.chunks_inline, 1);
+  EXPECT_EQ(stats.chunks_queued, 0);
+  EXPECT_EQ(stats.submissions, 0);  // never touched the queue
+}
+
+TEST(PoolStress, ResetStatsZeroesEverything) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 1000, 10, [](i64, i64) {});
+  pool.reset_stats();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.chunks_queued, 0);
+  EXPECT_EQ(stats.chunks_executed, 0);
+  EXPECT_EQ(stats.chunks_inline, 0);
+  EXPECT_EQ(stats.submissions, 0);
+  EXPECT_EQ(total_busy_ns(stats), 0);
+}
+
+TEST(PoolStress, GlobalPoolSurvivesMixedStress) {
+  // The global pool (sized by LEGW_NUM_THREADS in some registrations of this
+  // binary) under the same mixed load the library produces: concurrent
+  // submitters, some of which nest.
+  auto& pool = ThreadPool::global();
+  constexpr int kSubmitters = 4;
+  std::atomic<i64> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < 10; ++round) {
+        pool.parallel_for(0, 512, 32, [&, t](i64 b, i64 e) {
+          if (t % 2 == 0) {
+            pool.parallel_for(0, 8, 1, [&](i64 ib, i64 ie) {
+              total.fetch_add((ie - ib) * (e - b), std::memory_order_relaxed);
+            });
+          } else {
+            total.fetch_add(8 * (e - b), std::memory_order_relaxed);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), i64{kSubmitters} * 10 * 512 * 8);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.chunks_queued, stats.chunks_executed);
+}
+
+}  // namespace
+}  // namespace legw::core
