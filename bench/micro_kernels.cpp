@@ -3,6 +3,11 @@
 // end-to-end per-step cost of each model.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
 #include "ag/ops.hpp"
 #include "core/flags.hpp"
 #include "data/translation.hpp"
@@ -250,4 +255,25 @@ BENCHMARK(BM_GnmtBeamDecode)->Arg(1)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): every bench binary must
+// accept --trace (ScopedTrace), and google-benchmark rejects flags it does
+// not know, so the trace flag is stripped from argv before Initialize.
+int main(int argc, char** argv) {
+  legw::bench::ScopedTrace trace(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) continue;
+    if (a == "--trace") {
+      if (i + 1 < argc) ++i;  // skip the path operand too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

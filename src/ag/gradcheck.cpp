@@ -3,12 +3,19 @@
 #include <cmath>
 #include <sstream>
 
+#include "check/check.hpp"
+
 namespace legw::ag {
 
 GradCheckResult grad_check(const std::function<Variable()>& fn,
                            std::vector<Variable> leaves, double eps,
                            double rel_tol, double abs_tol) {
   GradCheckResult result;
+
+  // Arm the non-finite tripwires for the harness's scope: a NaN that slips
+  // into a forward value or gradient is blamed at the op that produced it
+  // instead of surfacing as an inscrutable finite-difference mismatch.
+  check::TripwireScope tripwires(true);
 
   // Analytic gradients.
   for (auto& leaf : leaves) leaf.zero_grad();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/contracts.hpp"
 #include "core/kernels.hpp"
 
 namespace legw::ag {
@@ -11,9 +12,9 @@ using legw::i32;
 using legw::i64;
 
 Variable add(const Variable& a, const Variable& b) {
-  LEGW_CHECK(a.value().same_shape(b.value()), "add: shape mismatch");
+  check::expect_same_shape(a.value(), b.value(), "add");
   Tensor out = a.value() + b.value();
-  return make_op_node(std::move(out), {a, b}, [](Node& n) {
+  return make_op_node("add", std::move(out), {a, b}, [](Node& n) {
     for (int i = 0; i < 2; ++i) {
       if (n.parents[i]->requires_grad) n.parents[i]->ensure_grad().add_(n.grad);
     }
@@ -21,9 +22,9 @@ Variable add(const Variable& a, const Variable& b) {
 }
 
 Variable sub(const Variable& a, const Variable& b) {
-  LEGW_CHECK(a.value().same_shape(b.value()), "sub: shape mismatch");
+  check::expect_same_shape(a.value(), b.value(), "sub");
   Tensor out = a.value() - b.value();
-  return make_op_node(std::move(out), {a, b}, [](Node& n) {
+  return make_op_node("sub", std::move(out), {a, b}, [](Node& n) {
     if (n.parents[0]->requires_grad) n.parents[0]->ensure_grad().add_(n.grad);
     if (n.parents[1]->requires_grad)
       n.parents[1]->ensure_grad().add_(n.grad, -1.0f);
@@ -31,9 +32,9 @@ Variable sub(const Variable& a, const Variable& b) {
 }
 
 Variable mul(const Variable& a, const Variable& b) {
-  LEGW_CHECK(a.value().same_shape(b.value()), "mul: shape mismatch");
+  check::expect_same_shape(a.value(), b.value(), "mul");
   Tensor out = a.value() * b.value();
-  return make_op_node(std::move(out), {a, b}, [](Node& n) {
+  return make_op_node("mul", std::move(out), {a, b}, [](Node& n) {
     if (n.parents[0]->requires_grad) {
       Tensor& ga = n.parents[0]->ensure_grad();
       const Tensor& bv = n.parents[1]->value;
@@ -49,7 +50,7 @@ Variable mul(const Variable& a, const Variable& b) {
 
 Variable scale(const Variable& a, float s) {
   Tensor out = a.value() * s;
-  return make_op_node(std::move(out), {a}, [s](Node& n) {
+  return make_op_node("scale", std::move(out), {a}, [s](Node& n) {
     if (n.parents[0]->requires_grad)
       n.parents[0]->ensure_grad().add_(n.grad, s);
   });
@@ -57,7 +58,7 @@ Variable scale(const Variable& a, float s) {
 
 Variable add_scalar(const Variable& a, float s) {
   Tensor out = a.value() + s;
-  return make_op_node(std::move(out), {a}, [](Node& n) {
+  return make_op_node("add_scalar", std::move(out), {a}, [](Node& n) {
     if (n.parents[0]->requires_grad) n.parents[0]->ensure_grad().add_(n.grad);
   });
 }
@@ -74,7 +75,7 @@ Variable add_bias(const Variable& x, const Variable& bias) {
   for (i64 r = 0; r < m; ++r) {
     for (i64 c = 0; c < ncols; ++c) o[r * ncols + c] += bv[c];
   }
-  return make_op_node(std::move(out), {x, bias}, [m, ncols](Node& n) {
+  return make_op_node("add_bias", std::move(out), {x, bias}, [m, ncols](Node& n) {
     if (n.parents[0]->requires_grad) n.parents[0]->ensure_grad().add_(n.grad);
     if (n.parents[1]->requires_grad) {
       Tensor& gb = n.parents[1]->ensure_grad();
@@ -98,7 +99,7 @@ Variable mul_colvec(const Variable& x, const Variable& col) {
     const float s = cv[r];
     for (i64 c = 0; c < ncols; ++c) o[r * ncols + c] *= s;
   }
-  return make_op_node(std::move(out), {x, col}, [m, ncols](Node& n) {
+  return make_op_node("mul_colvec", std::move(out), {x, col}, [m, ncols](Node& n) {
     const float* g = n.grad.data();
     if (n.parents[0]->requires_grad) {
       Tensor& gx = n.parents[0]->ensure_grad();
@@ -123,7 +124,7 @@ Variable mul_colvec(const Variable& x, const Variable& col) {
 Variable matmul(const Variable& a, const Variable& b, bool trans_a,
                 bool trans_b) {
   Tensor out = core::matmul(a.value(), b.value(), trans_a, trans_b);
-  return make_op_node(
+  return make_op_node("matmul", 
       std::move(out), {a, b}, [trans_a, trans_b](Node& n) {
         const Tensor& av = n.parents[0]->value;
         const Tensor& bv = n.parents[1]->value;
@@ -164,7 +165,7 @@ Variable sigmoid(const Variable& a) {
   Tensor out(a.value().shape());
   core::sigmoid_forward(a.value().data(), out.data(), out.numel());
   Tensor saved = out;
-  return make_op_node(std::move(out), {a}, [saved](Node& n) {
+  return make_op_node("sigmoid", std::move(out), {a}, [saved](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     core::sigmoid_backward(saved.data(), n.grad.data(),
                            n.parents[0]->ensure_grad().data(), saved.numel());
@@ -175,7 +176,7 @@ Variable tanh(const Variable& a) {
   Tensor out(a.value().shape());
   core::tanh_forward(a.value().data(), out.data(), out.numel());
   Tensor saved = out;
-  return make_op_node(std::move(out), {a}, [saved](Node& n) {
+  return make_op_node("tanh", std::move(out), {a}, [saved](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     core::tanh_backward(saved.data(), n.grad.data(),
                         n.parents[0]->ensure_grad().data(), saved.numel());
@@ -185,7 +186,7 @@ Variable tanh(const Variable& a) {
 Variable relu(const Variable& a) {
   Tensor out(a.value().shape());
   core::relu_forward(a.value().data(), out.data(), out.numel());
-  return make_op_node(std::move(out), {a}, [](Node& n) {
+  return make_op_node("relu", std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     core::relu_backward(n.parents[0]->value.data(), n.grad.data(),
                         n.parents[0]->ensure_grad().data(), n.grad.numel());
@@ -193,13 +194,13 @@ Variable relu(const Variable& a) {
 }
 
 Variable softmax_rows(const Variable& a) {
-  LEGW_CHECK(a.value().dim() == 2, "softmax_rows requires 2-D input");
+  check::expect_dim(a.value(), 2, "softmax_rows");
   const i64 rows = a.size(0);
   const i64 cols = a.size(1);
   Tensor out(a.value().shape());
   core::softmax_rows(a.value().data(), out.data(), rows, cols);
   Tensor saved = out;
-  return make_op_node(std::move(out), {a}, [saved, rows, cols](Node& n) {
+  return make_op_node("softmax_rows", std::move(out), {a}, [saved, rows, cols](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gx = n.parents[0]->ensure_grad();
     const float* y = saved.data();
@@ -218,7 +219,7 @@ Variable softmax_rows(const Variable& a) {
 Variable reshape(const Variable& a, Shape shape) {
   Tensor out = a.value().reshape(shape);
   Shape orig = a.value().shape();
-  return make_op_node(std::move(out), {a}, [orig](Node& n) {
+  return make_op_node("reshape", std::move(out), {a}, [orig](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     n.parents[0]->ensure_grad().add_(n.grad.reshape(orig));
   });
@@ -247,7 +248,7 @@ Variable concat_cols(const std::vector<Variable>& parts) {
     }
     col_off += w;
   }
-  return make_op_node(std::move(out), parts,
+  return make_op_node("concat_cols", std::move(out), parts,
                       [rows, total_cols, widths](Node& n) {
                         const float* g = n.grad.data();
                         i64 off = 0;
@@ -265,7 +266,7 @@ Variable concat_cols(const std::vector<Variable>& parts) {
 }
 
 Variable slice_cols(const Variable& a, i64 begin, i64 end) {
-  LEGW_CHECK(a.value().dim() == 2, "slice_cols requires 2-D input");
+  check::expect_dim(a.value(), 2, "slice_cols");
   const i64 rows = a.size(0);
   const i64 cols = a.size(1);
   LEGW_CHECK(0 <= begin && begin < end && end <= cols,
@@ -276,7 +277,7 @@ Variable slice_cols(const Variable& a, i64 begin, i64 end) {
   float* o = out.data();
   for (i64 r = 0; r < rows; ++r)
     for (i64 c = 0; c < w; ++c) o[r * w + c] = src[r * cols + begin + c];
-  return make_op_node(std::move(out), {a}, [rows, cols, begin, w](Node& n) {
+  return make_op_node("slice_cols", std::move(out), {a}, [rows, cols, begin, w](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gp = n.parents[0]->ensure_grad();
     const float* g = n.grad.data();
@@ -306,7 +307,7 @@ Variable concat_rows(const std::vector<Variable>& parts) {
     std::copy(src, src + h * cols, o + row_off * cols);
     row_off += h;
   }
-  return make_op_node(std::move(out), parts, [cols, heights](Node& n) {
+  return make_op_node("concat_rows", std::move(out), parts, [cols, heights](Node& n) {
     const float* g = n.grad.data();
     i64 off = 0;
     for (std::size_t i = 0; i < n.parents.size(); ++i) {
@@ -323,7 +324,7 @@ Variable concat_rows(const std::vector<Variable>& parts) {
 Variable sum_all(const Variable& a) {
   Tensor out(Shape{1});
   out[0] = a.value().sum();
-  return make_op_node(std::move(out), {a}, [](Node& n) {
+  return make_op_node("sum_all", std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gp = n.parents[0]->ensure_grad();
     const float g = n.grad[0];
@@ -333,10 +334,10 @@ Variable sum_all(const Variable& a) {
 
 Variable mean_all(const Variable& a) {
   const i64 count = a.numel();
-  LEGW_CHECK(count > 0, "mean_all of empty tensor");
+  check::expect_nonempty(a.value(), "mean_all");
   Tensor out(Shape{1});
   out[0] = a.value().mean();
-  return make_op_node(std::move(out), {a}, [count](Node& n) {
+  return make_op_node("mean_all", std::move(out), {a}, [count](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gp = n.parents[0]->ensure_grad();
     const float g = n.grad[0] / static_cast<float>(count);
@@ -345,14 +346,14 @@ Variable mean_all(const Variable& a) {
 }
 
 Variable sum_rows(const Variable& a) {
-  LEGW_CHECK(a.value().dim() == 2, "sum_rows requires 2-D input");
+  check::expect_dim(a.value(), 2, "sum_rows");
   const i64 rows = a.size(0);
   const i64 cols = a.size(1);
   Tensor out(Shape{cols});
   const float* src = a.value().data();
   for (i64 r = 0; r < rows; ++r)
     for (i64 c = 0; c < cols; ++c) out[c] += src[r * cols + c];
-  return make_op_node(std::move(out), {a}, [rows, cols](Node& n) {
+  return make_op_node("sum_rows", std::move(out), {a}, [rows, cols](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gp = n.parents[0]->ensure_grad();
     const float* g = n.grad.data();
@@ -362,7 +363,7 @@ Variable sum_rows(const Variable& a) {
 }
 
 Variable embedding(const Variable& weight, const std::vector<i32>& indices) {
-  LEGW_CHECK(weight.value().dim() == 2, "embedding weight must be [vocab, dim]");
+  check::expect_dim(weight.value(), 2, "embedding");
   const i64 vocab = weight.size(0);
   const i64 dim = weight.size(1);
   const i64 n = static_cast<i64>(indices.size());
@@ -374,7 +375,7 @@ Variable embedding(const Variable& weight, const std::vector<i32>& indices) {
     LEGW_CHECK(idx >= 0 && idx < vocab, "embedding index out of range");
     std::copy(w + idx * dim, w + (idx + 1) * dim, o + i * dim);
   }
-  return make_op_node(std::move(out), {weight}, [indices, dim](Node& n) {
+  return make_op_node("embedding", std::move(out), {weight}, [indices, dim](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gw = n.parents[0]->ensure_grad();
     const float* g = n.grad.data();
@@ -396,7 +397,7 @@ Variable dropout(const Variable& a, float p, core::Rng& rng, bool training) {
     mask[i] = rng.uniform() < keep ? inv_keep : 0.0f;
   }
   Tensor out = a.value() * mask;
-  return make_op_node(std::move(out), {a}, [mask](Node& n) {
+  return make_op_node("dropout", std::move(out), {a}, [mask](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gp = n.parents[0]->ensure_grad();
     for (i64 i = 0; i < gp.numel(); ++i) gp[i] += n.grad[i] * mask[i];
@@ -407,7 +408,7 @@ Variable exp(const Variable& a) {
   Tensor out(a.value().shape());
   for (i64 i = 0; i < out.numel(); ++i) out[i] = std::exp(a.value()[i]);
   Tensor saved = out;
-  return make_op_node(std::move(out), {a}, [saved](Node& n) {
+  return make_op_node("exp", std::move(out), {a}, [saved](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& g = n.parents[0]->ensure_grad();
     for (i64 i = 0; i < g.numel(); ++i) g[i] += n.grad[i] * saved[i];
@@ -420,7 +421,7 @@ Variable log(const Variable& a) {
     LEGW_DCHECK(a.value()[i] > 0.0f, "log: input must be positive");
     out[i] = std::log(a.value()[i]);
   }
-  return make_op_node(std::move(out), {a}, [](Node& n) {
+  return make_op_node("log", std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& g = n.parents[0]->ensure_grad();
     const Tensor& x = n.parents[0]->value;
@@ -435,7 +436,7 @@ Variable sqrt(const Variable& a, float eps) {
     out[i] = std::sqrt(a.value()[i]);
   }
   Tensor saved = out;
-  return make_op_node(std::move(out), {a}, [saved, eps](Node& n) {
+  return make_op_node("sqrt", std::move(out), {a}, [saved, eps](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& g = n.parents[0]->ensure_grad();
     for (i64 i = 0; i < g.numel(); ++i) {
@@ -447,7 +448,7 @@ Variable sqrt(const Variable& a, float eps) {
 Variable abs(const Variable& a) {
   Tensor out(a.value().shape());
   for (i64 i = 0; i < out.numel(); ++i) out[i] = std::fabs(a.value()[i]);
-  return make_op_node(std::move(out), {a}, [](Node& n) {
+  return make_op_node("abs", std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& g = n.parents[0]->ensure_grad();
     const Tensor& x = n.parents[0]->value;
@@ -463,7 +464,7 @@ Variable clamp(const Variable& a, float lo, float hi) {
   for (i64 i = 0; i < out.numel(); ++i) {
     out[i] = std::min(hi, std::max(lo, a.value()[i]));
   }
-  return make_op_node(std::move(out), {a}, [lo, hi](Node& n) {
+  return make_op_node("clamp", std::move(out), {a}, [lo, hi](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& g = n.parents[0]->ensure_grad();
     const Tensor& x = n.parents[0]->value;
@@ -474,12 +475,12 @@ Variable clamp(const Variable& a, float lo, float hi) {
 }
 
 Variable normalize_vec(const Variable& v, float eps) {
-  LEGW_CHECK(v.value().dim() == 1, "normalize_vec requires a 1-D vector");
+  check::expect_dim(v.value(), 1, "normalize_vec");
   const i64 n = v.numel();
   const float norm = std::max(v.value().l2_norm(), eps);
   Tensor out = v.value() * (1.0f / norm);
   Tensor unit = out;
-  return make_op_node(std::move(out), {v}, [unit, norm, n](Node& ng) {
+  return make_op_node("normalize_vec", std::move(out), {v}, [unit, norm, n](Node& ng) {
     if (!ng.parents[0]->requires_grad) return;
     // d(v/||v||)/dv = (I - u u^T) / ||v||  with u = v/||v||.
     Tensor& gv = ng.parents[0]->ensure_grad();
@@ -496,7 +497,7 @@ Variable normalize_vec(const Variable& v, float eps) {
 Variable softmax_cross_entropy(const Variable& logits,
                                const std::vector<i32>& targets,
                                i32 ignore_index, i64* counted_out) {
-  LEGW_CHECK(logits.value().dim() == 2, "cross-entropy logits must be 2-D");
+  check::expect_dim(logits.value(), 2, "softmax_cross_entropy");
   const i64 rows = logits.size(0);
   const i64 cols = logits.size(1);
   LEGW_CHECK(static_cast<i64>(targets.size()) == rows,
@@ -509,7 +510,7 @@ Variable softmax_cross_entropy(const Variable& logits,
   if (counted_out != nullptr) *counted_out = counted;
   Tensor out(Shape{1});
   out[0] = counted > 0 ? static_cast<float>(total / counted) : 0.0f;
-  return make_op_node(
+  return make_op_node("softmax_cross_entropy", 
       std::move(out), {logits},
       [probs, targets, ignore_index, rows, cols, counted](Node& n) {
         if (!n.parents[0]->requires_grad || counted == 0) return;

@@ -101,7 +101,7 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& bias,
 
   std::vector<Variable> parents = {x, w};
   if (has_bias) parents.push_back(bias);
-  return make_op_node(
+  return make_op_node("conv2d", 
       std::move(out), std::move(parents),
       [B, C, H, W, Cout, kh, kw, stride, pad, Ho, Wo, has_bias](Node& n) {
         auto& px = *n.parents[0];
@@ -219,7 +219,7 @@ Variable batch_norm2d(const Variable& x, const Variable& gamma,
     }
   }
 
-  return make_op_node(
+  return make_op_node("batch_norm2d", 
       std::move(out), {x, gamma, beta},
       [xhat, inv_std, B, C, spatial, count, training](Node& n) {
         auto& px = *n.parents[0];
@@ -283,7 +283,7 @@ Variable global_avg_pool(const Variable& x) {
       for (i64 s = 0; s < spatial; ++s) acc += xc[s];
       out[b * C + c] = static_cast<float>(acc / spatial);
     }
-  return make_op_node(std::move(out), {x}, [B, C, spatial](Node& n) {
+  return make_op_node("global_avg_pool", std::move(out), {x}, [B, C, spatial](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gx = n.parents[0]->ensure_grad();
     const float inv = 1.0f / static_cast<float>(spatial);
@@ -314,7 +314,7 @@ Variable avg_pool2x2(const Variable& x) {
                                   xi[(2 * i + 1) * W + 2 * j] +
                                   xi[(2 * i + 1) * W + 2 * j + 1]);
   }
-  return make_op_node(std::move(out), {x}, [B, C, H, W, Ho, Wo](Node& n) {
+  return make_op_node("avg_pool2x2", std::move(out), {x}, [B, C, H, W, Ho, Wo](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor& gx = n.parents[0]->ensure_grad();
     const float* g = n.grad.data();

@@ -53,7 +53,7 @@ Variable lstm_cell(const Variable& x, const Variable& h, const Variable& c,
   core::lstm_cell_forward(batch, hidden, b.value().data(), acts.data(),
                           c.value().data(), out.data(), tanh_c_new.data());
 
-  return make_op_node(
+  return make_op_node("lstm_cell", 
       std::move(out), {x, h, c, w, b},
       [xh, acts, tanh_c_new, batch, in_dim, hidden](Node& n) {
         auto& px = *n.parents[0];

@@ -1,23 +1,40 @@
 #include "ag/variable.hpp"
 
+#include <string>
 #include <unordered_set>
+
+#include "check/check.hpp"
 
 namespace legw::ag {
 
-Variable make_op_node(Tensor value, std::vector<Variable> parents,
+Variable make_op_node(const char* op, Tensor value,
+                      std::vector<Variable> parents,
                       std::function<void(Node&)> backward_fn) {
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
+  n->op = op;
   bool needs = false;
   n->parents.reserve(parents.size());
+  n->parent_versions.reserve(parents.size());
   for (const auto& p : parents) {
     LEGW_CHECK(p.defined(), "op parent is an undefined Variable");
     needs = needs || p.node()->requires_grad;
+    n->parent_versions.push_back(p.node()->value.version());
     n->parents.push_back(p.node());
   }
   n->requires_grad = needs;
   if (needs) n->backward_fn = std::move(backward_fn);
+  if (check::tripwires_enabled()) {
+    check::assert_finite(n->value, std::string(op) + ".out",
+                         std::string("forward of ") + op);
+  }
   return Variable(std::move(n));
+}
+
+Variable make_op_node(Tensor value, std::vector<Variable> parents,
+                      std::function<void(Node&)> backward_fn) {
+  return make_op_node("op", std::move(value), std::move(parents),
+                      std::move(backward_fn));
 }
 
 namespace {
@@ -48,6 +65,27 @@ void topo_sort(const std::shared_ptr<Node>& root,
   }
 }
 
+// Tripwire sweep after one node's backward closure ran: every parent that
+// received gradient must still be finite, and the captured parent values
+// must not have been mutated since the graph was built (a stale graph
+// silently produces wrong gradients — abort with blame instead).
+void check_backward_step(const Node& n) {
+  for (std::size_t i = 0; i < n.parents.size(); ++i) {
+    const Node& p = *n.parents[i];
+    if (i < n.parent_versions.size() &&
+        p.value.version() != n.parent_versions[i]) {
+      LEGW_CHECK(false, std::string("stale graph: input ") +
+                            std::to_string(i) + " of op '" + n.op +
+                            "' (produced by '" + p.op +
+                            "') was mutated in place after graph capture");
+    }
+    if (p.requires_grad && !p.grad.empty()) {
+      check::assert_finite(p.grad, std::string(p.op) + ".grad",
+                           std::string("backward of ") + n.op);
+    }
+  }
+}
+
 }  // namespace
 
 void backward(const Variable& root, const Tensor* seed) {
@@ -64,12 +102,19 @@ void backward(const Variable& root, const Tensor* seed) {
     g[0] += 1.0f;
   }
 
+  // Snapshot once: the flag is stable for the duration of one backward pass
+  // and the scan is O(edges * numel) when armed.
+  const bool tripwires = check::tripwires_enabled();
+
   std::vector<Node*> order;
   topo_sort(root.node(), order);
   // Post-order puts parents before children; reverse to propagate root-first.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
-    if (n->backward_fn) n->backward_fn(*n);
+    if (n->backward_fn) {
+      n->backward_fn(*n);
+      if (tripwires) check_backward_step(*n);
+    }
   }
 }
 

@@ -26,7 +26,15 @@ struct Node {
   Tensor value;
   Tensor grad;  // empty until ensure_grad(); same shape as value afterwards
   bool requires_grad = false;
+  // Static-string op name ("matmul", "lstm_cell", ...; "leaf" for leaves).
+  // Diagnostics only: non-finite tripwires and the graph validator use it to
+  // blame the producing op.
+  const char* op = "leaf";
   std::vector<std::shared_ptr<Node>> parents;
+  // Each parent's value.version() at graph-capture time. backward (in
+  // checked mode) and check::lint_graph compare against the current versions
+  // to detect in-place mutation of a tensor after the graph captured it.
+  std::vector<u32> parent_versions;
   // Propagates this node's grad into parents' grads (accumulating).
   std::function<void(Node&)> backward_fn;
 
@@ -54,7 +62,13 @@ class Variable {
 
   bool defined() const { return node_ != nullptr; }
   const Tensor& value() const { return node_->value; }
-  Tensor& mutable_value() { return node_->value; }
+  // Grants write access to the stored value and bumps its mutation version:
+  // writing a value that a live graph captured is exactly the defect the
+  // graph validator exists to catch.
+  Tensor& mutable_value() {
+    node_->value.bump_version();
+    return node_->value;
+  }
   // The accumulated gradient; zeros if backward never reached this node.
   const Tensor& grad() const {
     LEGW_CHECK(node_ != nullptr, "grad() on undefined Variable");
@@ -77,6 +91,14 @@ class Variable {
 };
 
 // Creates an interior node whose requires_grad is the OR of its parents'.
+// `op` must be a static string (the Node stores the pointer); it names the
+// producing op in tripwire and graph-validator diagnostics. When the
+// non-finite tripwires are armed (check::tripwires_enabled()) the freshly
+// computed value is scanned and a NaN/Inf aborts with the op's name.
+Variable make_op_node(const char* op, Tensor value,
+                      std::vector<Variable> parents,
+                      std::function<void(Node&)> backward_fn);
+// Legacy unnamed form; diagnostics report the op as "op".
 Variable make_op_node(Tensor value, std::vector<Variable> parents,
                       std::function<void(Node&)> backward_fn);
 

@@ -1,0 +1,74 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace legw::check {
+
+namespace {
+
+// Relaxed atomics: the flag is read by concurrent replica-backward threads;
+// only the value matters, not ordering against other memory.
+std::atomic<bool>& tripwire_state() {
+  static std::atomic<bool> state{[] {
+    if (const char* env = std::getenv("LEGW_CHECK_FINITE")) {
+      return env[0] != '\0' && env[0] != '0';
+    }
+    return kCheckedBuild;
+  }()};
+  return state;
+}
+
+std::atomic<i64>& step_state() {
+  static std::atomic<i64> state{-1};
+  return state;
+}
+
+}  // namespace
+
+bool tripwires_enabled() {
+  return tripwire_state().load(std::memory_order_relaxed);
+}
+
+void set_tripwires(bool on) {
+  tripwire_state().store(on, std::memory_order_relaxed);
+}
+
+TripwireScope::TripwireScope(bool on) : prev_(tripwires_enabled()) {
+  set_tripwires(on);
+}
+
+TripwireScope::~TripwireScope() { set_tripwires(prev_); }
+
+void set_step_index(i64 step) {
+  step_state().store(step, std::memory_order_relaxed);
+}
+
+i64 step_index() { return step_state().load(std::memory_order_relaxed); }
+
+i64 first_non_finite(const float* data, i64 n) {
+  for (i64 i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return i;
+  }
+  return -1;
+}
+
+bool all_finite(const core::Tensor& t) {
+  return first_non_finite(t.data(), t.numel()) < 0;
+}
+
+void assert_finite(const core::Tensor& t, const std::string& tensor_name,
+                   const std::string& context) {
+  const i64 idx = first_non_finite(t.data(), t.numel());
+  if (idx < 0) return;
+  std::ostringstream os;
+  os << "non-finite tripwire: " << t[idx] << " at elem " << idx << " of "
+     << tensor_name << " shape " << core::shape_to_string(t.shape())
+     << " during " << context;
+  if (step_index() >= 0) os << " (step " << step_index() << ")";
+  LEGW_CHECK(idx < 0, os.str());
+}
+
+}  // namespace legw::check

@@ -1,0 +1,70 @@
+// Diagnostic-checking layer: NaN/Inf tripwires with precise blame.
+//
+// Two switches control the checks:
+//
+//  * Build-time: the LEGW_CHECKED CMake option defines LEGW_CHECKED_BUILD,
+//    which turns on bounds-checked Tensor element access (core/tensor.hpp)
+//    and enables the runtime tripwires by default. `kCheckedBuild` reflects
+//    the flag so tests can assert that checks are compiled out of release
+//    builds.
+//
+//  * Run-time: tripwires_enabled() gates the non-finite scans that fire
+//    after every op forward (ag::make_op_node), after every node's backward
+//    closure (ag::backward) and after every optimizer step
+//    (optim::Optimizer::step). Off by default in normal builds (a single
+//    predicted branch per *op*, never per element), on by default in
+//    LEGW_CHECKED builds, and forceable either way via the LEGW_CHECK_FINITE
+//    environment variable or set_tripwires(). The gradcheck harness enables
+//    them for its scope so a non-finite value is blamed at the op that
+//    produced it instead of surfacing as a bare finite-difference mismatch.
+//
+// A tripwire that fires aborts through the LEGW_CHECK machinery with the op
+// name, the offending tensor, the element index and the current step index.
+#pragma once
+
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace legw::check {
+
+#ifdef LEGW_CHECKED_BUILD
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+// True when the non-finite tripwires are active (see file comment).
+bool tripwires_enabled();
+void set_tripwires(bool on);
+
+// RAII enable/disable of the tripwires; restores the previous state.
+class TripwireScope {
+ public:
+  explicit TripwireScope(bool on);
+  ~TripwireScope();
+  TripwireScope(const TripwireScope&) = delete;
+  TripwireScope& operator=(const TripwireScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Step-index blame: the train runners publish the current optimizer step so a
+// tripwire can report *when* a value went non-finite, not just where. -1
+// means "no step context" (e.g. standalone tests).
+void set_step_index(i64 step);
+i64 step_index();
+
+// Index of the first NaN/Inf element, or -1 if all finite.
+i64 first_non_finite(const float* data, i64 n);
+bool all_finite(const core::Tensor& t);
+
+// Aborts with full blame if `t` contains a NaN or Inf:
+//   non-finite tripwire: <value> at elem <i> of <tensor_name> shape [..]
+//   during <context> (step <n>)
+// Unconditional: callers gate on tripwires_enabled().
+void assert_finite(const core::Tensor& t, const std::string& tensor_name,
+                   const std::string& context);
+
+}  // namespace legw::check

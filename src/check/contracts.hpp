@@ -1,0 +1,46 @@
+// Centralized shape-contract assertions for the op library.
+//
+// Every public op used to hand-roll its LEGW_CHECK message; these helpers
+// make the contract one call and the failure message uniform — always the op
+// name plus the offending shapes, so a violation is attributable without a
+// debugger. All helpers are always-on (LEGW_CHECK semantics): shape checks
+// run once per op call, which is noise next to the kernel work they guard.
+#pragma once
+
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace legw::check {
+
+// `a` and `b` must share one shape. Message keeps the "shape mismatch"
+// wording the contract death-tests pin down.
+inline void expect_same_shape(const core::Tensor& a, const core::Tensor& b,
+                              const char* op) {
+  LEGW_CHECK(a.same_shape(b),
+             std::string(op) + ": shape mismatch " +
+                 core::shape_to_string(a.shape()) + " vs " +
+                 core::shape_to_string(b.shape()));
+}
+
+// `t` must have exactly `d` dimensions.
+inline void expect_dim(const core::Tensor& t, i64 d, const char* op) {
+  LEGW_CHECK(t.dim() == d, std::string(op) + ": requires " +
+                               std::to_string(d) + "-D input, got " +
+                               core::shape_to_string(t.shape()));
+}
+
+// Dimension `d` of `t` must have extent `n`.
+inline void expect_size(const core::Tensor& t, i64 d, i64 n, const char* op) {
+  LEGW_CHECK(t.dim() > d && t.size(d) == n,
+             std::string(op) + ": dimension " + std::to_string(d) +
+                 " must be " + std::to_string(n) + ", got " +
+                 core::shape_to_string(t.shape()));
+}
+
+// `t` must hold at least one element.
+inline void expect_nonempty(const core::Tensor& t, const char* op) {
+  LEGW_CHECK(t.numel() > 0, std::string(op) + ": empty tensor");
+}
+
+}  // namespace legw::check

@@ -1,0 +1,144 @@
+#include "check/graph_lint.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace legw::check {
+
+using ag::Node;
+
+const char* graph_issue_kind_name(GraphIssueKind kind) {
+  switch (kind) {
+    case GraphIssueKind::kCycle:
+      return "cycle";
+    case GraphIssueKind::kGradNeverPopulated:
+      return "grad-never-populated";
+    case GraphIssueKind::kUnreachableParam:
+      return "unreachable-param";
+    case GraphIssueKind::kStaleCapture:
+      return "stale-capture";
+    case GraphIssueKind::kMissingBackwardFn:
+      return "missing-backward-fn";
+  }
+  return "unknown";
+}
+
+std::string GraphLintReport::to_string() const {
+  if (ok()) return "graph lint: ok (" + std::to_string(nodes_visited) + " nodes)";
+  std::ostringstream os;
+  os << "graph lint: " << issues.size() << " issue(s) in " << nodes_visited
+     << " nodes";
+  for (const GraphIssue& issue : issues) {
+    os << "\n  [" << graph_issue_kind_name(issue.kind) << "] " << issue.detail;
+  }
+  return os.str();
+}
+
+namespace {
+
+// Iterative three-colour DFS: white = unvisited, grey = on the current DFS
+// path, black = done. A parent edge into a grey node closes a cycle.
+enum class Colour { kGrey, kBlack };
+
+struct Walk {
+  std::unordered_map<Node*, Colour> colour;
+  std::vector<Node*> order;  // every node reached, any order
+  std::vector<GraphIssue> issues;
+};
+
+void walk_graph(Node* root, Walk& walk) {
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  walk.colour[root] = Colour::kGrey;
+  walk.order.push_back(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      auto it = walk.colour.find(p);
+      if (it == walk.colour.end()) {
+        walk.colour[p] = Colour::kGrey;
+        walk.order.push_back(p);
+        stack.push_back({p, 0});
+      } else if (it->second == Colour::kGrey) {
+        walk.issues.push_back(
+            {GraphIssueKind::kCycle,
+             std::string("edge from op '") + f.node->op + "' back to op '" +
+                 p->op + "' closes a cycle; backward() would drop its "
+                 "gradient contributions"});
+      }
+    } else {
+      walk.colour[f.node] = Colour::kBlack;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+GraphLintReport lint_graph(const ag::Variable& root,
+                           const std::vector<ag::Variable>& params) {
+  LEGW_CHECK(root.defined(), "lint_graph: undefined root Variable");
+  GraphLintReport report;
+
+  Walk walk;
+  walk_graph(root.node().get(), walk);
+  report.nodes_visited = static_cast<i64>(walk.order.size());
+  report.issues = std::move(walk.issues);
+
+  // Has backward() run on this graph? The root's gradient buffer is only
+  // allocated by backward (or an explicit ensure_grad, which callers of a
+  // validator can be assumed not to have done by accident).
+  const bool backward_ran = !root.node()->grad.empty();
+
+  for (Node* n : walk.order) {
+    const bool interior = !n->parents.empty();
+    if (interior && n->requires_grad && !n->backward_fn) {
+      report.issues.push_back(
+          {GraphIssueKind::kMissingBackwardFn,
+           std::string("op '") + n->op +
+               "' requires grad but has no backward closure; its parents "
+               "can never receive gradient"});
+    }
+    if (backward_ran && n->requires_grad && n->grad.empty()) {
+      report.issues.push_back(
+          {GraphIssueKind::kGradNeverPopulated,
+           std::string("op '") + n->op +
+               "' requires grad but its gradient was never populated by "
+               "backward()"});
+    }
+    for (std::size_t i = 0; i < n->parents.size(); ++i) {
+      if (i >= n->parent_versions.size()) break;  // hand-built node
+      const Node& p = *n->parents[i];
+      if (p.value.version() != n->parent_versions[i]) {
+        std::ostringstream os;
+        os << "input " << i << " of op '" << n->op << "' (produced by '"
+           << p.op << "') was mutated in place after graph capture (version "
+           << n->parent_versions[i] << " -> " << p.value.version()
+           << "); backward would use values the forward pass never saw";
+        report.issues.push_back({GraphIssueKind::kStaleCapture, os.str()});
+      }
+    }
+  }
+
+  std::unordered_set<Node*> reachable(walk.order.begin(), walk.order.end());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ag::Variable& p = params[i];
+    LEGW_CHECK(p.defined(), "lint_graph: undefined param Variable");
+    if (p.node()->requires_grad && reachable.count(p.node().get()) == 0) {
+      report.issues.push_back(
+          {GraphIssueKind::kUnreachableParam,
+           "param[" + std::to_string(i) + "] " +
+               core::shape_to_string(p.shape()) +
+               " is unreachable from the loss; it would never train"});
+    }
+  }
+  return report;
+}
+
+}  // namespace legw::check

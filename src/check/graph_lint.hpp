@@ -1,0 +1,64 @@
+// Autograd graph validator.
+//
+// lint_graph walks the tape reachable from a root Variable (typically the
+// loss) and reports structural defects that silently invalidate training
+// runs rather than crashing them:
+//
+//  * cycles — impossible to build through the public op API, but hand-built
+//    or deserialised graphs can contain them, and backward() on a cyclic
+//    graph drops gradient contributions without any error;
+//  * gradients never populated — after backward() has run, a requires_grad
+//    node reachable from the root whose gradient buffer was never allocated
+//    means some child's backward closure forgot to propagate into it;
+//  * parameters unreachable from the loss — a registered parameter that no
+//    op consumed will sit at its initial value forever while the rest of
+//    the model trains (the classic "frozen layer" bug);
+//  * stale captures — a tensor mutated in place (tracked via
+//    core::Tensor::version()) after an op captured it, so backward would
+//    differentiate against values the forward pass never saw.
+//
+// The validator is read-only and build-independent: call it from tests or
+// debugging sessions in any build. The same stale-capture and non-finite
+// conditions also abort eagerly inside backward() when the checked-mode
+// tripwires are armed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::check {
+
+enum class GraphIssueKind {
+  kCycle,
+  kGradNeverPopulated,
+  kUnreachableParam,
+  kStaleCapture,
+  kMissingBackwardFn,
+};
+
+const char* graph_issue_kind_name(GraphIssueKind kind);
+
+struct GraphIssue {
+  GraphIssueKind kind;
+  std::string detail;  // human-readable blame: op names, indices, versions
+};
+
+struct GraphLintReport {
+  std::vector<GraphIssue> issues;
+  i64 nodes_visited = 0;
+  bool ok() const { return issues.empty(); }
+  // One line per issue, prefixed with the kind name; "graph lint: ok" when
+  // clean.
+  std::string to_string() const;
+};
+
+// Validates the graph reachable from `root`. `params` (optional) are the
+// model parameters to test for reachability from the root. The
+// never-populated-gradient check only applies once backward() has run on
+// this graph (detected via the root's gradient buffer being non-empty).
+GraphLintReport lint_graph(const ag::Variable& root,
+                           const std::vector<ag::Variable>& params = {});
+
+}  // namespace legw::check

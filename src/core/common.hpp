@@ -33,8 +33,11 @@ namespace detail {
     }                                                                    \
   } while (0)
 
-// Check used inside inner loops; compiled out in NDEBUG builds.
-#ifdef NDEBUG
+// Check used inside inner loops; compiled out in NDEBUG builds. The
+// LEGW_CHECKED diagnostic build (see docs/CHECKS.md) re-arms it regardless
+// of NDEBUG so release-optimised checked binaries still validate inner-loop
+// contracts.
+#if defined(NDEBUG) && !defined(LEGW_CHECKED_BUILD)
 #define LEGW_DCHECK(cond, msg) \
   do {                         \
   } while (0)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "check/contracts.hpp"
 #include "core/counters.hpp"
 #include "core/flags.hpp"
 #include "core/thread_pool.hpp"
@@ -99,30 +100,24 @@ float Tensor::at(i64 i, i64 j, i64 k) const {
   return const_cast<Tensor*>(this)->at(i, j, k);
 }
 
-namespace {
-void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
-  LEGW_CHECK(a.same_shape(b), std::string(op) + ": shape mismatch " +
-                                  shape_to_string(a.shape()) + " vs " +
-                                  shape_to_string(b.shape()));
-}
-}  // namespace
+using check::expect_same_shape;
 
 Tensor Tensor::operator+(const Tensor& o) const {
-  check_same_shape(*this, o, "operator+");
+  expect_same_shape(*this, o, "operator+");
   Tensor r = *this;
   r.add_(o);
   return r;
 }
 
 Tensor Tensor::operator-(const Tensor& o) const {
-  check_same_shape(*this, o, "operator-");
+  expect_same_shape(*this, o, "operator-");
   Tensor r = *this;
   r.sub_(o);
   return r;
 }
 
 Tensor Tensor::operator*(const Tensor& o) const {
-  check_same_shape(*this, o, "operator*");
+  expect_same_shape(*this, o, "operator*");
   Tensor r = *this;
   r.mul_(o);
   return r;
@@ -141,7 +136,8 @@ Tensor Tensor::operator+(float s) const {
 }
 
 Tensor& Tensor::add_(const Tensor& o) {
-  check_same_shape(*this, o, "add_");
+  bump_version();
+  expect_same_shape(*this, o, "add_");
   const float* src = o.data();
   float* dst = data();
   const i64 n = numel();
@@ -150,7 +146,8 @@ Tensor& Tensor::add_(const Tensor& o) {
 }
 
 Tensor& Tensor::add_(const Tensor& o, float scale) {
-  check_same_shape(*this, o, "add_(scaled)");
+  bump_version();
+  expect_same_shape(*this, o, "add_(scaled)");
   const float* src = o.data();
   float* dst = data();
   const i64 n = numel();
@@ -159,7 +156,8 @@ Tensor& Tensor::add_(const Tensor& o, float scale) {
 }
 
 Tensor& Tensor::sub_(const Tensor& o) {
-  check_same_shape(*this, o, "sub_");
+  bump_version();
+  expect_same_shape(*this, o, "sub_");
   const float* src = o.data();
   float* dst = data();
   const i64 n = numel();
@@ -168,7 +166,8 @@ Tensor& Tensor::sub_(const Tensor& o) {
 }
 
 Tensor& Tensor::mul_(const Tensor& o) {
-  check_same_shape(*this, o, "mul_");
+  bump_version();
+  expect_same_shape(*this, o, "mul_");
   const float* src = o.data();
   float* dst = data();
   const i64 n = numel();
@@ -177,6 +176,7 @@ Tensor& Tensor::mul_(const Tensor& o) {
 }
 
 Tensor& Tensor::scale_(float s) {
+  bump_version();
   float* dst = data();
   const i64 n = numel();
   for (i64 i = 0; i < n; ++i) dst[i] *= s;
@@ -184,6 +184,7 @@ Tensor& Tensor::scale_(float s) {
 }
 
 Tensor& Tensor::fill_(float v) {
+  bump_version();
   std::fill(data_.begin(), data_.end(), v);
   return *this;
 }

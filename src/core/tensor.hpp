@@ -29,6 +29,25 @@ class Tensor {
   Tensor(Shape shape, float fill);
   Tensor(Shape shape, std::vector<float> values);
 
+  // Copies/moves preserve value semantics; the *assignment* forms bump the
+  // mutation version (see version()) because they overwrite existing
+  // contents — that is what lets the autograd graph validator catch "tensor
+  // reassigned after graph capture".
+  Tensor(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(const Tensor& o) {
+    shape_ = o.shape_;
+    data_ = o.data_;
+    ++version_;
+    return *this;
+  }
+  Tensor& operator=(Tensor&& o) noexcept {
+    shape_ = std::move(o.shape_);
+    data_ = std::move(o.data_);
+    ++version_;
+    return *this;
+  }
+
   // --- construction helpers -------------------------------------------------
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -55,8 +74,24 @@ class Tensor {
   // --- element access -------------------------------------------------------
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float& operator[](i64 i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](i64 i) const { return data_[static_cast<std::size_t>(i)]; }
+  // Unchecked in normal builds (these ARE the hot path); bounds-checked when
+  // the LEGW_CHECKED CMake option is on.
+  float& operator[](i64 i) {
+#ifdef LEGW_CHECKED_BUILD
+    LEGW_CHECK(i >= 0 && i < numel(),
+               "Tensor[] index out of bounds: " + std::to_string(i) + " in " +
+                   shape_to_string(shape_));
+#endif
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](i64 i) const {
+#ifdef LEGW_CHECKED_BUILD
+    LEGW_CHECK(i >= 0 && i < numel(),
+               "Tensor[] index out of bounds: " + std::to_string(i) + " in " +
+                   shape_to_string(shape_));
+#endif
+    return data_[static_cast<std::size_t>(i)];
+  }
   // Checked 2-D / 3-D accessors, for tests and cold paths.
   float& at(i64 i, i64 j);
   float at(i64 i, i64 j) const;
@@ -79,6 +114,16 @@ class Tensor {
   Tensor& fill_(float v);
   Tensor& zero_() { return fill_(0.0f); }
 
+  // --- mutation tracking ------------------------------------------------------
+  // Monotonic counter bumped by the named in-place mutators, by assignment,
+  // and by ag::Variable::mutable_value(). The autograd layer records parent
+  // versions at graph-capture time so check::lint_graph (and backward, in
+  // checked mode) can detect in-place mutation of a tensor after the graph
+  // captured it. Raw writes through data()/operator[] are deliberately NOT
+  // tracked — they are the per-element hot path.
+  u32 version() const { return version_; }
+  void bump_version() { ++version_; }
+
   // --- reductions / norms ----------------------------------------------------
   float sum() const;
   float mean() const;
@@ -95,6 +140,7 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  u32 version_ = 0;
 };
 
 Tensor operator*(float s, const Tensor& t);

@@ -42,6 +42,9 @@ std::vector<core::Tensor> parallel_gradients(
   std::vector<std::vector<core::Tensor>> per_worker(
       static_cast<std::size_t>(n_workers));
 
+  // lint-allow: raw-thread — simulated cluster workers must be real OS
+  // threads, not pool tasks: routing them through the global ThreadPool
+  // would deadlock when worker closures themselves use the pool.
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n_workers));
   for (int w = 0; w < n_workers; ++w) {

@@ -19,6 +19,9 @@ float synchronous_backward(
   }
 
   std::vector<float> losses(static_cast<std::size_t>(n_replicas), 0.0f);
+  // lint-allow: raw-thread — replicas model independent cluster nodes; each
+  // runs a full forward/backward that internally submits to the ThreadPool,
+  // so replicas cannot themselves be pool tasks.
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n_replicas));
   for (int r = 0; r < n_replicas; ++r) {

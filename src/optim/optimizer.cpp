@@ -2,9 +2,23 @@
 
 #include <cmath>
 
+#include "check/check.hpp"
+
 namespace legw::optim {
 
 using core::Tensor;
+
+void Optimizer::step() {
+  apply_step();
+  ++steps_done_;
+  if (check::tripwires_enabled()) {
+    const std::string context = name() + ".step " + std::to_string(steps_done_);
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      check::assert_finite(params_[i].value(),
+                           "param[" + std::to_string(i) + "].value", context);
+    }
+  }
+}
 
 namespace {
 // Lazily sizes a per-parameter state vector to match params.
@@ -25,7 +39,7 @@ const Tensor& Optimizer::effective_grad(std::size_t i,
   return scratch;
 }
 
-void Sgd::step() {
+void Sgd::apply_step() {
   Tensor scratch;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     const Tensor& g = effective_grad(i, scratch);
@@ -33,7 +47,7 @@ void Sgd::step() {
   }
 }
 
-void Momentum::step() {
+void Momentum::apply_step() {
   ensure_state(velocity_, params_);
   Tensor scratch;
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -44,7 +58,7 @@ void Momentum::step() {
   }
 }
 
-void Nesterov::step() {
+void Nesterov::apply_step() {
   ensure_state(velocity_, params_);
   Tensor scratch;
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -58,7 +72,7 @@ void Nesterov::step() {
   }
 }
 
-void Adagrad::step() {
+void Adagrad::apply_step() {
   ensure_state(accum_, params_);
   Tensor scratch;
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -72,7 +86,7 @@ void Adagrad::step() {
   }
 }
 
-void RmsProp::step() {
+void RmsProp::apply_step() {
   ensure_state(sq_avg_, params_);
   Tensor scratch;
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -86,7 +100,7 @@ void RmsProp::step() {
   }
 }
 
-void Adam::step() {
+void Adam::apply_step() {
   ensure_state(m_, params_);
   ensure_state(v_, params_);
   ++t_;
@@ -108,7 +122,7 @@ void Adam::step() {
   }
 }
 
-void Adadelta::step() {
+void Adadelta::apply_step() {
   ensure_state(sq_grad_avg_, params_);
   ensure_state(sq_delta_avg_, params_);
   Tensor scratch;
@@ -127,7 +141,7 @@ void Adadelta::step() {
   }
 }
 
-void Lars::step() {
+void Lars::apply_step() {
   ensure_state(velocity_, params_);
   for (std::size_t i = 0; i < params_.size(); ++i) {
     const ag::Variable& p = params_[i];
@@ -150,7 +164,7 @@ void Lars::step() {
   }
 }
 
-void Lamb::step() {
+void Lamb::apply_step() {
   ensure_state(m_, params_);
   ensure_state(v_, params_);
   ++t_;

@@ -34,8 +34,16 @@ class Optimizer {
   float weight_decay() const { return weight_decay_; }
 
   // Applies one update from the accumulated gradients. Does not zero grads.
-  virtual void step() = 0;
+  // When the non-finite tripwires are armed (check::tripwires_enabled()),
+  // every parameter is scanned after the update and a NaN/Inf aborts naming
+  // the optimizer, the parameter index and the step count — the LARS/LAMB
+  // trust ratios are exactly the kind of per-layer state that degenerates
+  // silently otherwise.
+  void step();
   virtual std::string name() const = 0;
+
+  // Number of completed step() calls.
+  i64 steps() const { return steps_done_; }
 
   void zero_grad() {
     for (auto& p : params_) p.zero_grad();
@@ -44,19 +52,25 @@ class Optimizer {
   const std::vector<ag::Variable>& params() const { return params_; }
 
  protected:
+  // Solver-specific update, called by step().
+  virtual void apply_step() = 0;
+
   // grad + weight_decay * w, written into `scratch` (resized on first use).
   const core::Tensor& effective_grad(std::size_t i, core::Tensor& scratch) const;
 
   std::vector<ag::Variable> params_;
   float lr_ = 0.01f;
   float weight_decay_ = 0.0f;
+
+ private:
+  i64 steps_done_ = 0;
 };
 
 // Plain SGD: w -= lr * g.
 class Sgd final : public Optimizer {
  public:
   using Optimizer::Optimizer;
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "sgd"; }
 };
 
@@ -66,7 +80,7 @@ class Momentum final : public Optimizer {
   Momentum(std::vector<ag::Variable> params, float momentum = 0.9f,
            float weight_decay = 0.0f)
       : Optimizer(std::move(params), weight_decay), momentum_(momentum) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "momentum"; }
 
  private:
@@ -81,7 +95,7 @@ class Nesterov final : public Optimizer {
   Nesterov(std::vector<ag::Variable> params, float momentum = 0.9f,
            float weight_decay = 0.0f)
       : Optimizer(std::move(params), weight_decay), momentum_(momentum) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "nesterov"; }
 
  private:
@@ -95,7 +109,7 @@ class Adagrad final : public Optimizer {
   Adagrad(std::vector<ag::Variable> params, float eps = 1e-10f,
           float weight_decay = 0.0f)
       : Optimizer(std::move(params), weight_decay), eps_(eps) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "adagrad"; }
 
  private:
@@ -109,7 +123,7 @@ class RmsProp final : public Optimizer {
   RmsProp(std::vector<ag::Variable> params, float rho = 0.9f,
           float eps = 1e-8f, float weight_decay = 0.0f)
       : Optimizer(std::move(params), weight_decay), rho_(rho), eps_(eps) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "rmsprop"; }
 
  private:
@@ -127,7 +141,7 @@ class Adam final : public Optimizer {
         beta1_(beta1),
         beta2_(beta2),
         eps_(eps) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "adam"; }
 
  private:
@@ -146,7 +160,7 @@ class Adadelta final : public Optimizer {
       : Optimizer(std::move(params), weight_decay), rho_(rho), eps_(eps) {
     lr_ = 1.0f;
   }
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "adadelta"; }
 
  private:
@@ -166,7 +180,7 @@ class Lars final : public Optimizer {
         eta_(eta),
         momentum_(momentum),
         eps_(eps) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "lars"; }
 
  private:
@@ -190,7 +204,7 @@ class Lamb final : public Optimizer {
         beta1_(beta1),
         beta2_(beta2),
         eps_(eps) {}
-  void step() override;
+  void apply_step() override;
   std::string name() const override { return "lamb"; }
 
  private:

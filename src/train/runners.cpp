@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "check/check.hpp"
 #include "core/flags.hpp"
 #include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
@@ -37,6 +38,9 @@ struct StepLoop {
     const double epoch =
         static_cast<double>(step) / static_cast<double>(steps_per_epoch);
     opt->set_lr(run->schedule->lr(epoch));
+    // Publish the step so a non-finite tripwire firing anywhere in this
+    // step's forward/backward/update blames *when*, not just where.
+    check::set_step_index(step);
     ++step;
     return epoch;
   }

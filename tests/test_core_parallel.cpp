@@ -104,6 +104,8 @@ TEST(ThreadPool, NestedCallsRunSerially) {
 
 TEST(ThreadPool, ConcurrentSubmittersFromPlainThreads) {
   std::atomic<i64> total{0};
+  // lint-allow: raw-thread — the test's point is external submitters that
+  // are NOT pool workers racing into the pool.
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {

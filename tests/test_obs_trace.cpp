@@ -123,6 +123,8 @@ TEST_F(ObsTraceTest, SpanCountsAreThreadTimingIndependent) {
   auto work = [] {
     for (int i = 0; i < 5; ++i) obs::Span span("worker_phase");
   };
+  // lint-allow: raw-thread — exercises tracing from threads the pool
+  // has never seen.
   std::thread a(work), b(work);
   a.join();
   b.join();

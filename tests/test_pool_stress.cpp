@@ -33,6 +33,8 @@ TEST(PoolStress, ConcurrentSubmittersEachCoverTheirRangeExactlyOnce) {
     for (auto& a : row) a.store(0, std::memory_order_relaxed);
     v = std::move(row);
   }
+  // lint-allow: raw-thread — stress test needs real outside-the-pool
+  // submitter threads.
   std::vector<std::thread> submitters;
   submitters.reserve(kSubmitters);
   for (int t = 0; t < kSubmitters; ++t) {
@@ -129,6 +131,7 @@ TEST(PoolStress, GlobalPoolSurvivesMixedStress) {
   auto& pool = ThreadPool::global();
   constexpr int kSubmitters = 4;
   std::atomic<i64> total{0};
+  // lint-allow: raw-thread — same: concurrent external submitters.
   std::vector<std::thread> submitters;
   submitters.reserve(kSubmitters);
   for (int t = 0; t < kSubmitters; ++t) {

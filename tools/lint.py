@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules the compiler cannot enforce.
+
+Run from the repo root (the `lint` CMake target does):
+
+    python3 tools/lint.py            # check, exit 1 on findings
+    python3 tools/lint.py --list     # print the rules and exit
+
+Rules:
+
+  raw-thread      std::thread may only be constructed inside
+                  src/core/thread_pool.* — everything else goes through the
+                  ThreadPool so the tracer sees it and shutdown joins it.
+  unseeded-rng    rand()/srand()/std::random_device are banned everywhere:
+                  the determinism contract (tests/test_determinism_golden)
+                  requires every random stream to flow from core::Rng with
+                  an explicit seed. core/rng.* is the one sanctioned home.
+  iostream-core   <iostream> is banned in src/core/: its static init and
+                  sync-with-stdio cost land in every binary, and the hot
+                  paths log through printf-style tracing instead.
+  bench-trace     every bench/*.cpp must accept --trace, either by
+                  constructing bench_common.hpp's ScopedTrace or by parsing
+                  the flag itself — untraceable benches are unprofilable.
+
+A finding can be waived where the rule's intent is genuinely inapplicable by
+putting `lint-allow: <rule>` in a comment on the offending line or one of
+the three lines above it, with a justification.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_DIRS = ("src", "bench", "examples", "tests", "tools")
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+ALLOW_RE = re.compile(r"lint-allow:\s*([\w-]+)")
+
+# (rule, regex) pairs scanned per line. The regexes deliberately match
+# constructions/usages, not the tokens inside strings-free C++ well enough
+# for this codebase (no generated code, no macros hiding threads).
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!::hardware_concurrency)")
+UNSEEDED_RNG_RE = re.compile(r"\b(?:s?rand\s*\(|std::random_device\b)")
+IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+TRACE_RE = re.compile(r"ScopedTrace|--trace")
+
+
+def allowed(lines: list[str], idx: int, rule: str) -> bool:
+    for back in range(max(0, idx - 3), idx + 1):
+        m = ALLOW_RE.search(lines[back])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def iter_sources() -> list[Path]:
+    out = []
+    for d in SOURCE_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            out.extend(p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES)
+    return out
+
+
+def lint() -> list[str]:
+    findings: list[str] = []
+
+    def report(path: Path, lineno: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO)
+        findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    for path in iter_sources():
+        rel = path.relative_to(REPO).as_posix()
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        in_thread_pool = rel.startswith("src/core/thread_pool")
+        in_rng = rel.startswith("src/core/rng")
+        is_lint_py_peer = rel.startswith("tools/")
+        for i, line in enumerate(lines):
+            lineno = i + 1
+            if not in_thread_pool and RAW_THREAD_RE.search(line):
+                if not allowed(lines, i, "raw-thread"):
+                    report(path, lineno, "raw-thread",
+                           "raw std::thread outside core/thread_pool; "
+                           "use core::ThreadPool")
+            if not in_rng and not is_lint_py_peer and UNSEEDED_RNG_RE.search(line):
+                if not allowed(lines, i, "unseeded-rng"):
+                    report(path, lineno, "unseeded-rng",
+                           "unseeded RNG; use core::Rng with an explicit seed")
+            if rel.startswith("src/core/") and IOSTREAM_RE.search(line):
+                if not allowed(lines, i, "iostream-core"):
+                    report(path, lineno, "iostream-core",
+                           "<iostream> in core/ hot-path code; use cstdio")
+
+    for path in sorted((REPO / "bench").glob("*.cpp")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        if not TRACE_RE.search(text):
+            report(path, 1, "bench-trace",
+                   "bench binary does not accept --trace "
+                   "(construct bench_common.hpp's ScopedTrace in main)")
+
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        print(__doc__)
+        return 0
+    findings = lint()
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
