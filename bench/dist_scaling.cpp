@@ -1,0 +1,216 @@
+// Distributed-engine scaling bench: times one data-parallel gradient step at
+// 1/2/4/8 replicas with bucketed allreduce in barrier mode (reduce after the
+// full backward — the classic synchronous schedule) versus overlapped mode
+// (buckets reduced concurrently with the backward tail). Both modes share the
+// same bucket plan, reduction order, and simulated wire (latency + bandwidth
+// sleeps), so the comparison isolates overlap, and their gradients must stay
+// bitwise identical ("parity" in the output). Emits BENCH_dist.json.
+//
+// The workload is a deep Linear+ReLU stack rather than the LSTM models: BPTT
+// accumulates every cell weight's gradient across all timesteps, so an
+// LSTM's buckets all finalise at the very end of backward and there is
+// nothing left to overlap — whereas a layer stack finalises layer k's
+// gradients the moment backward passes layer k, exactly the stagger the
+// overlapped schedule exploits (and what deep stacked-LSTM models get
+// per-layer).
+//
+// Usage: dist_scaling [--out BENCH_dist.json] [--reps N]
+// See docs/DIST.md for how to read the output.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ag/ops.hpp"
+#include "bench_common.hpp"
+#include "core/flags.hpp"
+#include "nn/layers.hpp"
+#include "obs/trace.hpp"
+#include "dist/overlap.hpp"
+
+namespace {
+
+using namespace legw;
+using core::Rng;
+using core::Tensor;
+
+constexpr i64 kLayers = 8;
+constexpr i64 kDim = 512;   // 512x512 weights: one ~1 MB bucket per layer
+constexpr i64 kBatch = 32;  // per replica
+
+struct Replica {
+  std::vector<std::unique_ptr<nn::Linear>> layers;
+  std::vector<ag::Variable> params;
+};
+
+struct ReplicaSet {
+  std::vector<Replica> replicas;
+  std::vector<std::vector<ag::Variable>> params;
+};
+
+ReplicaSet make_replicas(int n) {
+  ReplicaSet set;
+  for (int r = 0; r < n; ++r) {
+    Replica rep;
+    Rng rng(42);  // identical initialisation on every replica
+    for (i64 l = 0; l < kLayers; ++l) {
+      rep.layers.push_back(std::make_unique<nn::Linear>(kDim, kDim, rng));
+      for (const ag::Variable& p : rep.layers.back()->parameters()) {
+        rep.params.push_back(p);
+      }
+    }
+    set.replicas.push_back(std::move(rep));
+    set.params.push_back(set.replicas.back().params);
+  }
+  return set;
+}
+
+dist::OverlapConfig bench_config(bool overlap) {
+  dist::OverlapConfig config;
+  config.overlap = overlap;
+  config.bucket_bytes = 8 * 1024;  // roughly one bucket per layer
+  // Wire sized so the comm term is a large fraction of — but not larger
+  // than — the backward compute: a bigger bill cannot be hidden no matter
+  // how good the schedule is, and a much smaller one is invisible.
+  config.wire.latency_us = 200.0;
+  config.wire.gbytes_per_sec = 0.5;
+  return config;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModeResult {
+  double step_ms = 0.0;
+  i64 buckets = 0;
+  std::vector<Tensor> grads;  // replica 0, for the parity check
+};
+
+ModeResult run_mode(int n_replicas, bool overlap, int reps) {
+  ReplicaSet set = make_replicas(n_replicas);
+  // Per-replica input/target shards, distinct across replicas.
+  std::vector<Tensor> inputs, targets;
+  Rng data_rng(7);
+  for (int r = 0; r < n_replicas; ++r) {
+    inputs.push_back(Tensor::randn({kBatch, kDim}, data_rng));
+    targets.push_back(Tensor::randn({kBatch, kDim}, data_rng));
+  }
+  auto loss_fn = [&](int r) {
+    const Replica& rep = set.replicas[static_cast<std::size_t>(r)];
+    ag::Variable h =
+        ag::Variable::constant(inputs[static_cast<std::size_t>(r)]);
+    for (i64 l = 0; l < kLayers; ++l) {
+      h = rep.layers[static_cast<std::size_t>(l)]->forward(h);
+      if (l + 1 < kLayers) h = ag::relu(h);
+    }
+    return ag::mean_all(ag::mul(
+        h, ag::Variable::constant(targets[static_cast<std::size_t>(r)])));
+  };
+  const dist::OverlapConfig config = bench_config(overlap);
+
+  ModeResult res;
+  dist::OverlapResult step = dist::overlapped_backward(set.params, loss_fn,
+                                                       config);  // warm-up
+  LEGW_CHECK(step.ok, "dist_scaling: " + step.error);
+  const double t0 = now_seconds();
+  for (int i = 0; i < reps; ++i) {
+    step = dist::overlapped_backward(set.params, loss_fn, config);
+    LEGW_CHECK(step.ok, "dist_scaling: " + step.error);
+  }
+  res.step_ms = (now_seconds() - t0) * 1e3 / reps;
+  res.buckets = step.stats.n_buckets;
+  for (const ag::Variable& p : set.params[0]) res.grads.push_back(p.grad());
+  return res;
+}
+
+bool bitwise_equal(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    if (a[p].numel() != b[p].numel()) return false;
+    for (i64 i = 0; i < a[p].numel(); ++i) {
+      if (a[p][i] != b[p][i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ScopedTrace scoped_trace(argc, argv);
+  core::Flags flags(argc, argv);
+  const std::string out_path = flags.get_string("out", "BENCH_dist.json");
+  const int reps = static_cast<int>(flags.get_int("reps", 5));
+
+  const std::vector<int> replica_counts = {1, 2, 4, 8};
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  LEGW_CHECK(f != nullptr, "dist_scaling: cannot open " + out_path);
+  std::fprintf(f, "{\n  \"layers\": %lld,\n  \"dim\": %lld,\n",
+               static_cast<long long>(kLayers), static_cast<long long>(kDim));
+  std::fprintf(f, "  \"batch_per_replica\": %lld,\n",
+               static_cast<long long>(kBatch));
+  std::fprintf(f, "  \"bucket_bytes\": %lld,\n",
+               static_cast<long long>(bench_config(true).bucket_bytes));
+  std::fprintf(f, "  \"replicas\": [\n");
+
+  for (std::size_t i = 0; i < replica_counts.size(); ++i) {
+    const int n = replica_counts[i];
+    const ModeResult sync = run_mode(n, /*overlap=*/false, reps);
+    const ModeResult ovl = run_mode(n, /*overlap=*/true, reps);
+    const bool parity = bitwise_equal(sync.grads, ovl.grads);
+    const double speedup = sync.step_ms / ovl.step_ms;
+    std::printf("replicas %d  sync %8.2f ms  overlap %8.2f ms  "
+                "speedup %.2fx  buckets %lld  parity %s\n",
+                n, sync.step_ms, ovl.step_ms, speedup,
+                static_cast<long long>(ovl.buckets), parity ? "yes" : "NO");
+    std::fprintf(f,
+                 "    {\"replicas\": %d, \"sync_step_ms\": %.3f, "
+                 "\"overlap_step_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"buckets\": %lld, \"parity\": %s}%s\n",
+                 n, sync.step_ms, ovl.step_ms, speedup,
+                 static_cast<long long>(ovl.buckets),
+                 parity ? "true" : "false",
+                 i + 1 < replica_counts.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Traced pass: one overlapped 4-replica step under tracing so the JSON
+  // carries the per-bucket spans (bucket_reduce, overlap_idle,
+  // replica_backward) and engine counters.
+  const bool was_enabled = obs::tracing_enabled();
+  auto& rec = obs::TraceRecorder::global();
+  obs::set_tracing_enabled(true);
+  rec.clear();
+  (void)run_mode(4, /*overlap=*/true, 1);
+  obs::set_tracing_enabled(was_enabled);
+
+  const auto phases = rec.phase_summary();
+  std::fprintf(f, "  \"phases\": {\n");
+  std::size_t pi = 0;
+  for (const auto& [name, st] : phases) {
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %lld, \"total_ms\": %.4f, "
+                 "\"mean_ms\": %.5f, \"p50_ms\": %.5f, \"p95_ms\": %.5f}%s\n",
+                 name.c_str(), static_cast<long long>(st.count), st.total_ms,
+                 st.mean_ms, st.p50_ms, st.p95_ms,
+                 ++pi < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  const auto ctrs = rec.counters();
+  std::fprintf(f, "  \"counters\": {\n");
+  std::size_t ci = 0;
+  for (const auto& [name, v] : ctrs) {
+    std::fprintf(f, "    \"%s\": %lld%s\n", name.c_str(),
+                 static_cast<long long>(v), ++ci < ctrs.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  if (!was_enabled) rec.clear();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/flags.hpp"
 #include "dist/cluster_model.hpp"
 #include "optim/optimizer.hpp"
 
@@ -238,14 +239,24 @@ int main(int argc, char** argv) {
   // Cluster extrapolation: with data parallelism the large batch also buys
   // more workers (the paper's TPU-pod setting).
   std::printf("\ncluster-model extrapolation (data-parallel, 1M-param model):\n");
+  std::printf("(local dist engine: LEGW_DIST=%s)\n",
+              core::dist_mode_name(core::dist_mode()));
   dist::ClusterConfig cfg;
   cfg.device = {1000.0, 64.0};
   cfg.max_batch_per_worker = 64;
   for (i64 batch : {64, 256, 1024, 4096}) {
-    auto timing = dist::cluster_epoch_time(cfg, 100000, batch);
-    std::printf("  batch %5lld: %2lld workers, epoch %6.2fs\n",
-                static_cast<long long>(batch),
-                static_cast<long long>(timing.workers), timing.epoch_seconds);
+    const auto seq =
+        dist::cluster_epoch_time(cfg, 100000, batch,
+                                 dist::CommMode::kSequential);
+    const auto ovl =
+        dist::cluster_epoch_time(cfg, 100000, batch,
+                                 dist::CommMode::kOverlapped);
+    std::printf(
+        "  batch %5lld: %2lld workers, epoch %6.2fs sync, %6.2fs "
+        "overlapped (%.2fx)\n",
+        static_cast<long long>(batch), static_cast<long long>(seq.workers),
+        seq.epoch_seconds, ovl.epoch_seconds,
+        seq.epoch_seconds / ovl.epoch_seconds);
   }
   std::printf(
       "\nShape check (paper): the paper's 5.3x comes from an accelerator\n"

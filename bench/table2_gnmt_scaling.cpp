@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/flags.hpp"
+#include "dist/cluster_model.hpp"
 
 using namespace legw;
 
@@ -45,5 +47,23 @@ int main(int argc, char** argv) {
       "linear-epoch rule (so warmup *iterations* stay constant, cf. the\n"
       "paper's fixed 200 warmup iterations).\n",
       base_bleu);
+
+  // Large-batch GNMT is where the paper runs on pods; show what the
+  // overlap-aware cluster model predicts for the sweep's largest batch.
+  dist::ClusterConfig cluster;
+  cluster.device = {1000.0, 64.0};
+  cluster.max_batch_per_worker = 64;
+  const auto seq = dist::cluster_epoch_time(cluster, 100000, 256,
+                                            dist::CommMode::kSequential);
+  const auto ovl = dist::cluster_epoch_time(cluster, 100000, 256,
+                                            dist::CommMode::kOverlapped);
+  std::printf(
+      "\ncluster model at batch 256 (%lld workers, LEGW_DIST=%s locally):\n"
+      "  epoch %.2fs with sequential allreduce, %.2fs with comm/compute\n"
+      "  overlap (%.2fx) — see bench/dist_scaling.cpp for the measured\n"
+      "  engine-level counterpart.\n",
+      static_cast<long long>(seq.workers),
+      core::dist_mode_name(core::dist_mode()), seq.epoch_seconds,
+      ovl.epoch_seconds, seq.epoch_seconds / ovl.epoch_seconds);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "ag/variable.hpp"
 
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "check/check.hpp"
@@ -88,7 +89,20 @@ void check_backward_step(const Node& n) {
 
 }  // namespace
 
+namespace {
+
+inline bool is_leaf(const Node& n) {
+  return n.parents.empty() && !n.backward_fn;
+}
+
+}  // namespace
+
 void backward(const Variable& root, const Tensor* seed) {
+  backward(root, seed, BackwardHooks{});
+}
+
+void backward(const Variable& root, const Tensor* seed,
+              const BackwardHooks& hooks) {
   LEGW_CHECK(root.defined(), "backward on undefined Variable");
   if (!root.node()->requires_grad) return;
 
@@ -108,13 +122,55 @@ void backward(const Variable& root, const Tensor* seed) {
 
   std::vector<Node*> order;
   topo_sort(root.node(), order);
+  const std::size_t n_nodes = order.size();
+
+  // A leaf's gradient is final once its last consumer (in execution order)
+  // has run its closure. Precompute, per execution index, the leaves whose
+  // last consumer sits there; iterate parents in declaration order on the
+  // second pass so the firing order is deterministic.
+  const bool leaf_hook = static_cast<bool>(hooks.on_leaf_grad_ready);
+  std::vector<std::vector<Node*>> fire_after;
+  if (leaf_hook) {
+    fire_after.resize(n_nodes);
+    std::unordered_map<Node*, std::size_t> last_consumer;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      Node* n = order[n_nodes - 1 - i];  // execution order: reversed post-order
+      if (!n->backward_fn) continue;
+      for (const auto& p : n->parents) {
+        if (p->requires_grad && is_leaf(*p)) last_consumer[p.get()] = i;
+      }
+    }
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      Node* n = order[n_nodes - 1 - i];
+      if (!n->backward_fn) continue;
+      for (const auto& p : n->parents) {
+        auto it = last_consumer.find(p.get());
+        if (it != last_consumer.end() && it->second == i) {
+          fire_after[i].push_back(p.get());
+          last_consumer.erase(it);  // fire once even when p repeats as parent
+        }
+      }
+    }
+  }
+
   // Post-order puts parents before children; reverse to propagate root-first.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node* n = *it;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Node* n = order[n_nodes - 1 - i];
     if (n->backward_fn) {
       n->backward_fn(*n);
       if (tripwires) check_backward_step(*n);
     }
+    if (leaf_hook && !fire_after[i].empty()) {
+      for (Node* leaf : fire_after[i]) {
+        leaf->ensure_grad();
+        hooks.on_leaf_grad_ready(*leaf);
+      }
+    }
+  }
+  // A root that is itself a leaf has no consumers: its gradient is complete
+  // as soon as the seed landed.
+  if (leaf_hook && is_leaf(*root.node())) {
+    hooks.on_leaf_grad_ready(*root.node());
   }
 }
 

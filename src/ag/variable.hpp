@@ -102,11 +102,30 @@ Variable make_op_node(const char* op, Tensor value,
 Variable make_op_node(Tensor value, std::vector<Variable> parents,
                       std::function<void(Node&)> backward_fn);
 
+// Optional callbacks observing one backward pass.
+struct BackwardHooks {
+  // Fired on the thread running backward(), immediately after the named
+  // leaf's gradient received its final contribution of this pass — i.e.
+  // after the last consumer node (in reverse-topological execution order)
+  // ran its backward closure, or immediately after seeding when the root is
+  // itself a leaf. Each reachable requires_grad leaf fires exactly once;
+  // interior nodes never fire; leaves unreachable from the root never fire,
+  // so callers that must signal every parameter sweep the remainder after
+  // backward() returns. The overlapped allreduce engine (dist/overlap.hpp)
+  // uses this to launch bucket reductions while the tail of backward is
+  // still executing.
+  std::function<void(Node& leaf)> on_leaf_grad_ready;
+};
+
 // Runs reverse-mode accumulation from `root` (typically the scalar loss).
 // Seeds d(root)/d(root) = 1 for scalars, or `seed` if provided (must match
 // root's shape). Gradients accumulate into every reachable requires_grad
 // node. Safe to call multiple times on independent graphs; calling it twice
 // on the same graph doubles interior gradients, so don't.
 void backward(const Variable& root, const Tensor* seed = nullptr);
+// As above, with per-leaf grad-ready notifications. The hookless overload
+// forwards here with empty hooks at zero extra cost.
+void backward(const Variable& root, const Tensor* seed,
+              const BackwardHooks& hooks);
 
 }  // namespace legw::ag

@@ -33,6 +33,19 @@ std::atomic<bool>& fused_lstm_state() {
   return state;
 }
 
+std::atomic<DistMode>& dist_mode_state() {
+  static std::atomic<DistMode> state{[] {
+    if (const char* env = std::getenv("LEGW_DIST")) {
+      const std::string v(env);
+      if (v == "overlap") return DistMode::kOverlap;
+      LEGW_CHECK(v == "sync" || v.empty(),
+                 "LEGW_DIST must be 'sync' or 'overlap', got '" + v + "'");
+    }
+    return DistMode::kSync;
+  }()};
+  return state;
+}
+
 }  // namespace
 
 GemmKernel gemm_kernel() {
@@ -65,6 +78,30 @@ bool fused_lstm_enabled() {
 
 void set_fused_lstm_enabled(bool enabled) {
   fused_lstm_state().store(enabled, std::memory_order_relaxed);
+}
+
+DistMode dist_mode() {
+  return dist_mode_state().load(std::memory_order_relaxed);
+}
+
+void set_dist_mode(DistMode m) {
+  dist_mode_state().store(m, std::memory_order_relaxed);
+}
+
+bool set_dist_mode(const std::string& name) {
+  if (name == "sync") {
+    set_dist_mode(DistMode::kSync);
+    return true;
+  }
+  if (name == "overlap") {
+    set_dist_mode(DistMode::kOverlap);
+    return true;
+  }
+  return false;
+}
+
+const char* dist_mode_name(DistMode m) {
+  return m == DistMode::kSync ? "sync" : "overlap";
 }
 
 Flags::Flags(int argc, char** argv) {

@@ -39,6 +39,23 @@ const char* gemm_kernel_name(GemmKernel k);
 bool fused_lstm_enabled();
 void set_fused_lstm_enabled(bool enabled);
 
+// Which gradient-allreduce engine dist::replica_backward dispatches to:
+//   kSync     — synchronous_backward: run every replica's backward to
+//               completion, barrier, then reduce parameter by parameter.
+//   kOverlap  — overlapped_backward: bucketed tree-allreduce fired while the
+//               tail of backward still executes (dist/overlap.hpp). Bitwise
+//               identical results to kSync on fault-free runs.
+// Initial selection comes from LEGW_DIST ("sync" default, "overlap"), read
+// once on first use; same override pattern as LEGW_KERNEL.
+enum class DistMode { kSync, kOverlap };
+
+DistMode dist_mode();
+void set_dist_mode(DistMode m);
+// Parses "sync" / "overlap" (the LEGW_DIST vocabulary); returns false on an
+// unknown name and leaves the selection unchanged.
+bool set_dist_mode(const std::string& name);
+const char* dist_mode_name(DistMode m);
+
 class Flags {
  public:
   // Parses argv; aborts with usage on malformed input (a flag without a

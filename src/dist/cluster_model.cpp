@@ -1,5 +1,6 @@
 #include "dist/cluster_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace legw::dist {
@@ -12,7 +13,7 @@ double DeviceModel::epoch_seconds(i64 n_samples, i64 batch) const {
 
 DeviceModel fit_device_model(
     const std::vector<std::pair<i64, double>>& samples) {
-  LEGW_CHECK(samples.size() >= 2, "fit_device_model: need >= 2 samples");
+  if (samples.empty()) return DeviceModel{};
   // Linear regression of t = slope * b + intercept.
   double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
   const double n = static_cast<double>(samples.size());
@@ -24,7 +25,25 @@ DeviceModel fit_device_model(
     sxy += x * t;
   }
   const double denom = n * sxx - sx * sx;
-  LEGW_CHECK(std::abs(denom) > 1e-12, "fit_device_model: degenerate samples");
+  if (std::abs(denom) <= 1e-12) {
+    // One sample, or all samples at the same batch size: a line is
+    // unconstrained, so fall back to the zero-intercept model through the
+    // mean measured throughput instead of dividing by ~0.
+    double throughput_sum = 0.0;
+    i64 usable = 0;
+    for (const auto& [b, t] : samples) {
+      if (t > 0.0) {
+        throughput_sum += static_cast<double>(b) / t;
+        ++usable;
+      }
+    }
+    DeviceModel m;
+    if (usable > 0) {
+      m.peak_samples_per_sec = throughput_sum / static_cast<double>(usable);
+    }
+    m.half_saturation_batch = 0.0;
+    return m;
+  }
   double slope = (n * sxy - sx * sy) / denom;
   double intercept = (sy - slope * sx) / n;
   // Guard against tiny negative estimates from noisy timings.
@@ -36,23 +55,37 @@ DeviceModel fit_device_model(
   return m;
 }
 
-ClusterTiming cluster_epoch_time(const ClusterConfig& config, i64 n_samples,
-                                 i64 batch) {
-  LEGW_CHECK(batch > 0 && n_samples > 0, "cluster_epoch_time: bad sizes");
-  ClusterTiming t;
-  t.workers = (batch + config.max_batch_per_worker - 1) /
-              config.max_batch_per_worker;
+double cluster_step_seconds(const ClusterConfig& config, i64 batch,
+                            CommMode mode) {
+  LEGW_CHECK(batch > 0, "cluster_step_seconds: bad batch");
+  const i64 workers = (batch + config.max_batch_per_worker - 1) /
+                      config.max_batch_per_worker;
   const double per_worker_batch =
-      static_cast<double>(batch) / static_cast<double>(t.workers);
+      static_cast<double>(batch) / static_cast<double>(workers);
   const double compute = config.device.step_seconds(per_worker_batch);
   double comm = 0.0;
-  if (t.workers > 1) {
-    const double rounds = std::log2(static_cast<double>(t.workers));
+  if (workers > 1) {
+    const double rounds = std::log2(static_cast<double>(workers));
     comm = config.allreduce_latency_sec +
            config.allreduce_sec_per_param *
                static_cast<double>(config.model_params) * rounds;
   }
-  t.step_seconds = compute + comm;
+  if (mode == CommMode::kOverlapped) {
+    const double f =
+        std::min(std::max(config.overlappable_fraction, 0.0), 1.0);
+    const double hidden = f * comm;
+    return std::max(compute, hidden) + (comm - hidden);
+  }
+  return compute + comm;
+}
+
+ClusterTiming cluster_epoch_time(const ClusterConfig& config, i64 n_samples,
+                                 i64 batch, CommMode mode) {
+  LEGW_CHECK(batch > 0 && n_samples > 0, "cluster_epoch_time: bad sizes");
+  ClusterTiming t;
+  t.workers = (batch + config.max_batch_per_worker - 1) /
+              config.max_batch_per_worker;
+  t.step_seconds = cluster_step_seconds(config, batch, mode);
   const i64 steps = (n_samples + batch - 1) / batch;
   t.epoch_seconds = static_cast<double>(steps) * t.step_seconds;
   return t;

@@ -36,7 +36,19 @@ struct DeviceModel {
 // Least-squares fit of (peak, b_half) from measured (batch, step_seconds)
 // pairs. step_seconds(b) = b/peak + b_half/peak is linear in b, so the fit
 // is an exact 1-D linear regression: slope = 1/peak, intercept = b_half/peak.
+// Degenerate inputs never divide by zero: an empty sample set returns the
+// default DeviceModel, and a single sample (or all-equal batch sizes, where
+// a line is unconstrained) falls back to the zero-intercept model through
+// the mean measured throughput (b_half = 0).
 DeviceModel fit_device_model(const std::vector<std::pair<i64, double>>& samples);
+
+// How gradient communication composes with backward compute in the step-time
+// model. kSequential is the classic join-then-reduce schedule; kOverlapped
+// models the bucketed engine in dist/overlap.hpp, which hides an
+// `overlappable_fraction` of the all-reduce under remaining backward compute
+// (the first bucket cannot fire before its gradients exist, so the fraction
+// stays below 1).
+enum class CommMode { kSequential, kOverlapped };
 
 struct ClusterConfig {
   DeviceModel device;
@@ -44,7 +56,18 @@ struct ClusterConfig {
   double allreduce_latency_sec = 1e-4;       // per step
   double allreduce_sec_per_param = 1e-9;     // per param per log2(workers)
   i64 model_params = 1'000'000;
+  // Fraction of the all-reduce hideable under backward compute in
+  // CommMode::kOverlapped (DDP-style bucketing typically hides most of it).
+  double overlappable_fraction = 0.9;
 };
+
+// One synchronous data-parallel step at the given global batch.
+// kSequential: compute + comm. kOverlapped: max(compute, hidden) + exposed
+// where hidden = overlappable_fraction * comm — overlap can hide
+// communication under compute but never shrinks either term below the
+// larger of the two.
+double cluster_step_seconds(const ClusterConfig& config, i64 batch,
+                            CommMode mode);
 
 // Synchronous data-parallel step time: per-worker compute on batch/workers
 // plus the all-reduce. Workers chosen as ceil(batch / max_batch_per_worker).
@@ -54,6 +77,7 @@ struct ClusterTiming {
   double epoch_seconds = 0.0;
 };
 ClusterTiming cluster_epoch_time(const ClusterConfig& config, i64 n_samples,
-                                 i64 batch);
+                                 i64 batch,
+                                 CommMode mode = CommMode::kSequential);
 
 }  // namespace legw::dist

@@ -1,0 +1,425 @@
+#include "dist/overlap.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+
+#include "core/flags.hpp"
+#include "core/rng.hpp"
+#include "dist/allreduce.hpp"
+#include "dist/data_parallel.hpp"
+#include "obs/trace.hpp"
+
+namespace legw::dist {
+
+FaultPlan FaultPlan::stragglers(u64 seed, int n_replicas, int count,
+                                double delay_ms) {
+  LEGW_CHECK(count >= 0 && count <= n_replicas,
+             "FaultPlan::stragglers: count out of range");
+  core::Rng rng(seed);
+  std::vector<int> pool(static_cast<std::size_t>(n_replicas));
+  std::iota(pool.begin(), pool.end(), 0);
+  FaultPlan plan;
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(i) +
+                   static_cast<std::size_t>(rng.uniform_int(
+                       static_cast<u64>(n_replicas - i)));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    plan.faults.push_back(
+        {pool[static_cast<std::size_t>(i)], Kind::kSlow, delay_ms});
+  }
+  std::sort(plan.faults.begin(), plan.faults.end(),
+            [](const Fault& a, const Fault& b) { return a.replica < b.replica; });
+  return plan;
+}
+
+FaultPlan FaultPlan::dead_replica(int replica) {
+  FaultPlan plan;
+  plan.faults.push_back({replica, Kind::kDead, 0.0});
+  return plan;
+}
+
+bool FaultPlan::is_dead(int replica) const {
+  for (const Fault& f : faults) {
+    if (f.replica == replica && f.kind == Kind::kDead) return true;
+  }
+  return false;
+}
+
+double FaultPlan::delay_ms_for(int replica) const {
+  double total = 0.0;
+  for (const Fault& f : faults) {
+    if (f.replica == replica && f.kind == Kind::kSlow) total += f.delay_ms;
+  }
+  return total;
+}
+
+double WireModel::bucket_us(i64 bytes) const {
+  double us = latency_us;
+  if (gbytes_per_sec > 0.0) {
+    us += static_cast<double>(bytes) / (gbytes_per_sec * 1e3);
+  }
+  return us;
+}
+
+std::vector<std::vector<std::size_t>> plan_buckets(
+    const std::vector<ag::Variable>& params, i64 bucket_bytes) {
+  LEGW_CHECK(bucket_bytes > 0, "plan_buckets: bucket_bytes must be positive");
+  std::vector<std::vector<std::size_t>> buckets;
+  i64 filled = 0;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const i64 bytes =
+        params[p].numel() * static_cast<i64>(sizeof(float));
+    if (buckets.empty() || filled >= bucket_bytes) {
+      buckets.emplace_back();
+      filled = 0;
+    }
+    buckets.back().push_back(p);
+    filled += bytes;
+  }
+  return buckets;
+}
+
+OverlapConfig default_overlap_config() {
+  OverlapConfig config;
+  if (const char* env = std::getenv("LEGW_DIST_BUCKET_KB")) {
+    char* end = nullptr;
+    const long long kb = std::strtoll(env, &end, 10);
+    LEGW_CHECK(end != nullptr && *end == '\0' && kb > 0,
+               std::string("LEGW_DIST_BUCKET_KB must be a positive integer, "
+                           "got '") +
+                   env + "'");
+    config.bucket_bytes = static_cast<i64>(kb) * 1024;
+  }
+  return config;
+}
+
+namespace {
+
+void sleep_us(double us) {
+  if (us > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+  }
+}
+
+std::string join_ints(const std::vector<int>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+OverlapResult overlapped_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    const OverlapConfig& config) {
+  const int n_replicas = static_cast<int>(replica_params.size());
+  LEGW_CHECK(n_replicas >= 1, "overlapped_backward: need >= 1 replica");
+  const std::size_t n_params = replica_params[0].size();
+  for (const auto& params : replica_params) {
+    LEGW_CHECK(params.size() == n_params,
+               "overlapped_backward: replicas disagree on parameter count");
+  }
+
+  OverlapResult result;
+  const auto buckets = plan_buckets(replica_params[0], config.bucket_bytes);
+  const std::size_t n_buckets = buckets.size();
+  result.stats.n_buckets = static_cast<i64>(n_buckets);
+
+  std::vector<std::size_t> bucket_of(n_params, 0);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    for (std::size_t p : buckets[b]) bucket_of[p] = b;
+  }
+
+  // Materialise every gradient buffer up front, on this thread, so the
+  // replica and communication threads only ever touch pre-allocated storage.
+  std::vector<std::vector<core::Tensor*>> grads(
+      static_cast<std::size_t>(n_replicas));
+  // Per replica: leaf Node -> parameter index, for hook dispatch.
+  std::vector<std::unordered_map<ag::Node*, std::size_t>> index_of(
+      static_cast<std::size_t>(n_replicas));
+  for (int r = 0; r < n_replicas; ++r) {
+    auto& g = grads[static_cast<std::size_t>(r)];
+    g.reserve(n_params);
+    for (std::size_t p = 0; p < n_params; ++p) {
+      ag::Variable handle = replica_params[static_cast<std::size_t>(r)][p];
+      g.push_back(&handle.mutable_grad());
+      index_of[static_cast<std::size_t>(r)][handle.node().get()] = p;
+    }
+  }
+
+  // Injected dead replicas are recorded but NOT pre-excluded: the engine
+  // must *detect* them through the timeout machinery, exactly as it would a
+  // genuinely hung node. They only leave the reduction once a timeout
+  // episode names them as blockers (or fail-fast aborts the step).
+  std::vector<char> excluded(static_cast<std::size_t>(n_replicas), 0);
+  if (config.faults != nullptr) {
+    for (int r = 0; r < n_replicas; ++r) {
+      if (config.faults->is_dead(r)) result.stats.dead_replicas.push_back(r);
+    }
+  }
+  const bool any_dead = !result.stats.dead_replicas.empty();
+  LEGW_CHECK(!any_dead || config.bucket_timeout_ms > 0,
+             "overlapped_backward: a fault plan with dead replicas requires "
+             "bucket_timeout_ms > 0");
+  LEGW_CHECK(result.stats.dead_replicas.size() <
+                 static_cast<std::size_t>(n_replicas),
+             "overlapped_backward: every replica is dead");
+
+  // pending[b * n_replicas + r]: gradients replica r still owes bucket b.
+  std::vector<std::atomic<int>> pending(n_buckets *
+                                        static_cast<std::size_t>(n_replicas));
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    for (int r = 0; r < n_replicas; ++r) {
+      pending[b * static_cast<std::size_t>(n_replicas) +
+              static_cast<std::size_t>(r)]
+          .store(static_cast<int>(buckets[b].size()),
+                 std::memory_order_relaxed);
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;  // completed buckets, completion order
+  std::vector<char> enqueued(n_buckets, 0);
+  bool failed = false;
+  std::string error;
+
+  auto bucket_pending = [&](std::size_t b, int r) -> std::atomic<int>& {
+    return pending[b * static_cast<std::size_t>(n_replicas) +
+                   static_cast<std::size_t>(r)];
+  };
+
+  // Caller must hold mu. Enqueues b if every non-excluded replica has
+  // delivered all of b's gradients and b was not already claimed.
+  auto try_enqueue_locked = [&](std::size_t b) {
+    if (enqueued[b]) return;
+    for (int r = 0; r < n_replicas; ++r) {
+      if (excluded[static_cast<std::size_t>(r)]) continue;
+      if (bucket_pending(b, r).load(std::memory_order_acquire) != 0) return;
+    }
+    enqueued[b] = 1;
+    ready.push_back(b);
+    cv.notify_one();
+  };
+
+  // Replica r delivered parameter p's final gradient. The release half of
+  // the fetch_sub publishes the gradient writes; the reducer's acquire load
+  // of pending (and the RMW release sequence) makes them visible.
+  auto signal = [&](int r, std::size_t p) {
+    const std::size_t b = bucket_of[p];
+    if (bucket_pending(b, r).fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      try_enqueue_locked(b);
+    }
+  };
+
+  std::vector<float> losses(static_cast<std::size_t>(n_replicas), 0.0f);
+  std::vector<char> ran(static_cast<std::size_t>(n_replicas), 0);
+
+  auto replica_body = [&](int r) {
+    if (config.faults != nullptr) {
+      const double delay = config.faults->delay_ms_for(r);
+      if (delay > 0.0) {
+        obs::Span span("fault_straggler");
+        sleep_us(delay * 1000.0);
+      }
+    }
+    obs::Span span("replica_backward");
+    if (config.zero_grads) {
+      for (std::size_t p = 0; p < n_params; ++p) {
+        grads[static_cast<std::size_t>(r)][p]->zero_();
+      }
+    }
+    std::vector<char> fired(n_params, 0);
+    ag::BackwardHooks hooks;
+    hooks.on_leaf_grad_ready = [&](ag::Node& leaf) {
+      const auto it = index_of[static_cast<std::size_t>(r)].find(&leaf);
+      if (it == index_of[static_cast<std::size_t>(r)].end()) return;
+      if (fired[it->second]) return;
+      fired[it->second] = 1;
+      signal(r, it->second);
+    };
+    ag::Variable loss = loss_fn(r);
+    losses[static_cast<std::size_t>(r)] = loss.value()[0];
+    ran[static_cast<std::size_t>(r)] = 1;
+    ag::backward(loss, nullptr, hooks);
+    // Parameters the graph never reached keep their (zeroed or accumulated)
+    // gradient as-is — that IS their final value, so deliver it.
+    for (std::size_t p = 0; p < n_params; ++p) {
+      if (!fired[p]) signal(r, p);
+    }
+  };
+
+  // Reducer: service completed buckets in completion order. Values cannot
+  // depend on that order because buckets are disjoint and each bucket
+  // reduces parameter by parameter in replica-index order.
+  auto reduce_loop = [&] {
+    std::size_t processed = 0;
+    std::vector<int> participants;
+    std::vector<core::Tensor*> shards;
+    while (processed < n_buckets) {
+      std::size_t b = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        while (ready.empty()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          bool got = true;
+          {
+            obs::Span idle_span("overlap_idle");
+            if (config.bucket_timeout_ms > 0) {
+              got = cv.wait_for(
+                  lock,
+                  std::chrono::duration<double, std::milli>(
+                      config.bucket_timeout_ms),
+                  [&] { return !ready.empty(); });
+            } else {
+              cv.wait(lock, [&] { return !ready.empty(); });
+            }
+          }
+          result.stats.idle_ns +=
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          if (got) break;
+
+          // Timed out with no completed bucket. The blockers are the
+          // replicas still owing gradients on some unclaimed bucket.
+          ++result.stats.timeout_episodes;
+          std::vector<int> blockers;
+          for (int r = 0; r < n_replicas; ++r) {
+            if (excluded[static_cast<std::size_t>(r)]) continue;
+            for (std::size_t b2 = 0; b2 < n_buckets; ++b2) {
+              if (enqueued[b2]) continue;
+              if (bucket_pending(b2, r).load(std::memory_order_acquire) !=
+                  0) {
+                blockers.push_back(r);
+                break;
+              }
+            }
+          }
+          if (config.timeout_policy == TimeoutPolicy::kFailFast) {
+            failed = true;
+            error = "overlapped_backward: bucket all-reduce timed out after " +
+                    std::to_string(config.bucket_timeout_ms) +
+                    " ms waiting on replica(s) [" + join_ints(blockers) + "]";
+            return;
+          }
+          // Degrade: drop the blockers, then re-scan — buckets that are now
+          // complete over the survivors become reducible.
+          for (int r : blockers) {
+            excluded[static_cast<std::size_t>(r)] = 1;
+            result.stats.excluded_replicas.push_back(r);
+            obs::count("replica_timeout", 1);
+          }
+          int live = 0;
+          for (int r = 0; r < n_replicas; ++r) {
+            if (!excluded[static_cast<std::size_t>(r)]) ++live;
+          }
+          if (live == 0) {
+            failed = true;
+            error =
+                "overlapped_backward: degraded until no replica survived";
+            return;
+          }
+          for (std::size_t b2 = 0; b2 < n_buckets; ++b2) {
+            try_enqueue_locked(b2);
+          }
+        }
+        b = ready.front();
+        ready.pop_front();
+        // Participant set snapshot: every currently-live replica delivered
+        // this bucket in full (guaranteed by try_enqueue_locked; exclusion
+        // only shrinks the set and excluded replicas never rejoin).
+        participants.clear();
+        for (int r = 0; r < n_replicas; ++r) {
+          if (excluded[static_cast<std::size_t>(r)]) continue;
+          if (bucket_pending(b, r).load(std::memory_order_acquire) == 0) {
+            participants.push_back(r);
+          }
+        }
+      }
+      // Reduce outside the lock so replica threads keep signalling.
+      i64 bytes = 0;
+      {
+        obs::Span span("bucket_reduce");
+        shards.resize(participants.size());
+        for (std::size_t p : buckets[b]) {
+          for (std::size_t i = 0; i < participants.size(); ++i) {
+            shards[i] = grads[static_cast<std::size_t>(participants[i])][p];
+          }
+          tree_allreduce_mean(shards);
+          bytes += shards.empty() ? 0
+                                  : shards[0]->numel() *
+                                        static_cast<i64>(sizeof(float));
+        }
+        sleep_us(config.wire.bucket_us(bytes));
+      }
+      obs::count("bucket_reduce", 1);
+      ++result.stats.buckets_reduced;
+      ++processed;
+    }
+  };
+
+  // Replicas model independent cluster nodes and the reducer models the
+  // NIC-side communication engine; both run full graph passes that
+  // internally submit to the ThreadPool, so neither can be a pool task.
+  // lint-allow: raw-thread
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_replicas));
+  for (int r = 0; r < n_replicas; ++r) {
+    if (config.faults != nullptr && config.faults->is_dead(r)) continue;
+    threads.emplace_back(replica_body, r);
+  }
+
+  if (config.overlap) {
+    // lint-allow: raw-thread — see above.
+    std::thread reducer(reduce_loop);
+    for (auto& t : threads) t.join();
+    reducer.join();
+  } else {
+    // Synchronous baseline: identical buckets, identical reduction order,
+    // identical wire bill — but nothing reduces until every replica joined.
+    for (auto& t : threads) t.join();
+    reduce_loop();
+  }
+
+  float loss_sum = 0.0f;
+  int loss_count = 0;
+  for (int r = 0; r < n_replicas; ++r) {
+    if (ran[static_cast<std::size_t>(r)]) {
+      loss_sum += losses[static_cast<std::size_t>(r)];
+      ++loss_count;
+    }
+  }
+  result.mean_loss =
+      loss_count > 0 ? loss_sum / static_cast<float>(loss_count) : 0.0f;
+  result.ok = !failed;
+  result.error = error;
+  return result;
+}
+
+float replica_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn) {
+  if (core::dist_mode() == core::DistMode::kOverlap) {
+    const OverlapResult res =
+        overlapped_backward(replica_params, loss_fn, default_overlap_config());
+    LEGW_CHECK(res.ok, "replica_backward: " + res.error);
+    return res.mean_loss;
+  }
+  return synchronous_backward(replica_params, loss_fn);
+}
+
+}  // namespace legw::dist

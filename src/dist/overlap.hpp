@@ -1,0 +1,147 @@
+// Overlapped, bucketed gradient all-reduce over in-process model replicas.
+//
+// synchronous_backward (data_parallel.hpp) runs every replica's backward to
+// completion, joins at a barrier, then reduces gradients one parameter at a
+// time — the serialization that large-batch scaling work (Goyal et al.; You
+// et al., LARS/LAMB) engineers away. This engine removes it: parameters are
+// grouped into size-targeted buckets, fixed before backward starts, and a
+// bucket's deterministic tree-allreduce fires on a communication thread as
+// soon as every replica has populated all of that bucket's gradients —
+// signalled by ag::BackwardHooks::on_leaf_grad_ready — while the tail of
+// backward is still executing on the replica threads.
+//
+// Determinism argument: bucket membership depends only on parameter order
+// and the configured bucket size, never on arrival time. Within a bucket,
+// gradients reduce parameter by parameter through the same stride-doubling
+// tree as tree_allreduce_mean, in replica-index order. Buckets are disjoint,
+// so the order in which the communication thread happens to service them
+// cannot change any value: the result is bitwise identical to the
+// synchronous path (tests/test_dist_overlap.cpp asserts this at 1/2/4/8
+// replicas).
+//
+// Fault injection: a seeded FaultPlan makes chosen replicas slow (straggler
+// delay before their backward starts) or dead (never launched, never
+// reports). A per-bucket timeout plus policy governs degradation: kFailFast
+// returns a clean error naming the stuck bucket and replicas;
+// kDegradeToSurvivors excludes the blocking replicas and reduces the mean
+// over the survivors, counting the event in OverlapStats and the
+// `replica_timeout` obs counter. Spans `replica_backward`, `bucket_reduce`
+// and `overlap_idle` make the overlap visible in Chrome traces.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ag/variable.hpp"
+
+namespace legw::dist {
+
+// A deterministic, seeded set of injected replica faults.
+struct FaultPlan {
+  enum class Kind {
+    kSlow,  // replica sleeps delay_ms before starting its backward
+    kDead   // replica never runs and never reports
+  };
+  struct Fault {
+    int replica = 0;
+    Kind kind = Kind::kSlow;
+    double delay_ms = 0.0;
+  };
+  std::vector<Fault> faults;
+
+  // Picks `count` distinct straggler replicas out of [0, n_replicas) with a
+  // seeded core::Rng, each delayed by delay_ms. Same seed, same plan.
+  static FaultPlan stragglers(u64 seed, int n_replicas, int count,
+                              double delay_ms);
+  static FaultPlan dead_replica(int replica);
+
+  bool is_dead(int replica) const;
+  // Total straggler delay for this replica (0 when unaffected).
+  double delay_ms_for(int replica) const;
+};
+
+enum class TimeoutPolicy {
+  kFailFast,           // return ok=false naming the stuck bucket/replicas
+  kDegradeToSurvivors  // exclude blockers, mean over surviving replicas
+};
+
+// Simulated wire cost of shipping one bucket through the all-reduce: the
+// communication thread sleeps latency + bytes/bandwidth per bucket. Sleeping
+// releases the core, so overlap genuinely hides this time under backward
+// compute even on a single-core host; bench/dist_scaling.cpp uses it for a
+// fair sync-vs-overlap A/B in which both modes pay the identical wire bill.
+struct WireModel {
+  double latency_us = 0.0;
+  double gbytes_per_sec = 0.0;  // 0 = infinite bandwidth
+  double bucket_us(i64 bytes) const;
+};
+
+struct OverlapConfig {
+  // Target bucket payload in bytes; a bucket closes once it reaches this.
+  // Parameters larger than the target get a bucket of their own.
+  i64 bucket_bytes = 256 * 1024;
+  // false: barrier-join every replica, then reduce buckets in index order on
+  // the calling thread — the synchronous baseline, same buckets, same wire
+  // bill, for A/B measurement. Results are bitwise identical either way.
+  bool overlap = true;
+  // false: skip the per-replica zero_grad so gradients accumulate onto
+  // whatever the caller left in them (micro-batch accumulation composes with
+  // train::GradientAccumulator; see tests/test_train_extras.cpp).
+  bool zero_grads = true;
+  // Max time the reducer waits with no completed bucket available before the
+  // timeout policy triggers. 0 = wait forever (required to be > 0 when the
+  // fault plan contains dead replicas, else the engine would hang).
+  double bucket_timeout_ms = 0.0;
+  TimeoutPolicy timeout_policy = TimeoutPolicy::kFailFast;
+  WireModel wire;
+  const FaultPlan* faults = nullptr;  // not owned; nullptr = fault-free
+};
+
+struct OverlapStats {
+  i64 n_buckets = 0;
+  i64 buckets_reduced = 0;
+  i64 timeout_episodes = 0;
+  std::vector<int> dead_replicas;      // from the plan: never launched
+  std::vector<int> excluded_replicas;  // dead + degraded-away stragglers
+  i64 idle_ns = 0;  // reducer time spent waiting for a completed bucket
+};
+
+struct OverlapResult {
+  bool ok = false;
+  std::string error;       // empty when ok
+  float mean_loss = 0.0f;  // over the replicas that ran, in index order
+  OverlapStats stats;
+};
+
+// Fixed, deterministic bucket plan: walk parameters in declaration order,
+// close a bucket once its payload reaches bucket_bytes. Every parameter
+// lands in exactly one bucket; bucket contents are consecutive parameter
+// indices. Exposed for tests and benches.
+std::vector<std::vector<std::size_t>> plan_buckets(
+    const std::vector<ag::Variable>& params, i64 bucket_bytes);
+
+// Config with bucket_bytes taken from LEGW_DIST_BUCKET_KB (default 256).
+OverlapConfig default_overlap_config();
+
+// One overlapped data-parallel backward pass. Contract matches
+// synchronous_backward: replica_params[r] are replica r's parameters
+// (aligned across r), loss_fn(r) builds replica r's shard loss from replica
+// r's parameters only, and on success every non-excluded replica's gradients
+// hold the element-wise mean over the participating replicas. loss_fn runs
+// concurrently, one thread per live replica.
+OverlapResult overlapped_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    const OverlapConfig& config = {});
+
+// Dispatches on core::dist_mode() (env LEGW_DIST): kSync →
+// synchronous_backward, kOverlap → overlapped_backward with
+// default_overlap_config(). Returns the mean shard loss; aborts if the
+// overlap engine reports failure (no fault plan is installed here, so a
+// failure is a programming error, not an injected fault).
+float replica_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn);
+
+}  // namespace legw::dist

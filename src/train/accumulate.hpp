@@ -33,6 +33,14 @@ class GradientAccumulator {
     return loss.value()[0];
   }
 
+  // Counts a micro-batch whose backward ran outside this accumulator — e.g.
+  // one dist::overlapped_backward call with zero_grads=false, which leaves
+  // the replica-mean micro-batch gradient *added* onto the existing
+  // gradients. finish() then divides by the number of micro-batches exactly
+  // as if micro_step had run them (tests/test_train_extras.cpp verifies the
+  // composition reproduces the replicas × micro-batches large-batch step).
+  void count_external_micro_step() { ++count_; }
+
   // Scales the accumulated gradients to the mean over all micro-batches and
   // resets the counter. Call exactly once per optimizer step.
   void finish() {

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "check/check.hpp"
 #include "core/flags.hpp"
+#include "dist/overlap.hpp"
 #include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "train/metrics.hpp"
@@ -25,9 +27,12 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// Per-step boilerplate shared by all runners.
+// Per-step boilerplate shared by all runners. `opts` holds one optimizer per
+// model replica (exactly one for the classic single-model loop); every
+// replica sees the identical schedule so data-parallel replicas stay
+// bit-synchronised.
 struct StepLoop {
-  optim::Optimizer* opt;
+  std::vector<optim::Optimizer*> opts;
   const RunConfig* run;
   i64 steps_per_epoch;
   i64 step = 0;
@@ -37,7 +42,8 @@ struct StepLoop {
   double begin_step() {
     const double epoch =
         static_cast<double>(step) / static_cast<double>(steps_per_epoch);
-    opt->set_lr(run->schedule->lr(epoch));
+    const auto lr = run->schedule->lr(epoch);
+    for (optim::Optimizer* opt : opts) opt->set_lr(lr);
     // Publish the step so a non-finite tripwire firing anywhere in this
     // step's forward/backward/update blames *when*, not just where.
     check::set_step_index(step);
@@ -48,8 +54,10 @@ struct StepLoop {
 
 // Shared post-forward tail of one training step: divergence check, backward,
 // clip, optimizer update, bookkeeping. Returns false when the run diverged.
-bool finish_step(const RunConfig& run, StepLoop& loop, optim::Optimizer* opt,
-                 double loss_value, RunResult* result) {
+// With multiple replicas every optimizer clips and steps on the identical
+// replica-mean gradients, so the updates are identical too.
+bool finish_step(const RunConfig& run, StepLoop& loop, double loss_value,
+                 RunResult* result) {
   result->final_train_loss = loss_value;
   if (run.recorder != nullptr) {
     run.recorder->record("train_loss", loop.step - 1, loss_value);
@@ -60,11 +68,13 @@ bool finish_step(const RunConfig& run, StepLoop& loop, optim::Optimizer* opt,
   }
   if (run.clip_norm > 0.0f) {
     obs::Span span("clip");
-    optim::clip_grad_norm(opt->params(), run.clip_norm);
+    for (optim::Optimizer* opt : loop.opts) {
+      optim::clip_grad_norm(opt->params(), run.clip_norm);
+    }
   }
   {
     obs::Span span("optimizer");
-    opt->step();
+    for (optim::Optimizer* opt : loop.opts) opt->step();
   }
   obs::count("steps", 1);
   ++result->steps;
@@ -108,17 +118,32 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
                       const models::MnistLstmConfig& model_config,
                       const RunConfig& run) {
   LEGW_CHECK(run.schedule != nullptr, "train_mnist: schedule required");
+  const i64 n_replicas = run.replicas;
+  LEGW_CHECK(n_replicas >= 1, "train_mnist: replicas must be >= 1");
+  LEGW_CHECK(run.batch_size % n_replicas == 0,
+             "train_mnist: batch_size must be divisible by replicas");
   const auto start = Clock::now();
   models::MnistLstmConfig mc = model_config;
   mc.seed = model_config.seed + run.seed;
-  models::MnistLstm model(mc);
-  auto opt = optim::make_optimizer(run.optimizer, model.parameters(),
-                                   run.weight_decay);
+  // Identical config and seed mean bitwise-identical initial weights on
+  // every replica, so the synchrony invariant holds from step 0.
+  std::vector<std::unique_ptr<models::MnistLstm>> replicas;
+  std::vector<std::unique_ptr<optim::Optimizer>> opts;
+  std::vector<std::vector<ag::Variable>> replica_params;
+  for (i64 r = 0; r < n_replicas; ++r) {
+    replicas.push_back(std::make_unique<models::MnistLstm>(mc));
+    opts.push_back(optim::make_optimizer(
+        run.optimizer, replicas.back()->parameters(), run.weight_decay));
+    replica_params.push_back(replicas.back()->parameters());
+  }
+  models::MnistLstm& model = *replicas[0];
+  optim::Optimizer* opt = opts[0].get();
   data::IndexBatcher batcher(dataset.n_train(), run.batch_size,
                              run.seed * 1000003ull + 5);
 
   RunResult result;
-  StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
+  StepLoop loop{{}, &run, batcher.batches_per_epoch()};
+  for (auto& o : opts) loop.opts.push_back(o.get());
 
   auto evaluate = [&]() {
     obs::Span span("eval");
@@ -143,26 +168,55 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
     for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
-      core::Tensor images;
-      std::vector<i32> labels;
-      {
-        obs::Span span("data");
-        const std::vector<i64> idx = batcher.next();
-        images = dataset.gather_images(idx, true);
-        labels = dataset.gather_labels(idx, true);
+      double loss_value = 0.0;
+      if (n_replicas == 1) {
+        core::Tensor images;
+        std::vector<i32> labels;
+        {
+          obs::Span span("data");
+          const std::vector<i64> idx = batcher.next();
+          images = dataset.gather_images(idx, true);
+          labels = dataset.gather_labels(idx, true);
+        }
+        model.zero_grad();
+        ag::Variable loss;
+        {
+          obs::Span span("forward");
+          loss = model.loss(images, labels);
+        }
+        loss_value = loss.value()[0];
+        if (!loss_diverged(loss_value)) {
+          obs::Span span("backward");
+          ag::backward(loss);
+        }
+      } else {
+        // Shard the global batch, gather every shard up front (the batcher
+        // and dataset stay single-threaded), then let the dist engine run
+        // the per-replica forward/backward concurrently and leave the
+        // replica-mean gradient in every replica.
+        const i64 shard = run.batch_size / n_replicas;
+        std::vector<core::Tensor> images(static_cast<std::size_t>(n_replicas));
+        std::vector<std::vector<i32>> labels(
+            static_cast<std::size_t>(n_replicas));
+        {
+          obs::Span span("data");
+          const std::vector<i64> idx = batcher.next();
+          for (i64 r = 0; r < n_replicas; ++r) {
+            const std::vector<i64> sh(idx.begin() + r * shard,
+                                      idx.begin() + (r + 1) * shard);
+            images[static_cast<std::size_t>(r)] =
+                dataset.gather_images(sh, true);
+            labels[static_cast<std::size_t>(r)] =
+                dataset.gather_labels(sh, true);
+          }
+        }
+        loss_value = dist::replica_backward(replica_params, [&](int r) {
+          return replicas[static_cast<std::size_t>(r)]->loss(
+              images[static_cast<std::size_t>(r)],
+              labels[static_cast<std::size_t>(r)]);
+        });
       }
-      model.zero_grad();
-      ag::Variable loss;
-      {
-        obs::Span span("forward");
-        loss = model.loss(images, labels);
-      }
-      const double loss_value = loss.value()[0];
-      if (!loss_diverged(loss_value)) {
-        obs::Span span("backward");
-        ag::backward(loss);
-      }
-      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
+      if (!finish_step(run, loop, loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
@@ -188,6 +242,8 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
                     const models::PtbConfig& model_config,
                     const RunConfig& run) {
   LEGW_CHECK(run.schedule != nullptr, "train_ptb: schedule required");
+  LEGW_CHECK(run.replicas == 1,
+             "train_ptb: replicas > 1 is only wired for train_mnist");
   const auto start = Clock::now();
   models::PtbConfig mc = model_config;
   mc.vocab = corpus.vocab();
@@ -200,7 +256,7 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
   core::Rng dropout_rng(run.seed * 7919ull + 3);
 
   RunResult result;
-  StepLoop loop{opt.get(), &run, batcher.chunks_per_epoch()};
+  StepLoop loop{{opt.get()}, &run, batcher.chunks_per_epoch()};
   models::PtbModel::CarriedState carried = model.zero_carried(run.batch_size);
 
   // Validation batch geometry: modest so evaluation stays cheap.
@@ -229,7 +285,7 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
         obs::Span span("backward");
         ag::backward(out.loss);
       }
-      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
+      if (!finish_step(run, loop, loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     double ppl = 0.0;
@@ -262,6 +318,8 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
                      const models::GnmtConfig& model_config,
                      const RunConfig& run) {
   LEGW_CHECK(run.schedule != nullptr, "train_gnmt: schedule required");
+  LEGW_CHECK(run.replicas == 1,
+             "train_gnmt: replicas > 1 is only wired for train_mnist");
   const auto start = Clock::now();
   models::GnmtConfig mc = model_config;
   mc.src_vocab = dataset.config().src_vocab;
@@ -275,7 +333,7 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
   core::Rng dropout_rng(run.seed * 31337ull + 1);
 
   RunResult result;
-  StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
+  StepLoop loop{{opt.get()}, &run, batcher.batches_per_epoch()};
 
   auto evaluate_bleu = [&]() {
     obs::Span span("eval");
@@ -321,7 +379,7 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
         obs::Span span("backward");
         ag::backward(loss);
       }
-      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
+      if (!finish_step(run, loop, loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double bleu = (result.diverged || !eval_now) ? 0.0 : evaluate_bleu();
@@ -347,6 +405,8 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
                        const models::ResNetConfig& model_config,
                        const RunConfig& run) {
   LEGW_CHECK(run.schedule != nullptr, "train_resnet: schedule required");
+  LEGW_CHECK(run.replicas == 1,
+             "train_resnet: replicas > 1 is only wired for train_mnist");
   const auto start = Clock::now();
   models::ResNetConfig mc = model_config;
   mc.seed = model_config.seed + run.seed;
@@ -357,7 +417,7 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
                              run.seed * 49157ull + 9);
 
   RunResult result;
-  StepLoop loop{opt.get(), &run, batcher.batches_per_epoch()};
+  StepLoop loop{{opt.get()}, &run, batcher.batches_per_epoch()};
 
   auto evaluate = [&]() {
     obs::Span span("eval");
@@ -399,7 +459,7 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
         obs::Span span("backward");
         ag::backward(loss);
       }
-      if (!finish_step(run, loop, opt.get(), loss_value, &result)) break;
+      if (!finish_step(run, loop, loss_value, &result)) break;
     }
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
@@ -433,6 +493,8 @@ obs::RunRecord make_run_record(const std::string& name, const RunConfig& run,
   rec.config.emplace_back("seed", std::to_string(run.seed));
   rec.config.emplace_back("kernel",
                           core::gemm_kernel_name(core::gemm_kernel()));
+  rec.config.emplace_back("replicas", std::to_string(run.replicas));
+  rec.config.emplace_back("dist", core::dist_mode_name(core::dist_mode()));
   rec.metrics.emplace_back("final_metric", result.final_metric);
   rec.metrics.emplace_back("final_train_loss", result.final_train_loss);
   rec.metrics.emplace_back("diverged", result.diverged ? 1.0 : 0.0);

@@ -48,6 +48,14 @@ struct RunConfig {
   // When true, RunResult::final_params receives a copy of every parameter
   // tensor after the last step (golden-determinism tests compare bitwise).
   bool capture_final_params = false;
+  // Data-parallel replica count. 1 = the classic single-model loop. For
+  // replicas > 1 (train_mnist only, for now) the runner instantiates
+  // `replicas` identically-initialised models, shards every batch across
+  // them, and averages gradients through dist::replica_backward — the
+  // sync or overlapped engine per LEGW_DIST. batch_size must be divisible
+  // by replicas. Metrics and captured parameters come from replica 0
+  // (replicas stay bit-synchronised, so the choice is immaterial).
+  i64 replicas = 1;
 };
 
 struct RunResult {

@@ -149,8 +149,14 @@ TEST(Contracts, ClusterModelValidatesSizes) {
   EXPECT_DEATH((void)dist::cluster_epoch_time(cfg, 100, 0), "bad sizes");
 }
 
-TEST(Contracts, DeviceModelFitNeedsTwoPoints) {
-  EXPECT_DEATH((void)dist::fit_device_model({{32, 0.1}}), "need >= 2 samples");
+TEST(Contracts, DeviceModelFitDegenerateInputIsGraceful) {
+  // Degenerate sample sets used to abort; they now fall back without
+  // dividing by zero (full behaviour in tests/test_dist_properties.cpp).
+  const dist::DeviceModel one = dist::fit_device_model({{32, 0.1}});
+  EXPECT_NEAR(one.peak_samples_per_sec, 320.0, 1e-9);
+  EXPECT_EQ(one.half_saturation_batch, 0.0);
+  const dist::DeviceModel none = dist::fit_device_model({});
+  EXPECT_EQ(none.peak_samples_per_sec, dist::DeviceModel{}.peak_samples_per_sec);
 }
 
 TEST(Contracts, GradualWarmupRejectsNegativeAndNull) {

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "ag/ops.hpp"
+#include "dist/overlap.hpp"
 #include "models/mnist_lstm.hpp"
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
@@ -116,6 +119,71 @@ TEST(GradientAccumulator, MatchesLargeBatchGradient) {
   EXPECT_EQ(acc.pending_micro_steps(), 0);
   for (i64 i = 0; i < full.numel(); ++i) {
     EXPECT_NEAR(layer.weight().grad()[i], full[i], 1e-5f) << "elem " << i;
+  }
+}
+
+TEST(GradientAccumulator, ComposesWithOverlappedBackward) {
+  // Large-batch composition: 2 replicas × 2 micro-batches through the
+  // overlapped allreduce engine (zero_grads=false so micro-batch means
+  // accumulate) must reproduce the single-model batch-8 gradient.
+  const int n_replicas = 2;
+  const int n_micro = 2;
+  const i64 rows_per_shard = 2;
+  Rng rng(5);
+  nn::Linear reference(3, 2, rng);
+  Tensor x = Tensor::randn({8, 3}, rng);
+  Rng wrng(6);
+  Tensor w = Tensor::randn({8, 2}, wrng);
+
+  auto rows = [&](const Tensor& src, i64 begin, i64 count, i64 cols) {
+    Tensor out({count, cols});
+    for (i64 r = 0; r < count; ++r) {
+      for (i64 c = 0; c < cols; ++c) out.at(r, c) = src.at(begin + r, c);
+    }
+    return out;
+  };
+
+  // Reference: one model, the full batch of 8.
+  reference.zero_grad();
+  ag::backward(ag::mean_all(
+      ag::mul(reference.forward(ag::Variable::constant(x)),
+              ag::Variable::constant(w))));
+  const Tensor full = reference.weight().grad();
+
+  // Two identically-initialised replicas (same seed as the reference).
+  std::vector<std::unique_ptr<nn::Linear>> replicas;
+  std::vector<std::vector<ag::Variable>> replica_params;
+  for (int r = 0; r < n_replicas; ++r) {
+    Rng seed(5);
+    replicas.push_back(std::make_unique<nn::Linear>(3, 2, seed));
+    replicas.back()->zero_grad();
+    replica_params.push_back(replicas.back()->parameters());
+  }
+
+  train::GradientAccumulator acc(replica_params[0]);
+  dist::OverlapConfig config;
+  config.zero_grads = false;  // the accumulator owns gradient lifetime
+  for (int m = 0; m < n_micro; ++m) {
+    const dist::OverlapResult res = dist::overlapped_backward(
+        replica_params,
+        [&](int r) {
+          const i64 begin = (m * n_replicas + r) * rows_per_shard;
+          return ag::mean_all(ag::mul(
+              replicas[static_cast<std::size_t>(r)]->forward(
+                  ag::Variable::constant(rows(x, begin, rows_per_shard, 3))),
+              ag::Variable::constant(rows(w, begin, rows_per_shard, 2))));
+        },
+        config);
+    ASSERT_TRUE(res.ok) << res.error;
+    acc.count_external_micro_step();
+  }
+  EXPECT_EQ(acc.pending_micro_steps(), n_micro);
+  acc.finish();
+
+  const Tensor& got = replica_params[0][0].grad();
+  ASSERT_EQ(got.numel(), full.numel());
+  for (i64 i = 0; i < full.numel(); ++i) {
+    EXPECT_NEAR(got[i], full[i], 1e-5f) << "elem " << i;
   }
 }
 
