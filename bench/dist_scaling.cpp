@@ -25,6 +25,7 @@
 #include "ag/ops.hpp"
 #include "bench_common.hpp"
 #include "core/flags.hpp"
+#include "core/io.hpp"
 #include "nn/layers.hpp"
 #include "obs/trace.hpp"
 #include "dist/overlap.hpp"
@@ -148,8 +149,9 @@ int main(int argc, char** argv) {
 
   const std::vector<int> replica_counts = {1, 2, 4, 8};
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  LEGW_CHECK(f != nullptr, "dist_scaling: cannot open " + out_path);
+  core::AtomicFile out(out_path);
+  LEGW_CHECK(out.ok(), "dist_scaling: cannot open " + out_path);
+  std::FILE* f = out.stream();
   std::fprintf(f, "{\n  \"layers\": %lld,\n  \"dim\": %lld,\n",
                static_cast<long long>(kLayers), static_cast<long long>(kDim));
   std::fprintf(f, "  \"batch_per_replica\": %lld,\n",
@@ -209,7 +211,8 @@ int main(int argc, char** argv) {
                  static_cast<long long>(v), ++ci < ctrs.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
+  std::string publish_err;
+  LEGW_CHECK(out.commit(&publish_err), "dist_scaling: " + publish_err);
   if (!was_enabled) rec.clear();
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

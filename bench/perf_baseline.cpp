@@ -14,6 +14,7 @@
 #include "ag/ops.hpp"
 #include "bench_common.hpp"
 #include "core/flags.hpp"
+#include "core/io.hpp"
 #include "core/tensor.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/lstm.hpp"
@@ -172,8 +173,9 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.get_int("reps", 5));
   const double min_ms = flags.get_double("min-ms", 50.0);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  LEGW_CHECK(f != nullptr, "perf_baseline: cannot open " + out_path);
+  core::AtomicFile out(out_path);
+  LEGW_CHECK(out.ok(), "perf_baseline: cannot open " + out_path);
+  std::FILE* f = out.stream();
 
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"threads\": %d,\n", core::ThreadPool::global().size());
@@ -257,7 +259,8 @@ int main(int argc, char** argv) {
                  static_cast<long long>(v), ++ci < ctrs.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
-  std::fclose(f);
+  std::string publish_err;
+  LEGW_CHECK(out.commit(&publish_err), "perf_baseline: " + publish_err);
   if (!was_enabled) rec.clear();
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -1,0 +1,90 @@
+#include "core/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace legw::core {
+
+namespace {
+std::string errno_string() {
+  return std::strerror(errno);
+}
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  // lint-allow: atomic-write — this *is* the atomic writer's staging open.
+  f_ = std::fopen(tmp_path_.c_str(), "wb");
+}
+
+AtomicFile::~AtomicFile() { discard(); }
+
+bool AtomicFile::write(const void* data, std::size_t n) {
+  if (f_ == nullptr) return false;
+  if (std::fwrite(data, 1, n, f_) != n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool AtomicFile::commit(std::string* error) {
+  if (f_ == nullptr) {
+    if (error != nullptr) {
+      *error = "AtomicFile: cannot open " + tmp_path_ + ": " + errno_string();
+    }
+    return false;
+  }
+  bool ok = !failed_;
+  std::string why = failed_ ? "short write" : "";
+  if (ok && std::fflush(f_) != 0) {
+    ok = false;
+    why = "fflush failed: " + errno_string();
+  }
+  // fsync before rename: the rename must not be durable before the data is,
+  // or a power loss could publish an empty/torn file.
+  if (ok && ::fsync(::fileno(f_)) != 0) {
+    ok = false;
+    why = "fsync failed: " + errno_string();
+  }
+  if (std::fclose(f_) != 0 && ok) {
+    ok = false;
+    why = "fclose failed: " + errno_string();
+  }
+  f_ = nullptr;
+  if (ok && std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    ok = false;
+    why = "rename failed: " + errno_string();
+  }
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    if (error != nullptr) {
+      *error = "AtomicFile: " + why + " (" + path_ + ")";
+    }
+  }
+  return ok;
+}
+
+void AtomicFile::discard() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t n, std::string* error) {
+  AtomicFile f(path);
+  f.write(data, n);
+  return f.commit(error);
+}
+
+bool atomic_write_file(const std::string& path, const std::string& content,
+                       std::string* error) {
+  return atomic_write_file(path, content.data(), content.size(), error);
+}
+
+}  // namespace legw::core

@@ -66,6 +66,23 @@ class Rng {
   // output, so parent and child sequences are uncorrelated.
   Rng split() { return Rng(next_u64() ^ 0xa0761d6478bd642full); }
 
+  // Complete generator state for checkpoint/resume: the raw SplitMix64
+  // counter plus the Box-Muller cache. A stream restored from state()
+  // continues the exact same sequence — including the cached second normal
+  // variate, which a counter-only snapshot would silently drop
+  // (tests/test_ckpt.cpp asserts continuation across save/restore).
+  struct State {
+    u64 counter = 0;
+    double cached = 0.0;
+    bool has_cached = false;
+  };
+  State state() const { return {state_, cached_, has_cached_}; }
+  void set_state(const State& s) {
+    state_ = s.counter;
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
+  }
+
  private:
   u64 state_;
   double cached_ = 0.0;

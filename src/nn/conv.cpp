@@ -26,6 +26,8 @@ BatchNorm2d::BatchNorm2d(i64 channels)
       running_var_(core::Tensor::ones({channels})) {
   gamma_ = register_parameter("gamma", core::Tensor::ones({channels}));
   beta_ = register_parameter("beta", core::Tensor::zeros({channels}));
+  register_buffer("running_mean", &running_mean_);
+  register_buffer("running_var", &running_var_);
 }
 
 ag::Variable BatchNorm2d::forward(const ag::Variable& x) {

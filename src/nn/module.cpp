@@ -28,6 +28,19 @@ std::vector<NamedParam> Module::named_parameters(
   return out;
 }
 
+std::vector<NamedBuffer> Module::named_buffers(const std::string& prefix) const {
+  std::vector<NamedBuffer> out;
+  for (const auto& b : buffers_) {
+    out.push_back({prefix.empty() ? b.name : prefix + "." + b.name, b.tensor});
+  }
+  for (const auto& [name, child] : children_) {
+    auto sub =
+        child->named_buffers(prefix.empty() ? name : prefix + "." + name);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
 i64 Module::num_parameters() const {
   i64 n = 0;
   for (const auto& v : parameters()) n += v.numel();
@@ -47,6 +60,11 @@ ag::Variable Module::register_parameter(std::string name, core::Tensor init) {
   auto var = ag::Variable::leaf(std::move(init), /*requires_grad=*/true);
   params_.push_back({std::move(name), var});
   return var;
+}
+
+void Module::register_buffer(std::string name, core::Tensor* buffer) {
+  LEGW_CHECK(buffer != nullptr, "register_buffer: null buffer");
+  buffers_.push_back({std::move(name), buffer});
 }
 
 void Module::register_child(std::string name, Module* child) {

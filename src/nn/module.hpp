@@ -20,6 +20,15 @@ struct NamedParam {
   ag::Variable var;
 };
 
+// Non-trainable persistent state (BatchNorm running statistics): tensors the
+// forward pass mutates outside the autograd tape, which must still travel in
+// a full-state checkpoint. The pointer targets a member of the registering
+// layer, so it stays valid for the module's lifetime.
+struct NamedBuffer {
+  std::string name;
+  core::Tensor* tensor;
+};
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -30,6 +39,10 @@ class Module {
   // All trainable parameters in registration order, children included.
   std::vector<ag::Variable> parameters() const;
   std::vector<NamedParam> named_parameters(const std::string& prefix = "") const;
+
+  // All registered non-trainable buffers, children included (same dot-joined
+  // naming as named_parameters). Checkpointing walks this list.
+  std::vector<NamedBuffer> named_buffers(const std::string& prefix = "") const;
 
   // Sum of numel over parameters().
   i64 num_parameters() const;
@@ -44,11 +57,15 @@ class Module {
  protected:
   // Registers and returns a trainable leaf.
   ag::Variable register_parameter(std::string name, core::Tensor init);
+  // Registers a non-trainable buffer (not owned; `buffer` must be a member
+  // field of the registering layer).
+  void register_buffer(std::string name, core::Tensor* buffer);
   // Registers a child module (not owned; children are member fields).
   void register_child(std::string name, Module* child);
 
  private:
   std::vector<NamedParam> params_;
+  std::vector<NamedBuffer> buffers_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
 };

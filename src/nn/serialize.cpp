@@ -5,12 +5,18 @@
 #include <map>
 #include <memory>
 
+#include "core/io.hpp"
+
 namespace legw::nn {
 
 namespace {
 
 constexpr char kMagic[8] = {'L', 'E', 'G', 'W', 'C', 'K', 'P', 'T'};
 constexpr u32 kVersion = 1;
+// Caps that no legitimate checkpoint exceeds; header fields beyond them are
+// bit flips or foreign data, not real sizes.
+constexpr u32 kMaxNameLen = 1u << 16;
+constexpr u64 kMaxNdim = 16;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,89 +25,161 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* data, std::size_t n) {
-  LEGW_CHECK(std::fwrite(data, 1, n, f) == n, "checkpoint: short write");
+SerializeResult fail(SerializeStatus status, std::string message) {
+  SerializeResult r;
+  r.status = status;
+  r.message = std::move(message);
+  return r;
 }
 
-void read_bytes(std::FILE* f, void* data, std::size_t n) {
-  LEGW_CHECK(std::fread(data, 1, n, f) == n, "checkpoint: short read");
+bool read_bytes(std::FILE* f, void* data, std::size_t n) {
+  return std::fread(data, 1, n, f) == n;
 }
 
 template <typename T>
-void write_pod(std::FILE* f, const T& v) {
-  write_bytes(f, &v, sizeof(T));
+bool read_pod(std::FILE* f, T* v) {
+  return read_bytes(f, v, sizeof(T));
 }
 
 template <typename T>
-T read_pod(std::FILE* f) {
-  T v;
-  read_bytes(f, &v, sizeof(T));
-  return v;
+void append_pod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 }  // namespace
 
-void save_checkpoint(const Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  LEGW_CHECK(f != nullptr, "checkpoint: cannot open " + path + " for writing");
-
-  const auto params = module.named_parameters();
-  write_bytes(f.get(), kMagic, sizeof kMagic);
-  write_pod(f.get(), kVersion);
-  write_pod(f.get(), static_cast<u64>(params.size()));
-  for (const auto& p : params) {
-    write_pod(f.get(), static_cast<u32>(p.name.size()));
-    write_bytes(f.get(), p.name.data(), p.name.size());
-    const core::Tensor& t = p.var.value();
-    write_pod(f.get(), static_cast<u64>(t.dim()));
-    for (i64 d = 0; d < t.dim(); ++d) write_pod(f.get(), t.size(d));
-    write_bytes(f.get(), t.data(),
-                static_cast<std::size_t>(t.numel()) * sizeof(float));
+const char* serialize_status_name(SerializeStatus s) {
+  switch (s) {
+    case SerializeStatus::kOk: return "ok";
+    case SerializeStatus::kOpenFailed: return "open-failed";
+    case SerializeStatus::kShortWrite: return "short-write";
+    case SerializeStatus::kShortRead: return "short-read";
+    case SerializeStatus::kBadMagic: return "bad-magic";
+    case SerializeStatus::kBadVersion: return "bad-version";
+    case SerializeStatus::kCountMismatch: return "count-mismatch";
+    case SerializeStatus::kUnknownParam: return "unknown-param";
+    case SerializeStatus::kShapeMismatch: return "shape-mismatch";
+    case SerializeStatus::kMalformed: return "malformed";
   }
+  return "unknown";
 }
 
-i64 load_checkpoint(Module& module, const std::string& path) {
+SerializeResult save_checkpoint(const Module& module, const std::string& path) {
+  const auto params = module.named_parameters();
+  std::string buf;
+  buf.append(kMagic, sizeof kMagic);
+  append_pod(buf, kVersion);
+  append_pod(buf, static_cast<u64>(params.size()));
+  for (const auto& p : params) {
+    append_pod(buf, static_cast<u32>(p.name.size()));
+    buf.append(p.name.data(), p.name.size());
+    const core::Tensor& t = p.var.value();
+    append_pod(buf, static_cast<u64>(t.dim()));
+    for (i64 d = 0; d < t.dim(); ++d) append_pod(buf, t.size(d));
+    buf.append(reinterpret_cast<const char*>(t.data()),
+               static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+  std::string err;
+  if (!core::atomic_write_file(path, buf, &err)) {
+    return fail(SerializeStatus::kShortWrite,
+                "checkpoint: cannot write " + path + " (" + err + ")");
+  }
+  return {};
+}
+
+SerializeResult load_checkpoint(Module& module, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  LEGW_CHECK(f != nullptr, "checkpoint: cannot open " + path + " for reading");
+  if (f == nullptr) {
+    return fail(SerializeStatus::kOpenFailed,
+                "checkpoint: cannot open " + path + " for reading");
+  }
 
   char magic[8];
-  read_bytes(f.get(), magic, sizeof magic);
-  LEGW_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
-             "checkpoint: bad magic in " + path);
-  const u32 version = read_pod<u32>(f.get());
-  LEGW_CHECK(version == kVersion, "checkpoint: unsupported version");
-  const u64 n_entries = read_pod<u64>(f.get());
+  if (!read_bytes(f.get(), magic, sizeof magic)) {
+    return fail(SerializeStatus::kShortRead,
+                "checkpoint: " + path + " truncated in header");
+  }
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return fail(SerializeStatus::kBadMagic, "checkpoint: bad magic in " + path);
+  }
+  u32 version = 0;
+  u64 n_entries = 0;
+  if (!read_pod(f.get(), &version) || !read_pod(f.get(), &n_entries)) {
+    return fail(SerializeStatus::kShortRead,
+                "checkpoint: " + path + " truncated in header");
+  }
+  if (version != kVersion) {
+    return fail(SerializeStatus::kBadVersion,
+                "checkpoint: unsupported version " + std::to_string(version) +
+                    " in " + path);
+  }
 
   auto params = module.named_parameters();
   std::map<std::string, ag::Variable*> by_name;
   for (auto& p : params) by_name[p.name] = &p.var;
-  LEGW_CHECK(n_entries == params.size(),
-             "checkpoint: parameter count mismatch (file has " +
-                 std::to_string(n_entries) + ", module has " +
-                 std::to_string(params.size()) + ")");
+  if (n_entries != params.size()) {
+    return fail(SerializeStatus::kCountMismatch,
+                "checkpoint: parameter count mismatch (file has " +
+                    std::to_string(n_entries) + ", module has " +
+                    std::to_string(params.size()) + ")");
+  }
 
-  i64 restored = 0;
+  SerializeResult result;
   for (u64 e = 0; e < n_entries; ++e) {
-    const u32 name_len = read_pod<u32>(f.get());
+    u32 name_len = 0;
+    if (!read_pod(f.get(), &name_len)) {
+      return fail(SerializeStatus::kShortRead,
+                  "checkpoint: " + path + " truncated at entry " +
+                      std::to_string(e));
+    }
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      return fail(SerializeStatus::kMalformed,
+                  "checkpoint: implausible name length " +
+                      std::to_string(name_len) + " in " + path);
+    }
     std::string name(name_len, '\0');
-    read_bytes(f.get(), name.data(), name_len);
-    const u64 ndim = read_pod<u64>(f.get());
+    u64 ndim = 0;
+    if (!read_bytes(f.get(), name.data(), name_len) ||
+        !read_pod(f.get(), &ndim)) {
+      return fail(SerializeStatus::kShortRead,
+                  "checkpoint: " + path + " truncated at entry " +
+                      std::to_string(e));
+    }
+    if (ndim > kMaxNdim) {
+      return fail(SerializeStatus::kMalformed,
+                  "checkpoint: implausible ndim " + std::to_string(ndim) +
+                      " for '" + name + "' in " + path);
+    }
     core::Shape shape(static_cast<std::size_t>(ndim));
-    for (u64 d = 0; d < ndim; ++d) shape[static_cast<std::size_t>(d)] = read_pod<i64>(f.get());
+    for (u64 d = 0; d < ndim; ++d) {
+      if (!read_pod(f.get(), &shape[static_cast<std::size_t>(d)])) {
+        return fail(SerializeStatus::kShortRead,
+                    "checkpoint: " + path + " truncated in shape of '" + name +
+                        "'");
+      }
+    }
 
     const auto it = by_name.find(name);
-    LEGW_CHECK(it != by_name.end(),
-               "checkpoint: module has no parameter named '" + name + "'");
+    if (it == by_name.end()) {
+      return fail(SerializeStatus::kUnknownParam,
+                  "checkpoint: module has no parameter named '" + name + "'");
+    }
     core::Tensor& dst = it->second->mutable_value();
-    LEGW_CHECK(dst.shape() == shape,
-               "checkpoint: shape mismatch for '" + name + "': file " +
-                   core::shape_to_string(shape) + " vs module " +
-                   core::shape_to_string(dst.shape()));
-    read_bytes(f.get(), dst.data(),
-               static_cast<std::size_t>(dst.numel()) * sizeof(float));
-    ++restored;
+    if (dst.shape() != shape) {
+      return fail(SerializeStatus::kShapeMismatch,
+                  "checkpoint: shape mismatch for '" + name + "': file " +
+                      core::shape_to_string(shape) + " vs module " +
+                      core::shape_to_string(dst.shape()));
+    }
+    if (!read_bytes(f.get(), dst.data(),
+                    static_cast<std::size_t>(dst.numel()) * sizeof(float))) {
+      return fail(SerializeStatus::kShortRead,
+                  "checkpoint: " + path + " truncated in data of '" + name +
+                      "'");
+    }
+    ++result.restored;
   }
-  return restored;
+  return result;
 }
 
 }  // namespace legw::nn

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/counters.hpp"
+#include "core/io.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/telemetry.hpp"
 
@@ -241,19 +242,9 @@ bool TraceRecorder::write_chrome_trace(const std::string& path,
   }
   os << "}}\n";
 
-  const std::string body = os.str();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
-    return false;
-  }
-  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!ok || !closed) {
-    if (error != nullptr) *error = "short write to " + path;
-    return false;
-  }
-  return true;
+  // Atomic publication so a crash mid-export cannot tear a trace a viewer
+  // (or CI artifact collector) already had.
+  return core::atomic_write_file(path, os.str(), error);
 }
 
 void TraceRecorder::clear() {

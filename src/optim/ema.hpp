@@ -23,6 +23,9 @@ class EmaWeights {
 
   float decay() const { return decay_; }
   const std::vector<core::Tensor>& shadow() const { return shadow_; }
+  // Write access for checkpoint restore: the shadow average is training
+  // state a resume must reproduce exactly (ckpt/checkpoint.hpp).
+  std::vector<core::Tensor>& mutable_shadow() { return shadow_; }
 
  private:
   std::vector<ag::Variable> params_;

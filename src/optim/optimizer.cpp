@@ -30,6 +30,59 @@ void ensure_state(std::vector<Tensor>& state,
 }
 }  // namespace
 
+Optimizer::StateView Optimizer::state_entries() {
+  StateView view;
+  view.scalars.push_back({"steps_done", &steps_done_});
+  append_state(view);
+  return view;
+}
+
+void Optimizer::append_tensor_state(StateView& view, const char* prefix,
+                                    std::vector<Tensor>& state) {
+  ensure_state(state, params_);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    view.tensors.push_back(
+        {std::string(prefix) + "[" + std::to_string(i) + "]", &state[i]});
+  }
+}
+
+void Momentum::append_state(StateView& view) {
+  append_tensor_state(view, "velocity", velocity_);
+}
+
+void Nesterov::append_state(StateView& view) {
+  append_tensor_state(view, "velocity", velocity_);
+}
+
+void Adagrad::append_state(StateView& view) {
+  append_tensor_state(view, "accum", accum_);
+}
+
+void RmsProp::append_state(StateView& view) {
+  append_tensor_state(view, "sq_avg", sq_avg_);
+}
+
+void Adam::append_state(StateView& view) {
+  append_tensor_state(view, "m", m_);
+  append_tensor_state(view, "v", v_);
+  view.scalars.push_back({"t", &t_});
+}
+
+void Adadelta::append_state(StateView& view) {
+  append_tensor_state(view, "sq_grad_avg", sq_grad_avg_);
+  append_tensor_state(view, "sq_delta_avg", sq_delta_avg_);
+}
+
+void Lars::append_state(StateView& view) {
+  append_tensor_state(view, "velocity", velocity_);
+}
+
+void Lamb::append_state(StateView& view) {
+  append_tensor_state(view, "m", m_);
+  append_tensor_state(view, "v", v_);
+  view.scalars.push_back({"t", &t_});
+}
+
 const Tensor& Optimizer::effective_grad(std::size_t i,
                                         Tensor& scratch) const {
   const ag::Variable& p = params_[i];

@@ -45,6 +45,30 @@ class Optimizer {
   // Number of completed step() calls.
   i64 steps() const { return steps_done_; }
 
+  // --- checkpoint introspection ---------------------------------------------
+  // Every piece of solver state that must survive a crash for the resumed
+  // trajectory to be bitwise identical: per-parameter buffers (momentum
+  // velocities, Adam moments, Adagrad accumulators, ...) and scalar counters
+  // (completed steps, Adam/LAMB bias-correction time). Names are stable per
+  // solver ("velocity[3]", "m[0]", "t", ...), so a checkpoint written by one
+  // optimizer instance restores into a freshly constructed one of the same
+  // type. Calling state_entries() materialises lazily-allocated buffers
+  // first, so restoring into a never-stepped optimizer writes into real
+  // storage. Pointers stay valid while the optimizer lives.
+  struct StateEntry {
+    std::string name;
+    core::Tensor* tensor;  // non-owning
+  };
+  struct ScalarEntry {
+    std::string name;
+    i64* value;  // non-owning
+  };
+  struct StateView {
+    std::vector<StateEntry> tensors;
+    std::vector<ScalarEntry> scalars;
+  };
+  StateView state_entries();
+
   void zero_grad() {
     for (auto& p : params_) p.zero_grad();
   }
@@ -54,6 +78,16 @@ class Optimizer {
  protected:
   // Solver-specific update, called by step().
   virtual void apply_step() = 0;
+
+  // Appends the solver-specific part of state_entries() (the base class
+  // contributes the "steps_done" scalar). Solvers with per-parameter buffers
+  // must ensure they are allocated before listing them.
+  virtual void append_state(StateView&) {}
+
+  // Names `state[i]` entries "`prefix`[i]" into `view`, sizing the state
+  // vector to params_ first (the lazy-allocation pattern every solver uses).
+  void append_tensor_state(StateView& view, const char* prefix,
+                           std::vector<core::Tensor>& state);
 
   // grad + weight_decay * w, written into `scratch` (resized on first use).
   const core::Tensor& effective_grad(std::size_t i, core::Tensor& scratch) const;
@@ -82,6 +116,7 @@ class Momentum final : public Optimizer {
       : Optimizer(std::move(params), weight_decay), momentum_(momentum) {}
   void apply_step() override;
   std::string name() const override { return "momentum"; }
+  void append_state(StateView& view) override;
 
  private:
   float momentum_;
@@ -97,6 +132,7 @@ class Nesterov final : public Optimizer {
       : Optimizer(std::move(params), weight_decay), momentum_(momentum) {}
   void apply_step() override;
   std::string name() const override { return "nesterov"; }
+  void append_state(StateView& view) override;
 
  private:
   float momentum_;
@@ -111,6 +147,7 @@ class Adagrad final : public Optimizer {
       : Optimizer(std::move(params), weight_decay), eps_(eps) {}
   void apply_step() override;
   std::string name() const override { return "adagrad"; }
+  void append_state(StateView& view) override;
 
  private:
   float eps_;
@@ -125,6 +162,7 @@ class RmsProp final : public Optimizer {
       : Optimizer(std::move(params), weight_decay), rho_(rho), eps_(eps) {}
   void apply_step() override;
   std::string name() const override { return "rmsprop"; }
+  void append_state(StateView& view) override;
 
  private:
   float rho_;
@@ -143,6 +181,7 @@ class Adam final : public Optimizer {
         eps_(eps) {}
   void apply_step() override;
   std::string name() const override { return "adam"; }
+  void append_state(StateView& view) override;
 
  private:
   float beta1_, beta2_, eps_;
@@ -162,6 +201,7 @@ class Adadelta final : public Optimizer {
   }
   void apply_step() override;
   std::string name() const override { return "adadelta"; }
+  void append_state(StateView& view) override;
 
  private:
   float rho_, eps_;
@@ -182,6 +222,7 @@ class Lars final : public Optimizer {
         eps_(eps) {}
   void apply_step() override;
   std::string name() const override { return "lars"; }
+  void append_state(StateView& view) override;
 
  private:
   float eta_;
@@ -206,6 +247,7 @@ class Lamb final : public Optimizer {
         eps_(eps) {}
   void apply_step() override;
   std::string name() const override { return "lamb"; }
+  void append_state(StateView& view) override;
 
  private:
   float beta1_, beta2_, eps_;

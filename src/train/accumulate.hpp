@@ -52,6 +52,16 @@ class GradientAccumulator {
 
   i64 pending_micro_steps() const { return count_; }
 
+  // Restores the micro-step position after a checkpoint resume. The
+  // accumulated gradients themselves live in the parameters' grad tensors
+  // and travel in the checkpoint's "grads" section (written whenever the
+  // saved position is mid-accumulation), so position + restored grads
+  // reproduce the interrupted large-batch step exactly.
+  void restore_pending(i64 count) {
+    LEGW_CHECK(count >= 0, "GradientAccumulator: negative pending count");
+    count_ = count;
+  }
+
  private:
   std::vector<ag::Variable> params_;
   i64 count_ = 0;

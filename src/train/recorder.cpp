@@ -1,7 +1,8 @@
 #include "train/recorder.hpp"
 
-#include <cstdio>
 #include <sstream>
+
+#include "core/io.hpp"
 
 namespace legw::train {
 
@@ -44,19 +45,9 @@ std::string Recorder::to_csv() const {
 }
 
 bool Recorder::write_csv(const std::string& path, std::string* error) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "Recorder: cannot open " + path;
-    return false;
-  }
-  const std::string csv = to_csv();
-  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!ok || !closed) {
-    if (error != nullptr) *error = "Recorder: short write to " + path;
-    return false;
-  }
-  return true;
+  // Atomic publication: a crash (or injected kill) mid-export never leaves a
+  // torn CSV where a previous complete one stood.
+  return core::atomic_write_file(path, to_csv(), error);
 }
 
 }  // namespace legw::train

@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <optional>
 
 #include "check/check.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/flags.hpp"
 #include "dist/overlap.hpp"
 #include "obs/trace.hpp"
@@ -81,6 +84,74 @@ bool finish_step(const RunConfig& run, StepLoop& loop, double loss_value,
   return true;
 }
 
+// Checkpoint/resume hook shared by the four runners. `fill` rebuilds the
+// TrainState views on every save/restore (the pointed-at objects move — PTB
+// reassigns its carried BPTT state each chunk), then the hook stamps the
+// counters and delegates policy to ckpt::CheckpointManager.
+struct CkptHook {
+  const RunConfig* run;
+  std::function<void(ckpt::TrainState&)> fill;
+  std::optional<ckpt::CheckpointManager> mgr;
+
+  CkptHook(const RunConfig& r, std::function<void(ckpt::TrainState&)> f)
+      : run(&r), fill(std::move(f)) {
+    if (!r.checkpoint_dir.empty()) {
+      ckpt::ManagerConfig mc;
+      mc.dir = r.checkpoint_dir;
+      mc.every_steps = r.checkpoint_every_steps;
+      mc.keep_last = r.checkpoint_keep_last;
+      mc.crash = r.crash_plan;
+      mgr.emplace(std::move(mc));
+    }
+  }
+
+  // Restores the newest valid checkpoint when RunConfig::resume is set.
+  // Returns the optimizer step to resume from (0 = fresh start; corrupted
+  // candidates were skipped by the manager, an empty directory is a fresh
+  // start, not an error).
+  i64 maybe_restore(RunResult* result) {
+    if (!mgr.has_value() || !run->resume) return 0;
+    ckpt::TrainState state;
+    fill(state);
+    const auto outcome = mgr->restore_latest(state);
+    for (const std::string& path : outcome.skipped) {
+      std::fprintf(stderr, "checkpoint: skipping corrupt %s (%s)\n",
+                   path.c_str(), ckpt::status_name(outcome.status.status));
+    }
+    if (!outcome.restored) return 0;
+    result->resumed_from_step = state.step;
+    return state.step;
+  }
+
+  // Runs after every completed optimizer step. Returns false when an
+  // injected kill fired: the caller stops the run as if the process died
+  // (RunResult::interrupted is set; no final eval happens).
+  bool after_step(i64 step, i64 epoch, RunResult* result) {
+    const ckpt::CrashPlan::Crash* crash =
+        run->crash_plan == nullptr ? nullptr : run->crash_plan->crash_at(step);
+    if (crash != nullptr && crash->kind == ckpt::CrashPlan::Kind::kMidStep) {
+      result->interrupted = true;
+      return false;
+    }
+    if (!mgr.has_value() || !mgr->due(step)) return true;
+    ckpt::TrainState state;
+    fill(state);
+    state.step = step;
+    state.epoch = epoch;
+    const ckpt::Result r = mgr->save_now(state);
+    if (r.status == ckpt::Status::kSimulatedCrash) {
+      result->interrupted = true;
+      return false;
+    }
+    if (!r.ok()) {
+      // A failed periodic write must not kill a multi-hour run; the
+      // previous checkpoint is still intact.
+      std::fprintf(stderr, "checkpoint write failed: %s\n", r.message.c_str());
+    }
+    return true;
+  }
+};
+
 void record_epoch_metric(const RunConfig& run, const char* series, i64 epoch,
                          double value) {
   if (run.recorder != nullptr) run.recorder->record(series, epoch, value);
@@ -145,6 +216,19 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
   StepLoop loop{{}, &run, batcher.batches_per_epoch()};
   for (auto& o : opts) loop.opts.push_back(o.get());
 
+  CkptHook ck(run, [&](ckpt::TrainState& state) {
+    for (i64 r = 0; r < n_replicas; ++r) {
+      state.models.push_back(replicas[static_cast<std::size_t>(r)].get());
+      state.optimizers.push_back(opts[static_cast<std::size_t>(r)].get());
+    }
+  });
+  const i64 start_step = ck.maybe_restore(&result);
+  // The batcher is seeded and deterministic: replaying it to the resume
+  // point reproduces the exact shuffle sequence of the uninterrupted run.
+  for (i64 i = 0; i < start_step; ++i) batcher.next();
+  loop.step = start_step;
+  const i64 start_epoch = start_step / loop.steps_per_epoch;
+
   auto evaluate = [&]() {
     obs::Span span("eval");
     // Chunked test-set accuracy to bound graph memory.
@@ -164,8 +248,10 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
     return static_cast<double>(correct_weighted) / static_cast<double>(total);
   };
 
-  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
-    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+  for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
+       ++epoch) {
+    const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
+    for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
       double loss_value = 0.0;
@@ -217,7 +303,9 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
         });
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
+      if (!ck.after_step(loop.step, epoch, &result)) break;
     }
+    if (result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
     if (eval_now) {
@@ -259,11 +347,31 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
   StepLoop loop{{opt.get()}, &run, batcher.chunks_per_epoch()};
   models::PtbModel::CarriedState carried = model.zero_carried(run.batch_size);
 
+  CkptHook ck(run, [&](ckpt::TrainState& state) {
+    state.models.push_back(&model);
+    state.optimizers.push_back(opt.get());
+    state.rngs.emplace_back("dropout", &dropout_rng);
+    // The carried BPTT state is training state: dropping it on resume would
+    // change every loss after the restart point.
+    for (std::size_t l = 0; l < carried.h.size(); ++l) {
+      state.extra.emplace_back("carried.h[" + std::to_string(l) + "]",
+                               &carried.h[l]);
+      state.extra.emplace_back("carried.c[" + std::to_string(l) + "]",
+                               &carried.c[l]);
+    }
+  });
+  const i64 start_step = ck.maybe_restore(&result);
+  for (i64 i = 0; i < start_step; ++i) batcher.next_chunk();
+  loop.step = start_step;
+  const i64 start_epoch = start_step / loop.steps_per_epoch;
+
   // Validation batch geometry: modest so evaluation stays cheap.
   const i64 eval_batch = std::min<i64>(20, run.batch_size);
 
-  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
-    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+  for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
+       ++epoch) {
+    const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
+    for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
       data::BpttBatcher::Chunk chunk;
@@ -286,7 +394,9 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
         ag::backward(out.loss);
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
+      if (!ck.after_step(loop.step, epoch, &result)) break;
     }
+    if (result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     double ppl = 0.0;
     if (result.diverged) {
@@ -335,6 +445,16 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
   RunResult result;
   StepLoop loop{{opt.get()}, &run, batcher.batches_per_epoch()};
 
+  CkptHook ck(run, [&](ckpt::TrainState& state) {
+    state.models.push_back(&model);
+    state.optimizers.push_back(opt.get());
+    state.rngs.emplace_back("dropout", &dropout_rng);
+  });
+  const i64 start_step = ck.maybe_restore(&result);
+  for (i64 i = 0; i < start_step; ++i) batcher.next();
+  loop.step = start_step;
+  const i64 start_epoch = start_step / loop.steps_per_epoch;
+
   auto evaluate_bleu = [&]() {
     obs::Span span("eval");
     model.set_training(false);
@@ -358,8 +478,10 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
     return corpus_bleu(hyps, refs);
   };
 
-  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
-    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+  for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
+       ++epoch) {
+    const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
+    for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
       data::TranslationBatch batch;
@@ -380,7 +502,9 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
         ag::backward(loss);
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
+      if (!ck.after_step(loop.step, epoch, &result)) break;
     }
+    if (result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double bleu = (result.diverged || !eval_now) ? 0.0 : evaluate_bleu();
     if (eval_now || result.diverged) {
@@ -419,6 +543,16 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
   RunResult result;
   StepLoop loop{{opt.get()}, &run, batcher.batches_per_epoch()};
 
+  CkptHook ck(run, [&](ckpt::TrainState& state) {
+    state.models.push_back(&model);
+    state.optimizers.push_back(opt.get());
+    // BatchNorm running stats travel as named module buffers.
+  });
+  const i64 start_step = ck.maybe_restore(&result);
+  for (i64 i = 0; i < start_step; ++i) batcher.next();
+  loop.step = start_step;
+  const i64 start_epoch = start_step / loop.steps_per_epoch;
+
   auto evaluate = [&]() {
     obs::Span span("eval");
     const i64 chunk = 128;
@@ -436,8 +570,10 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
     return static_cast<double>(correct_weighted) / static_cast<double>(total);
   };
 
-  for (i64 epoch = 0; epoch < run.epochs && !result.diverged; ++epoch) {
-    for (i64 s = 0; s < loop.steps_per_epoch; ++s) {
+  for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
+       ++epoch) {
+    const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
+    for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
       core::Tensor images;
@@ -460,7 +596,9 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
         ag::backward(loss);
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
+      if (!ck.after_step(loop.step, epoch, &result)) break;
     }
+    if (result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
     if (eval_now) {

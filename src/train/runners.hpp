@@ -23,6 +23,10 @@
 #include "obs/telemetry.hpp"
 #include "sched/schedule.hpp"
 
+namespace legw::ckpt {
+struct CrashPlan;
+}
+
 namespace legw::train {
 
 class Recorder;
@@ -48,6 +52,23 @@ struct RunConfig {
   // When true, RunResult::final_params receives a copy of every parameter
   // tensor after the last step (golden-determinism tests compare bitwise).
   bool capture_final_params = false;
+  // --- checkpoint / resume (see ckpt/checkpoint.hpp, docs/CHECKPOINT.md) ---
+  // When checkpoint_dir is non-empty the runner persists the full training
+  // state (params, buffers, optimizer state, RNG streams, carried BPTT
+  // state, counters) every checkpoint_every_steps optimizer steps, keeping
+  // the newest checkpoint_keep_last files. Composes with replicas > 1:
+  // replica 0 is written, every replica is restored bit-identically.
+  std::string checkpoint_dir;
+  i64 checkpoint_every_steps = 0;  // 0 disables periodic writes
+  int checkpoint_keep_last = 3;
+  // When true and checkpoint_dir holds a valid checkpoint, the runner resumes
+  // from the newest loadable one (corrupted files are skipped) and reproduces
+  // the uninterrupted run bit-for-bit from that step on.
+  bool resume = false;
+  // Deterministic injected kills for crash-safety tests; not owned. A fired
+  // kill stops the run with RunResult::interrupted set, as if the process
+  // died (mid-step, mid-write, or torn-publish — see ckpt::CrashPlan).
+  const ckpt::CrashPlan* crash_plan = nullptr;
   // Data-parallel replica count. 1 = the classic single-model loop. For
   // replicas > 1 (train_mnist only, for now) the runner instantiates
   // `replicas` identically-initialised models, shards every batch across
@@ -70,6 +91,12 @@ struct RunResult {
   // Filled only when RunConfig::capture_final_params is set: one tensor per
   // parameter, in Module::parameters() order.
   std::vector<core::Tensor> final_params;
+  // True when a CrashPlan kill fired: the run stopped early, exactly as if
+  // the process had died (no final eval, metrics reflect the last completed
+  // step). Restart with RunConfig::resume to continue it.
+  bool interrupted = false;
+  // Step the run resumed from (-1 = fresh start). Informational.
+  i64 resumed_from_step = -1;
 };
 
 RunResult train_mnist(const data::SyntheticMnist& dataset,

@@ -115,11 +115,11 @@ TEST(GnmtCheckpoint, RoundTripPreservesDecoding) {
   auto before = a.greedy_decode(batch, 10);
 
   const std::string path = "/tmp/legw_test_gnmt.ckpt";
-  nn::save_checkpoint(a, path);
+  ASSERT_TRUE(nn::save_checkpoint(a, path).ok());
   models::GnmtConfig cfg_b = cfg;
   cfg_b.seed = 999;
   models::Gnmt b(cfg_b);
-  nn::load_checkpoint(b, path);
+  ASSERT_TRUE(nn::load_checkpoint(b, path).ok());
   std::remove(path.c_str());
   auto after = b.greedy_decode(batch, 10);
   EXPECT_EQ(before, after);

@@ -30,13 +30,14 @@ TEST(Checkpoint, RoundTripsLinearLayer) {
   TempFile tmp("linear.ckpt");
   Rng rng(1);
   nn::Linear a(4, 3, rng);
-  nn::save_checkpoint(a, tmp.path);
+  ASSERT_TRUE(nn::save_checkpoint(a, tmp.path).ok());
 
   Rng rng2(999);  // different init
   nn::Linear b(4, 3, rng2);
   EXPECT_NE(a.weight().value()[0], b.weight().value()[0]);
-  const i64 restored = nn::load_checkpoint(b, tmp.path);
-  EXPECT_EQ(restored, 2);
+  const nn::SerializeResult restored = nn::load_checkpoint(b, tmp.path);
+  ASSERT_TRUE(restored.ok()) << restored.message;
+  EXPECT_EQ(restored.restored, 2);
   for (i64 i = 0; i < a.weight().numel(); ++i) {
     ASSERT_EQ(a.weight().value()[i], b.weight().value()[i]);
   }
@@ -55,34 +56,37 @@ TEST(Checkpoint, RoundTripsFullModelAndPreservesOutputs) {
   Tensor images = Tensor::rand_uniform({2, 784}, rng);
   ag::Variable out_a = a.forward(images);
 
-  nn::save_checkpoint(a, tmp.path);
+  ASSERT_TRUE(nn::save_checkpoint(a, tmp.path).ok());
   models::MnistLstmConfig cfg_b = cfg;
   cfg_b.seed = 777;  // different init
   models::MnistLstm b(cfg_b);
-  nn::load_checkpoint(b, tmp.path);
+  ASSERT_TRUE(nn::load_checkpoint(b, tmp.path).ok());
   ag::Variable out_b = b.forward(images);
   for (i64 i = 0; i < out_a.numel(); ++i) {
     ASSERT_EQ(out_a.value()[i], out_b.value()[i]);
   }
 }
 
-TEST(Checkpoint, RejectsShapeMismatch) {
+TEST(Checkpoint, RejectsShapeMismatchWithoutAborting) {
   TempFile tmp("mismatch.ckpt");
   Rng rng(3);
   nn::Linear a(4, 3, rng);
-  nn::save_checkpoint(a, tmp.path);
+  ASSERT_TRUE(nn::save_checkpoint(a, tmp.path).ok());
   nn::Linear b(5, 3, rng);
-  EXPECT_DEATH(nn::load_checkpoint(b, tmp.path), "shape mismatch");
+  const nn::SerializeResult res = nn::load_checkpoint(b, tmp.path);
+  EXPECT_EQ(res.status, nn::SerializeStatus::kShapeMismatch);
+  EXPECT_NE(res.message.find("shape"), std::string::npos);
 }
 
-TEST(Checkpoint, RejectsCorruptMagic) {
+TEST(Checkpoint, RejectsCorruptMagicWithoutAborting) {
   TempFile tmp("corrupt.ckpt");
   std::FILE* f = std::fopen(tmp.path.c_str(), "wb");
   std::fwrite("NOTACKPT_________", 1, 16, f);
   std::fclose(f);
   Rng rng(4);
   nn::Linear a(2, 2, rng);
-  EXPECT_DEATH(nn::load_checkpoint(a, tmp.path), "bad magic");
+  const nn::SerializeResult res = nn::load_checkpoint(a, tmp.path);
+  EXPECT_EQ(res.status, nn::SerializeStatus::kBadMagic);
 }
 
 TEST(GradientAccumulator, MatchesLargeBatchGradient) {

@@ -21,6 +21,12 @@ Rules:
   bench-trace     every bench/*.cpp must accept --trace, either by
                   constructing bench_common.hpp's ScopedTrace or by parsing
                   the flag itself — untraceable benches are unprofilable.
+  atomic-write    non-append fopen()/std::ofstream writes in src/ must go
+                  through core::AtomicFile / core::atomic_write_file
+                  (src/core/io.* is the sanctioned home): a direct write
+                  torn by a crash corrupts the run artifact it replaces.
+                  Read-mode opens ("r"/"rb") and append journals ("a") are
+                  exempt.
 
 A finding can be waived where the rule's intent is genuinely inapplicable by
 putting `lint-allow: <rule>` in a comment on the offending line or one of
@@ -47,6 +53,12 @@ RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!::hardware_concurrency)")
 UNSEEDED_RNG_RE = re.compile(r"\b(?:s?rand\s*\(|std::random_device\b)")
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
 TRACE_RE = re.compile(r"ScopedTrace|--trace")
+# Write-mode opens: fopen(..., "w"/"wb"/"w+") and ofstream construction.
+# Append mode ("a") is exempt — the telemetry journal appends records and a
+# torn tail line is detected by its reader; truncate-then-write is the
+# dangerous shape.
+FOPEN_WRITE_RE = re.compile(r'\bfopen\s*\([^;]*,\s*"w[b+]?"\s*\)')
+OFSTREAM_RE = re.compile(r"\bstd::ofstream\b")
 
 
 def allowed(lines: list[str], idx: int, rule: str) -> bool:
@@ -94,6 +106,14 @@ def lint() -> list[str]:
                 if not allowed(lines, i, "iostream-core"):
                     report(path, lineno, "iostream-core",
                            "<iostream> in core/ hot-path code; use cstdio")
+            if (rel.startswith("src/") and not rel.startswith("src/core/io.")
+                    and (FOPEN_WRITE_RE.search(line)
+                         or OFSTREAM_RE.search(line))):
+                if not allowed(lines, i, "atomic-write"):
+                    report(path, lineno, "atomic-write",
+                           "direct write-mode open in src/; publish run "
+                           "artifacts via core::AtomicFile / "
+                           "core::atomic_write_file")
 
     for path in sorted((REPO / "bench").glob("*.cpp")):
         text = path.read_text(encoding="utf-8", errors="replace")
