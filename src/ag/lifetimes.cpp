@@ -1,0 +1,64 @@
+#include "ag/lifetimes.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace legw::ag {
+
+TapeLifetimes tape_lifetimes(const Variable& root) {
+  TapeLifetimes out;
+  if (!root.defined() || !root.node()->requires_grad) return out;
+  const std::vector<Node*> order = topological_order(root);
+  const i64 n = static_cast<i64>(order.size());
+  out.events = 2 * n;
+
+  // Execution index: backward runs order[n-1-e] at tick e.
+  std::unordered_map<Node*, i64> exec;
+  exec.reserve(order.size());
+  for (i64 e = 0; e < n; ++e) {
+    exec[order[static_cast<std::size_t>(n - 1 - e)]] = e;
+  }
+
+  // A node's gradient buffer materialises when its earliest-executing
+  // consumer scatters into it (the root's at the seed, tick 0 of backward).
+  std::unordered_map<Node*, i64> first_consumer_exec;
+  for (Node* m : order) {
+    if (m->parents.empty()) continue;
+    const i64 e = exec.at(m);
+    for (const auto& p : m->parents) {
+      if (!p->requires_grad) continue;
+      auto [it, inserted] = first_consumer_exec.emplace(p.get(), e);
+      if (!inserted) it->second = std::min(it->second, e);
+    }
+  }
+
+  constexpr i64 kFloatBytes = static_cast<i64>(sizeof(float));
+  Node* const root_node = root.node().get();
+  for (i64 i = 0; i < n; ++i) {
+    Node* node = order[static_cast<std::size_t>(i)];
+    const i64 bytes = node->value.numel() * kFloatBytes;
+    if (node->parents.empty()) {
+      // Leaf: value and (accumulating) grad persist across steps.
+      out.leaf_bytes += 2 * bytes;
+      continue;
+    }
+    if (bytes == 0) continue;
+    const i64 e = exec.at(node);
+    // Value: born when the forward created it (post-order position), dead
+    // once its own closure ran — events are half-open, so death lands one
+    // past the closure's tick.
+    out.lifetimes.push_back(mem::Lifetime{bytes, i, n + e + 1});
+    // Grad: born at the first consumer's tick (the seed for the root), dead
+    // with the value.
+    const auto it = first_consumer_exec.find(node);
+    const i64 grad_birth = node == root_node
+                               ? n
+                               : n + (it != first_consumer_exec.end()
+                                          ? it->second
+                                          : e);
+    out.lifetimes.push_back(mem::Lifetime{bytes, grad_birth, n + e + 1});
+  }
+  return out;
+}
+
+}  // namespace legw::ag

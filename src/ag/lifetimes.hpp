@@ -1,0 +1,44 @@
+// Tape-derived buffer lifetimes: turn one captured autograd graph into the
+// interval set a static memory planner packs.
+//
+// The tape already knows every tensor's last use: reverse-mode execution
+// visits consumers before producers, so a node's value and gradient die the
+// moment its own backward closure has run. This module walks the graph and
+// lays those births and deaths on a single event clock:
+//
+//   events [0, n)      forward: node i's value is born at its post-order
+//                      position i (parents are created before children).
+//   events [n, 2n)     backward: execution index e runs node order[n-1-e];
+//                      that node's value and grad die after event n + e.
+//
+// A node's grad is born when its first consumer (smallest execution index)
+// scatters into it — or at the seed (event n) for the root. Leaves are
+// excluded: parameter values and gradients persist across steps and are
+// heap-bound by design (see Node::ensure_grad).
+//
+// This is the planner-facing oracle used by the randomized-tape property
+// tests (no two live-range-intersecting tensors may share bytes) and by
+// diagnostics that want to know a step's theoretical peak; the runtime
+// arena derives the equivalent intervals online by recording its first step.
+#pragma once
+
+#include <vector>
+
+#include "ag/variable.hpp"
+#include "mem/plan.hpp"
+
+namespace legw::ag {
+
+struct TapeLifetimes {
+  // One interval per interior tensor buffer (values first, then grads, each
+  // in graph post-order). Sizes are payload bytes.
+  std::vector<mem::Lifetime> lifetimes;
+  i64 events = 0;       // total ticks on the event clock (2 * interior nodes)
+  i64 leaf_bytes = 0;   // parameter value+grad bytes excluded from the plan
+};
+
+// Extracts lifetimes from the requires_grad subgraph reachable from `root`
+// (typically the scalar loss, after the forward pass and before backward).
+TapeLifetimes tape_lifetimes(const Variable& root);
+
+}  // namespace legw::ag

@@ -32,21 +32,30 @@ std::string shape_to_string(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
 
 Tensor::Tensor(Shape shape, float fill)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-  LEGW_CHECK(static_cast<i64>(data_.size()) == shape_numel(shape_),
+    : shape_(std::move(shape)),
+      data_(FloatStorage::uninitialized(static_cast<i64>(values.size()))) {
+  LEGW_CHECK(data_.size() == shape_numel(shape_),
              "value count does not match shape " + shape_to_string(shape_));
+  if (!values.empty()) {
+    std::copy(values.begin(), values.end(), data_.begin());
+  }
+}
+
+Tensor Tensor::uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = FloatStorage::uninitialized(shape_numel(t.shape_));
+  return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, float mean) {
-  Tensor t(std::move(shape));
+  Tensor t = uninit(std::move(shape));
   for (i64 i = 0; i < t.numel(); ++i) {
     t[i] = static_cast<float>(rng.normal(mean, stddev));
   }
@@ -54,7 +63,7 @@ Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, float mean) {
 }
 
 Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = uninit(std::move(shape));
   for (i64 i = 0; i < t.numel(); ++i) {
     t[i] = static_cast<float>(rng.uniform(lo, hi));
   }
@@ -220,7 +229,7 @@ Tensor Tensor::transposed_2d() const {
   LEGW_CHECK(dim() == 2, "transposed_2d requires a 2-D tensor");
   const i64 m = shape_[0];
   const i64 n = shape_[1];
-  Tensor t(Shape{n, m});
+  Tensor t = uninit(Shape{n, m});
   const float* src = data();
   float* dst = t.data();
   for (i64 i = 0; i < m; ++i) {
@@ -370,7 +379,9 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   LEGW_CHECK(ka == kb, "matmul: inner dimensions differ (" +
                            shape_to_string(a.shape()) + " x " +
                            shape_to_string(b.shape()) + ")");
-  Tensor c(Shape{m, n});
+  // beta = 0 makes both gemm kernels overwrite C entirely, so the output can
+  // skip the zero-fill (it matters: C is the largest allocation of the op).
+  Tensor c = Tensor::uninit(Shape{m, n});
   gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), a.size(1), b.data(),
        b.size(1), 0.0f, c.data(), n);
   return c;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "dist/allreduce.hpp"
+#include "mem/alloc.hpp"
 #include "obs/trace.hpp"
 
 namespace legw::dist {
@@ -29,6 +30,8 @@ float synchronous_backward(
       // One span per replica shard: the trace shows the per-replica compute
       // skew that the synchronous allreduce then waits out.
       obs::Span span("replica_backward");
+      // Arena mode: per-replica step arena (slot r); see dist/overlap.cpp.
+      mem::TrainStepScope arena_scope(mem::step_arena(r));
       for (const auto& p : replica_params[static_cast<std::size_t>(r)]) {
         ag::Variable handle = p;  // cheap shared handle
         handle.zero_grad();

@@ -15,6 +15,7 @@
 #include "core/rng.hpp"
 #include "dist/allreduce.hpp"
 #include "dist/data_parallel.hpp"
+#include "mem/alloc.hpp"
 #include "obs/trace.hpp"
 
 namespace legw::dist {
@@ -237,6 +238,11 @@ OverlapResult overlapped_backward(
       }
     }
     obs::Span span("replica_backward");
+    // Arena mode: each replica thread drives its own step arena (slot r),
+    // so forward activations and interior gradients replay in place with no
+    // cross-replica sharing. Leaf grads stay heap-bound (Node::ensure_grad)
+    // — the reducer thread reads them outside this scope.
+    mem::TrainStepScope arena_scope(mem::step_arena(r));
     if (config.zero_grads) {
       for (std::size_t p = 0; p < n_params; ++p) {
         grads[static_cast<std::size_t>(r)][p]->zero_();

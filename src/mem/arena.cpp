@@ -1,0 +1,332 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <new>
+#include <string>
+
+#if defined(LEGW_MEM_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace legw::mem {
+
+namespace {
+
+// Slabs grow in 1 MiB units so record/bypass steps do O(footprint / 1 MiB)
+// system allocations instead of one per tensor.
+constexpr i64 kMinSlabBytes = i64{1} << 20;
+
+std::byte* aligned_new(i64 bytes) {
+  return static_cast<std::byte*>(::operator new(
+      static_cast<std::size_t>(bytes), std::align_val_t{kArenaAlignment}));
+}
+
+void aligned_delete(std::byte* p) {
+  ::operator delete(p, std::align_val_t{kArenaAlignment});
+}
+
+// Manual ASan poisoning: reads/writes of poisoned arena bytes abort at the
+// faulting instruction. No-ops in non-ASan builds. Offsets and sizes are
+// kArenaAlignment-multiples, comfortably above ASan's 8-byte granularity.
+inline void poison_bytes(void* p, i64 n) {
+#if defined(LEGW_MEM_ASAN)
+  __asan_poison_memory_region(p, static_cast<std::size_t>(n));
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void unpoison_bytes(void* p, i64 n) {
+#if defined(LEGW_MEM_ASAN)
+  __asan_unpoison_memory_region(p, static_cast<std::size_t>(n));
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+// Checked builds additionally scribble dead bytes with quiet NaNs, so a
+// stale read that escapes ASan (or a non-ASan checked binary) turns into a
+// NaN the non-finite tripwires blame immediately.
+inline void scribble_bytes(void* p, i64 n) {
+#ifdef LEGW_CHECKED_BUILD
+  constexpr u32 kDeadNan = 0x7fc0deadU;
+  u32* w = static_cast<u32*>(p);
+  std::fill(w, w + n / static_cast<i64>(sizeof(u32)), kDeadNan);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+StepArena::StepArena(std::string name) : name_(std::move(name)) {}
+
+StepArena::~StepArena() {
+  for (Slab& s : slabs_) {
+    unpoison_bytes(s.base, s.bytes);
+    aligned_delete(s.base);
+  }
+  for (Slab& s : retired_) {
+    unpoison_bytes(s.base, s.bytes);
+    aligned_delete(s.base);
+  }
+  if (region_ != nullptr) {
+    unpoison_bytes(region_, region_bytes_);
+    aligned_delete(region_);
+  }
+}
+
+void* StepArena::slab_alloc(i64 rounded) {
+  for (Slab& s : slabs_) {
+    if (s.bytes - s.used >= rounded) {
+      std::byte* p = s.base + s.used;
+      s.used += rounded;
+      unpoison_bytes(p, rounded);
+      return p;
+    }
+  }
+  Slab s;
+  s.bytes = std::max(kMinSlabBytes, rounded);
+  s.base = aligned_new(s.bytes);
+  s.used = rounded;
+  poison_bytes(s.base, s.bytes);
+  slabs_.push_back(s);
+  unpoison_bytes(s.base, rounded);
+  return s.base;
+}
+
+void StepArena::poison_all_locked() {
+  for (Slab& s : slabs_) {
+    scribble_bytes(s.base, s.bytes);
+    poison_bytes(s.base, s.bytes);
+  }
+  if (region_ != nullptr) {
+    scribble_bytes(region_, region_bytes_);
+    poison_bytes(region_, region_bytes_);
+  }
+}
+
+void StepArena::retire_live_memory_locked() {
+  // Park every block that might back a live allocation. Retired memory is
+  // never recycled (and never poisoned again), so the stale tensor keeps
+  // working; its eventual free carries a stale generation and is ignored.
+  for (Slab& s : slabs_) {
+    unpoison_bytes(s.base, s.bytes);
+    retired_.push_back(s);
+  }
+  slabs_.clear();
+  if (region_ != nullptr) {
+    unpoison_bytes(region_, region_bytes_);
+    retired_.push_back(Slab{region_, region_bytes_, region_bytes_});
+    region_ = nullptr;
+    region_bytes_ = 0;
+  }
+  plan_valid_ = false;
+  live_count_ = 0;
+  stats_.live_bytes = 0;
+  ++stats_.retired_regions;
+}
+
+void StepArena::begin_step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.steps;
+  ++gen_;
+  if (live_count_ != 0) {
+#ifdef LEGW_CHECKED_BUILD
+    LEGW_CHECK(false,
+               "StepArena '" + name_ + "': " + std::to_string(live_count_) +
+                   " allocation(s) outlived the training step — step-scoped "
+                   "tensors must be freed (or rehomed to the heap) before "
+                   "the next begin_step");
+#endif
+    retire_live_memory_locked();
+  }
+  event_ = 0;
+  recs_.clear();
+  rec_of_.clear();
+  live_replay_.clear();
+  for (Slab& s : slabs_) s.used = 0;
+  if (plan_valid_) {
+    mode_ = Mode::kReplay;
+    next_slot_ = 0;
+    if (region_bytes_ < plan_.arena_bytes) {
+      if (region_ != nullptr) {
+        unpoison_bytes(region_, region_bytes_);
+        aligned_delete(region_);
+      }
+      region_bytes_ = plan_.arena_bytes;
+      region_ = aligned_new(region_bytes_);
+    }
+  } else {
+    mode_ = Mode::kRecord;
+  }
+  poison_all_locked();
+}
+
+void StepArena::end_step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kRecord) {
+    // Allocations still live at end of step (e.g. freed between end_step and
+    // the scope's surrounding code) die at the step boundary for planning
+    // purposes.
+    for (Lifetime& lt : recs_) {
+      if (lt.death < 0) lt.death = ++event_;
+    }
+    plan_ = plan_offsets(recs_);
+    plan_valid_ = true;
+    ++stats_.recorded_steps;
+    stats_.plan_slots = static_cast<i64>(plan_.slots.size());
+    stats_.planned_bytes = plan_.arena_bytes;
+    stats_.naive_bytes = plan_.naive_bytes;
+  } else if (mode_ == Mode::kReplay) {
+    ++stats_.replayed_steps;
+  }
+  mode_ = Mode::kIdle;
+}
+
+void* StepArena::allocate(i64 bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LEGW_CHECK(bytes > 0, "StepArena '" + name_ + "': non-positive allocation");
+  LEGW_DCHECK(mode_ != Mode::kIdle,
+              "StepArena '" + name_ + "': allocate outside begin/end_step");
+  const i64 rounded = round_up_align(bytes);
+  ++stats_.allocs;
+  ++event_;
+  ++live_count_;
+  stats_.live_bytes += bytes;
+  stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, stats_.live_bytes);
+
+  if (mode_ == Mode::kReplay) {
+    if (next_slot_ < plan_.slots.size() &&
+        plan_.slots[next_slot_].bytes == rounded) {
+      const Placement& slot = plan_.slots[next_slot_];
+      ++next_slot_;
+      std::byte* p = region_ + slot.offset;
+      unpoison_bytes(p, slot.bytes);
+#ifdef LEGW_CHECKED_BUILD
+      // The plan guarantees no live overlap only if the free order matches
+      // the recorded step; assert it against the actual live set.
+      auto next = live_replay_.lower_bound(slot.offset);
+      if (next != live_replay_.end()) {
+        LEGW_CHECK(slot.offset + slot.bytes <= next->first,
+                   "StepArena '" + name_ + "': replay overlap at offset " +
+                       std::to_string(slot.offset));
+      }
+      if (next != live_replay_.begin()) {
+        auto prev = std::prev(next);
+        LEGW_CHECK(prev->first + prev->second <= slot.offset,
+                   "StepArena '" + name_ + "': replay overlap at offset " +
+                       std::to_string(slot.offset));
+      }
+      live_replay_.emplace(slot.offset, slot.bytes);
+#endif
+      return p;
+    }
+    // The allocation sequence no longer matches the plan: the workload
+    // changed. Fall back to always-correct bump slabs for the rest of the
+    // step and re-record on the next one.
+    ++stats_.divergences;
+    mode_ = Mode::kBypass;
+    plan_valid_ = false;
+    live_replay_.clear();
+  }
+
+  if (mode_ == Mode::kRecord) {
+    void* p = slab_alloc(rounded);
+    rec_of_[p] = recs_.size();
+    recs_.push_back(Lifetime{rounded, event_, -1});
+    return p;
+  }
+  return slab_alloc(rounded);
+}
+
+void StepArena::deallocate(void* p, i64 bytes, u64 gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gen != gen_) return;  // allocation's backing block was retired
+  LEGW_DCHECK(live_count_ > 0,
+              "StepArena '" + name_ + "': free with no live allocations");
+  --live_count_;
+  stats_.live_bytes -= bytes;
+  ++event_;
+  const i64 rounded = round_up_align(bytes);
+  if (mode_ == Mode::kRecord) {
+    auto it = rec_of_.find(p);
+    if (it != rec_of_.end() && recs_[it->second].death < 0) {
+      recs_[it->second].death = event_;
+    }
+  }
+#ifdef LEGW_CHECKED_BUILD
+  if (mode_ == Mode::kReplay) {
+    live_replay_.erase(static_cast<i64>(static_cast<std::byte*>(p) - region_));
+  }
+#endif
+  scribble_bytes(p, rounded);
+  poison_bytes(p, rounded);
+}
+
+u64 StepArena::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gen_;
+}
+
+bool StepArena::replaying() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_ == Mode::kReplay;
+}
+
+i64 StepArena::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_count_;
+}
+
+StepArena::Stats StepArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.capacity_bytes = region_bytes_;
+  for (const Slab& sl : slabs_) s.capacity_bytes += sl.bytes;
+  for (const Slab& sl : retired_) s.capacity_bytes += sl.bytes;
+  return s;
+}
+
+void StepArena::reset_peak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.peak_live_bytes = stats_.live_bytes;
+}
+
+std::vector<Placement> StepArena::current_plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_valid_ ? plan_.slots : std::vector<Placement>{};
+}
+
+void StepArena::reset_hard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LEGW_CHECK(live_count_ == 0,
+             "StepArena '" + name_ + "': reset_hard with live allocations");
+  for (Slab& s : slabs_) {
+    unpoison_bytes(s.base, s.bytes);
+    aligned_delete(s.base);
+  }
+  slabs_.clear();
+  for (Slab& s : retired_) {
+    unpoison_bytes(s.base, s.bytes);
+    aligned_delete(s.base);
+  }
+  retired_.clear();
+  if (region_ != nullptr) {
+    unpoison_bytes(region_, region_bytes_);
+    aligned_delete(region_);
+    region_ = nullptr;
+    region_bytes_ = 0;
+  }
+  plan_ = MemPlan{};
+  plan_valid_ = false;
+  recs_.clear();
+  rec_of_.clear();
+  live_replay_.clear();
+  mode_ = Mode::kIdle;
+}
+
+}  // namespace legw::mem

@@ -1,0 +1,152 @@
+// Step-scoped arena allocator with a recorded static memory plan.
+//
+// Lifecycle (driven by mem::TrainStepScope in the runners):
+//
+//   begin_step()  -> step 1 RECORDS: allocations come from bump slabs while
+//                    every alloc/free is logged on an event clock.
+//   end_step()    -> the recorded lifetimes feed plan_offsets(); the plan is
+//                    kept and one contiguous region is sized to its
+//                    high-water mark.
+//   begin_step()  -> steps 2+ REPLAY: allocation i is served at the planned
+//                    offset i inside the fixed region, so every tensor
+//                    reuses the same bytes in place, step after step.
+//
+// Replay verifies each allocation against the plan (same size, in order); a
+// divergence — the workload changed shape — drops the step into BYPASS mode
+// (plain bump slabs, always correct) and re-records on the next step. The
+// arena therefore never requires the workload to be static; it only rewards
+// it when it is.
+//
+// Safety rails:
+//   * Freed and not-yet-allocated arena bytes are ASan-poisoned when built
+//     with AddressSanitizer, so a use-after-free / use-before-plan trips the
+//     sanitizer at the faulting load. In LEGW_CHECKED builds freed bytes are
+//     additionally scribbled with NaNs so the non-finite tripwires blame any
+//     stale read even without ASan.
+//   * A tensor that survives past the step it was allocated in is a bug
+//     (step storage is recycled). begin_step() aborts on live allocations in
+//     checked builds; release builds retire the old memory intact (never
+//     recycled, so stale pointers stay readable) and re-record.
+//   * Frees carry the allocation's generation; frees from a retired
+//     generation are ignored (the retired block owns those bytes now).
+//
+// Thread-safe (single mutex) so dist replica threads can each drive their
+// own arena while sharing none of the hot path with each other.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/common.hpp"
+#include "mem/plan.hpp"
+
+// LEGW_MEM_ASAN: defined when the build has AddressSanitizer instrumentation
+// (the sanitize preset); arms manual poisoning of arena memory.
+#if defined(__SANITIZE_ADDRESS__)
+#define LEGW_MEM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LEGW_MEM_ASAN 1
+#endif
+#endif
+
+namespace legw::mem {
+
+class StepArena {
+ public:
+  struct Stats {
+    i64 steps = 0;            // begin_step() calls
+    i64 recorded_steps = 0;   // steps that recorded (step 1 + after changes)
+    i64 replayed_steps = 0;   // steps served entirely from the plan
+    i64 divergences = 0;      // replays aborted mid-step (workload changed)
+    i64 retired_regions = 0;  // escape-hatch retirements (live at begin_step)
+    i64 allocs = 0;           // lifetime total allocations
+    i64 live_bytes = 0;       // payload bytes currently live
+    i64 peak_live_bytes = 0;  // max simultaneously-live payload bytes
+    i64 plan_slots = 0;       // allocations in the current plan
+    i64 planned_bytes = 0;    // region bytes the plan needs (peak WITH reuse)
+    i64 naive_bytes = 0;      // per-step bytes a no-reuse bump would need
+    i64 capacity_bytes = 0;   // region + slab bytes actually reserved
+  };
+
+  explicit StepArena(std::string name);
+  ~StepArena();
+  StepArena(const StepArena&) = delete;
+  StepArena& operator=(const StepArena&) = delete;
+
+  void begin_step();
+  void end_step();
+
+  // 64-byte-aligned storage for `bytes` payload bytes. Contents are
+  // UNSPECIFIED (recycled step memory); callers zero-fill exactly like they
+  // must for malloc'd storage. Only valid between begin_step and the next
+  // begin_step.
+  void* allocate(i64 bytes);
+  // `gen` must be the generation() observed at allocate time; frees from a
+  // retired generation are ignored.
+  void deallocate(void* p, i64 bytes, u64 gen);
+  u64 generation() const;
+
+  bool replaying() const;
+  i64 live_count() const;
+  Stats stats() const;
+  // Rebases peak_live_bytes to the current live bytes (bench windows).
+  void reset_peak();
+  // The current plan's placements (empty until one recorded step finished).
+  // Diagnostic/test view: offsets are relative to the replay region base.
+  std::vector<Placement> current_plan() const;
+  // Drops plan, slabs, region, and retired memory; counters keep their
+  // lifetime totals. Requires no live allocations. Test hook.
+  void reset_hard();
+
+ private:
+  enum class Mode { kIdle, kRecord, kReplay, kBypass };
+
+  struct Slab {
+    std::byte* base = nullptr;
+    i64 bytes = 0;
+    i64 used = 0;
+  };
+
+  void* slab_alloc(i64 rounded);
+  void poison_all_locked();
+  void retire_live_memory_locked();
+
+  mutable std::mutex mu_;
+  const std::string name_;
+  Mode mode_ = Mode::kIdle;
+  u64 gen_ = 0;
+
+  // Bump slabs (record and bypass modes).
+  std::vector<Slab> slabs_;
+
+  // Recorded step: rounded size + birth/death events per allocation, plus
+  // pointer -> record index so frees can stamp the death event.
+  std::vector<Lifetime> recs_;
+  std::unordered_map<const void*, std::size_t> rec_of_;
+  i64 event_ = 0;
+
+  // Replay: the solved plan and the fixed region it indexes into.
+  MemPlan plan_;
+  bool plan_valid_ = false;
+  std::byte* region_ = nullptr;
+  i64 region_bytes_ = 0;
+  std::size_t next_slot_ = 0;
+  // Checked builds: offsets of live replay allocations, to assert the plan's
+  // no-overlap invariant against the actual free order.
+  std::map<i64, i64> live_replay_;
+
+  // Escape hatch: memory that still had live allocations at begin_step is
+  // parked here (valid, never recycled) until reset_hard()/destruction.
+  std::vector<Slab> retired_;
+
+  i64 live_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace legw::mem

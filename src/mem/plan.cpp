@@ -1,0 +1,134 @@
+#include "mem/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace legw::mem {
+
+namespace {
+
+// Address-ordered free list over [0, high_water). Gaps coalesce on free so
+// best-fit always sees maximal runs.
+class FreeList {
+ public:
+  // Smallest adequate gap; lowest offset breaks size ties. Returns -1 when
+  // no gap fits (caller extends the high-water mark instead).
+  i64 take_best_fit(i64 bytes) {
+    i64 best_off = -1;
+    i64 best_size = -1;
+    for (const auto& [off, size] : gaps_) {
+      if (size < bytes) continue;
+      if (best_size < 0 || size < best_size) {
+        best_size = size;
+        best_off = off;
+      }
+    }
+    if (best_off < 0) return -1;
+    const i64 rest = best_size - bytes;
+    gaps_.erase(best_off);
+    if (rest > 0) gaps_.emplace(best_off + bytes, rest);
+    return best_off;
+  }
+
+  void release(i64 offset, i64 bytes) {
+    auto [it, inserted] = gaps_.emplace(offset, bytes);
+    LEGW_CHECK(inserted, "mem plan: double free at offset " +
+                             std::to_string(offset));
+    // Coalesce with the successor, then the predecessor.
+    auto next = std::next(it);
+    if (next != gaps_.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      gaps_.erase(next);
+    }
+    if (it != gaps_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        gaps_.erase(it);
+      }
+    }
+  }
+
+ private:
+  std::map<i64, i64> gaps_;  // offset -> size, address-ordered
+};
+
+}  // namespace
+
+MemPlan plan_offsets(const std::vector<Lifetime>& lifetimes) {
+  MemPlan plan;
+  plan.slots.resize(lifetimes.size());
+
+  // One event per lifetime endpoint. Sorting key: event time, deaths before
+  // births at the same time (death is exclusive, so a buffer dying at e can
+  // donate its bytes to one born at e), input index as the final tie-break
+  // so the sweep order — and therefore the plan — is deterministic.
+  struct Event {
+    i64 time;
+    bool is_birth;
+    std::size_t index;
+  };
+  std::vector<Event> events;
+  events.reserve(lifetimes.size() * 2);
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const Lifetime& lt = lifetimes[i];
+    LEGW_CHECK(lt.bytes > 0, "mem plan: non-positive lifetime size");
+    LEGW_CHECK(lt.death > lt.birth, "mem plan: empty or inverted live range");
+    events.push_back({lt.birth, true, i});
+    events.push_back({lt.death, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.is_birth != b.is_birth) return !a.is_birth;  // deaths first
+    return a.index < b.index;
+  });
+
+  FreeList gaps;
+  i64 high_water = 0;
+  for (const Event& e : events) {
+    const i64 rounded = round_up_align(lifetimes[e.index].bytes);
+    if (e.is_birth) {
+      i64 off = gaps.take_best_fit(rounded);
+      if (off < 0) {
+        off = high_water;
+        high_water += rounded;
+      }
+      plan.slots[e.index] = Placement{off, rounded};
+      plan.naive_bytes += rounded;
+    } else {
+      const Placement& p = plan.slots[e.index];
+      gaps.release(p.offset, p.bytes);
+    }
+  }
+  plan.arena_bytes = high_water;
+  return plan;
+}
+
+bool plan_is_valid(const std::vector<Lifetime>& lifetimes,
+                   const MemPlan& plan) {
+  if (plan.slots.size() != lifetimes.size()) return false;
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const Placement& p = plan.slots[i];
+    if (p.offset < 0 || p.offset % kArenaAlignment != 0) return false;
+    if (p.bytes < lifetimes[i].bytes || p.bytes % kArenaAlignment != 0) {
+      return false;
+    }
+    if (p.offset + p.bytes > plan.arena_bytes) return false;
+  }
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    for (std::size_t j = i + 1; j < lifetimes.size(); ++j) {
+      const bool ranges_intersect = lifetimes[i].birth < lifetimes[j].death &&
+                                    lifetimes[j].birth < lifetimes[i].death;
+      if (!ranges_intersect) continue;
+      const Placement& a = plan.slots[i];
+      const Placement& b = plan.slots[j];
+      const bool bytes_intersect =
+          a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+      if (bytes_intersect) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace legw::mem

@@ -1,0 +1,66 @@
+// Static memory planning: pack a set of buffer lifetimes into one arena.
+//
+// The training step allocates the same tensors in the same order every step
+// (the repo's determinism contract makes the allocation sequence a pure
+// function of the model), so instead of paying a general-purpose allocator
+// per tensor we can record one step's allocation/free events, solve for a
+// set of non-overlapping offsets once, and replay the plan in place every
+// step after (the TVM/MXNet static-memory-plan trick, applied to the
+// autograd tape: the tape already knows each tensor's last use, because a
+// node's buffers die the moment its backward closure has run).
+//
+// The planner itself is pure and deterministic: given the same lifetimes it
+// returns the same offsets, which is what makes "deterministic offsets
+// across runs" a testable property (tests/test_mem_arena.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::mem {
+
+// Every arena offset and size is aligned to this many bytes (one cache line,
+// and enough for any vectorised kernel in the repo).
+inline constexpr i64 kArenaAlignment = 64;
+
+inline constexpr i64 round_up_align(i64 bytes) {
+  return (bytes + kArenaAlignment - 1) & ~(kArenaAlignment - 1);
+}
+
+// One buffer's live range on the step's event clock. Events are a single
+// monotonic counter bumped on every allocation and every free, so intervals
+// from one recorded step are totally ordered: buffer A and buffer B may
+// share bytes iff their [birth, death) ranges do not intersect.
+struct Lifetime {
+  i64 bytes = 0;  // payload size; the planner rounds to kArenaAlignment
+  i64 birth = 0;  // event index of the allocation (inclusive)
+  i64 death = 0;  // event index of the free (exclusive; death > birth)
+};
+
+// Planned placement for one lifetime, parallel to the planner's input.
+struct Placement {
+  i64 offset = 0;  // byte offset into the arena, kArenaAlignment-aligned
+  i64 bytes = 0;   // rounded size actually reserved at that offset
+};
+
+struct MemPlan {
+  std::vector<Placement> slots;  // slots[i] places lifetimes[i]
+  i64 arena_bytes = 0;  // high-water mark: bytes one arena region needs
+  i64 naive_bytes = 0;  // sum of rounded sizes (a bump arena with no reuse)
+};
+
+// Assigns each lifetime a byte offset so that no two lifetimes whose live
+// ranges intersect share any byte. Best-fit over an address-ordered free
+// list, swept in event order (frees processed before the allocation at the
+// same event, which cannot happen with a shared clock but keeps the sweep
+// total): smallest adequate gap wins, lowest offset breaks ties, otherwise
+// the high-water mark grows. O(n log n + n * gaps), deterministic.
+MemPlan plan_offsets(const std::vector<Lifetime>& lifetimes);
+
+// Validation oracle for tests and checked builds: true iff every pair of
+// lifetimes with intersecting live ranges received disjoint byte ranges and
+// every offset/size respects kArenaAlignment. O(n^2) — test-sized inputs.
+bool plan_is_valid(const std::vector<Lifetime>& lifetimes, const MemPlan& plan);
+
+}  // namespace legw::mem

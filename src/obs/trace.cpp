@@ -11,6 +11,7 @@
 #include "core/counters.hpp"
 #include "core/io.hpp"
 #include "core/thread_pool.hpp"
+#include "mem/alloc.hpp"
 #include "obs/telemetry.hpp"
 
 namespace legw::obs {
@@ -122,6 +123,19 @@ std::map<std::string, i64> TraceRecorder::counters() const {
     const auto c = static_cast<core::DispatchCounter>(i);
     out[core::dispatch_counter_name(c)] = core::dispatch_count(c);
   }
+  // Allocator counters (mem/alloc.hpp): peak/live bytes on both storage
+  // paths plus the arena's plan/reuse statistics, so a trace shows at a
+  // glance whether a run planned, replayed, or kept diverging.
+  const mem::MemStats ms = mem::mem_stats();
+  out["mem.heap_live_bytes"] = ms.heap_live_bytes;
+  out["mem.heap_peak_bytes"] = ms.heap_peak_bytes;
+  out["mem.arena_live_bytes"] = ms.arena_live_bytes;
+  out["mem.arena_peak_bytes"] = ms.arena_peak_bytes;
+  out["mem.arena_planned_bytes"] = ms.arena_planned_bytes;
+  out["mem.arena_naive_bytes"] = ms.arena_naive_bytes;
+  out["mem.arena_recorded_steps"] = ms.arena_recorded_steps;
+  out["mem.arena_replayed_steps"] = ms.arena_replayed_steps;
+  out["mem.arena_divergences"] = ms.arena_divergences;
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "core/flags.hpp"
 #include "dist/overlap.hpp"
+#include "mem/alloc.hpp"
 #include "obs/trace.hpp"
 #include "optim/optimizer.hpp"
 #include "train/metrics.hpp"
@@ -256,6 +257,11 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
       loop.begin_step();
       double loss_value = 0.0;
       if (n_replicas == 1) {
+        // Arena mode: every tensor below (batch, activations, interior
+        // grads) lives in the step arena and is freed — in tape order, see
+        // ag::backward — before the scope closes; leaf grads and optimizer
+        // state stay heap-bound, so finish_step() runs outside the scope.
+        mem::TrainStepScope arena_scope;
         core::Tensor images;
         std::vector<i32> labels;
         {
@@ -374,24 +380,32 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
-      data::BpttBatcher::Chunk chunk;
+      double loss_value = 0.0;
       {
-        obs::Span span("data");
-        chunk = batcher.next_chunk();
-      }
-      if (chunk.first_in_epoch) carried = model.zero_carried(run.batch_size);
-      model.zero_grad();
-      models::PtbModel::ChunkResult out;
-      {
-        obs::Span span("forward");
-        out = model.chunk_loss(chunk.inputs, chunk.targets, run.batch_size,
-                               mc.bptt_len, carried, dropout_rng);
-      }
-      carried = std::move(out.carried);
-      const double loss_value = out.loss.value()[0];
-      if (!loss_diverged(loss_value)) {
-        obs::Span span("backward");
-        ag::backward(out.loss);
+        mem::TrainStepScope arena_scope;
+        data::BpttBatcher::Chunk chunk;
+        {
+          obs::Span span("data");
+          chunk = batcher.next_chunk();
+        }
+        if (chunk.first_in_epoch) carried = model.zero_carried(run.batch_size);
+        model.zero_grad();
+        models::PtbModel::ChunkResult out;
+        {
+          obs::Span span("forward");
+          out = model.chunk_loss(chunk.inputs, chunk.targets, run.batch_size,
+                                 mc.bptt_len, carried, dropout_rng);
+        }
+        carried = std::move(out.carried);
+        // The carried BPTT state outlives the step (the next chunk reads it
+        // and checkpoints reference it), so it cannot stay in step storage.
+        for (core::Tensor& t : carried.h) t.rehome_();
+        for (core::Tensor& t : carried.c) t.rehome_();
+        loss_value = out.loss.value()[0];
+        if (!loss_diverged(loss_value)) {
+          obs::Span span("backward");
+          ag::backward(out.loss);
+        }
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
       if (!ck.after_step(loop.step, epoch, &result)) break;
@@ -484,22 +498,26 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
-      data::TranslationBatch batch;
+      double loss_value = 0.0;
       {
-        obs::Span span("data");
-        const std::vector<i64> idx = batcher.next();
-        batch = data::make_translation_batch(dataset.train(), idx);
-      }
-      model.zero_grad();
-      ag::Variable loss;
-      {
-        obs::Span span("forward");
-        loss = model.loss(batch, dropout_rng);
-      }
-      const double loss_value = loss.value()[0];
-      if (!loss_diverged(loss_value)) {
-        obs::Span span("backward");
-        ag::backward(loss);
+        mem::TrainStepScope arena_scope;
+        data::TranslationBatch batch;
+        {
+          obs::Span span("data");
+          const std::vector<i64> idx = batcher.next();
+          batch = data::make_translation_batch(dataset.train(), idx);
+        }
+        model.zero_grad();
+        ag::Variable loss;
+        {
+          obs::Span span("forward");
+          loss = model.loss(batch, dropout_rng);
+        }
+        loss_value = loss.value()[0];
+        if (!loss_diverged(loss_value)) {
+          obs::Span span("backward");
+          ag::backward(loss);
+        }
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
       if (!ck.after_step(loop.step, epoch, &result)) break;
@@ -576,24 +594,28 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
       loop.begin_step();
-      core::Tensor images;
-      std::vector<i32> labels;
+      double loss_value = 0.0;
       {
-        obs::Span span("data");
-        const std::vector<i64> idx = batcher.next();
-        images = dataset.gather_images(idx, true);
-        labels = dataset.gather_labels(idx, true);
-      }
-      model.zero_grad();
-      ag::Variable loss;
-      {
-        obs::Span span("forward");
-        loss = model.loss(images, labels);
-      }
-      const double loss_value = loss.value()[0];
-      if (!loss_diverged(loss_value)) {
-        obs::Span span("backward");
-        ag::backward(loss);
+        mem::TrainStepScope arena_scope;
+        core::Tensor images;
+        std::vector<i32> labels;
+        {
+          obs::Span span("data");
+          const std::vector<i64> idx = batcher.next();
+          images = dataset.gather_images(idx, true);
+          labels = dataset.gather_labels(idx, true);
+        }
+        model.zero_grad();
+        ag::Variable loss;
+        {
+          obs::Span span("forward");
+          loss = model.loss(images, labels);
+        }
+        loss_value = loss.value()[0];
+        if (!loss_diverged(loss_value)) {
+          obs::Span span("backward");
+          ag::backward(loss);
+        }
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
       if (!ck.after_step(loop.step, epoch, &result)) break;

@@ -1,0 +1,293 @@
+// Bitwise parity between the two storage modes (LEGW_ALLOC=arena|malloc):
+// the arena only changes WHERE bytes live, never their values, so N training
+// steps under either mode must produce identical parameters and an identical
+// train_loss series — bitwise, not approximately. Extends the
+// golden-determinism suite across the allocator axis:
+//
+//   * mnist and ptb (carried BPTT state crosses step boundaries, so PTB also
+//     proves the rehome-to-heap path),
+//   * replicas = 2 (per-replica arenas under the dist engine),
+//   * crash + resume under arena mode against a straight malloc run (the
+//     checkpoint subsystem composes with the arena),
+//   * gradient-accumulator regressions: consecutive steps see no stale
+//     gradients, and restore_pending(0) zero-fills instead of assuming
+//     freshly-zeroed buffers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ag/ops.hpp"
+#include "ag/variable.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "mem/alloc.hpp"
+#include "sched/schedule.hpp"
+#include "train/accumulate.hpp"
+#include "train/recorder.hpp"
+#include "train/runners.hpp"
+
+namespace legw::train {
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path("/tmp/legw_alloc_parity_" + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+// Scoped allocator-mode override, restoring the ambient mode on exit so
+// tests compose regardless of LEGW_ALLOC in the environment.
+struct AllocModeScope {
+  mem::AllocMode saved;
+  explicit AllocModeScope(mem::AllocMode m) : saved(mem::alloc_mode()) {
+    mem::set_alloc_mode(m);
+  }
+  ~AllocModeScope() { mem::set_alloc_mode(saved); }
+};
+
+bool bitwise_equal(const core::Tensor& a, const core::Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct ParityRun {
+  std::vector<core::Tensor> params;
+  std::string csv;
+  double final_train_loss = 0.0;
+};
+
+using Runner = std::function<RunResult(const RunConfig&)>;
+
+ParityRun run_under(mem::AllocMode mode, const Runner& go, RunConfig run) {
+  AllocModeScope alloc(mode);
+  Recorder recorder;
+  run.recorder = &recorder;
+  run.capture_final_params = true;
+  RunResult result = go(run);
+  ParityRun out;
+  out.params = std::move(result.final_params);
+  out.csv = recorder.to_csv();
+  out.final_train_loss = result.final_train_loss;
+  return out;
+}
+
+void expect_bitwise_parity(const Runner& go, const RunConfig& run,
+                           const char* tag) {
+  const ParityRun arena = run_under(mem::AllocMode::kArena, go, run);
+  const ParityRun malloc_run = run_under(mem::AllocMode::kMalloc, go, run);
+  ASSERT_FALSE(arena.params.empty()) << tag;
+  ASSERT_EQ(arena.params.size(), malloc_run.params.size()) << tag;
+  for (std::size_t i = 0; i < arena.params.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(arena.params[i], malloc_run.params[i]))
+        << tag << " param " << i;
+  }
+  EXPECT_FALSE(arena.csv.empty()) << tag;
+  EXPECT_EQ(arena.csv, malloc_run.csv) << tag;
+  EXPECT_DOUBLE_EQ(arena.final_train_loss, malloc_run.final_train_loss) << tag;
+}
+
+TEST(AllocParity, MnistArenaMatchesMallocBitwise) {
+  data::SyntheticMnist dataset(192, 64, 42);
+  models::MnistLstmConfig mcfg;
+  mcfg.transform_dim = 16;
+  mcfg.hidden_dim = 16;
+  sched::ConstantLr schedule(0.05f);
+  RunConfig run;
+  run.batch_size = 32;
+  run.epochs = 2;
+  run.optimizer = "momentum";
+  run.schedule = &schedule;
+  run.seed = 5;
+  expect_bitwise_parity(
+      [&](const RunConfig& r) { return train_mnist(dataset, mcfg, r); }, run,
+      "mnist");
+}
+
+TEST(AllocParity, PtbArenaMatchesMallocBitwise) {
+  // PTB carries BPTT state across steps: the carried tensors are allocated
+  // inside the step scope and rehomed to the heap, so this run fails loudly
+  // if rehoming ever loses bytes or leaves arena-backed storage behind.
+  data::CorpusConfig ccfg;
+  ccfg.vocab = 40;
+  ccfg.n_train_tokens = 1200;
+  ccfg.n_valid_tokens = 200;
+  data::SyntheticCorpus corpus(ccfg);
+  models::PtbConfig mcfg = models::PtbConfig::small(40);
+  mcfg.embed_dim = 16;
+  mcfg.hidden_dim = 16;
+  mcfg.bptt_len = 8;
+  mcfg.dropout = 0.2f;  // dropout RNG must agree step for step across modes
+  sched::ConstantLr schedule(0.5f);
+  RunConfig run;
+  run.batch_size = 8;
+  run.epochs = 2;
+  run.optimizer = "momentum";
+  run.schedule = &schedule;
+  run.final_eval_only = true;
+  run.seed = 7;
+  expect_bitwise_parity(
+      [&](const RunConfig& r) { return train_ptb(corpus, mcfg, r); }, run,
+      "ptb");
+}
+
+TEST(AllocParity, ReplicatedMnistArenaMatchesMallocBitwise) {
+  // replicas = 2: each replica thread binds its own arena slot; the reducer
+  // reads heap-bound leaf gradients. Parity across modes proves the
+  // per-replica arenas never leak into the reduction.
+  data::SyntheticMnist dataset(192, 64, 42);
+  models::MnistLstmConfig mcfg;
+  mcfg.transform_dim = 16;
+  mcfg.hidden_dim = 16;
+  sched::ConstantLr schedule(0.05f);
+  RunConfig run;
+  run.batch_size = 32;
+  run.epochs = 2;
+  run.optimizer = "momentum";
+  run.schedule = &schedule;
+  run.seed = 9;
+  run.replicas = 2;
+  expect_bitwise_parity(
+      [&](const RunConfig& r) { return train_mnist(dataset, mcfg, r); }, run,
+      "mnist-replicas2");
+}
+
+TEST(AllocParity, CrashResumeUnderArenaMatchesStraightMalloc) {
+  // The composition test: a run that crashes and resumes entirely in arena
+  // mode must land on the same parameters as an uninterrupted malloc run.
+  data::SyntheticMnist dataset(192, 64, 42);
+  models::MnistLstmConfig mcfg;
+  mcfg.transform_dim = 16;
+  mcfg.hidden_dim = 16;
+  sched::ConstantLr schedule(0.05f);
+  RunConfig base;
+  base.batch_size = 32;
+  base.epochs = 2;
+  base.optimizer = "momentum";
+  base.schedule = &schedule;
+  base.seed = 11;
+  const Runner go = [&](const RunConfig& r) {
+    return train_mnist(dataset, mcfg, r);
+  };
+
+  const ParityRun straight = run_under(mem::AllocMode::kMalloc, go, base);
+
+  TempDir dir("arena_resume");
+  const auto plan = ckpt::CrashPlan::mid_step(7);
+  {
+    AllocModeScope alloc(mem::AllocMode::kArena);
+    RunConfig crash = base;
+    crash.checkpoint_dir = dir.path;
+    crash.checkpoint_every_steps = 3;
+    crash.crash_plan = &plan;
+    const RunResult interrupted = go(crash);
+    ASSERT_TRUE(interrupted.interrupted);
+  }
+  ParityRun resumed;
+  {
+    AllocModeScope alloc(mem::AllocMode::kArena);
+    Recorder rec;
+    RunConfig resume = base;
+    resume.checkpoint_dir = dir.path;
+    resume.checkpoint_every_steps = 3;
+    resume.resume = true;
+    resume.recorder = &rec;
+    resume.capture_final_params = true;
+    RunResult result = go(resume);
+    EXPECT_EQ(result.resumed_from_step, 6);
+    resumed.params = std::move(result.final_params);
+    resumed.final_train_loss = result.final_train_loss;
+  }
+  ASSERT_EQ(straight.params.size(), resumed.params.size());
+  for (std::size_t i = 0; i < straight.params.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(straight.params[i], resumed.params[i]))
+        << "param " << i;
+  }
+  EXPECT_DOUBLE_EQ(straight.final_train_loss, resumed.final_train_loss);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient-accumulator regressions (stale-buffer assumptions)
+// ---------------------------------------------------------------------------
+
+// A tiny deterministic loss over one parameter: loss = sum(w * w * c).
+ag::Variable toy_loss(const ag::Variable& w, float c) {
+  return ag::sum_all(ag::mul(ag::mul(w, w), ag::Variable::constant(
+                                                core::Tensor({2}, {c, c}))));
+}
+
+TEST(AccumulatorRegression, ConsecutiveStepsSeeNoStaleGradients) {
+  // Two consecutive optimizer steps through the accumulator: the gradients
+  // of step 2 must be a function of step 2's micro-batches only. Run the
+  // same pair of steps under both allocator modes — recycled arena bytes in
+  // step 2 are exactly where a missing zero-fill would surface.
+  for (mem::AllocMode mode : {mem::AllocMode::kMalloc, mem::AllocMode::kArena}) {
+    AllocModeScope alloc(mode);
+    ag::Variable w =
+        ag::Variable::leaf(core::Tensor({2}, {1.0f, 2.0f}), true);
+    GradientAccumulator acc({w});
+    std::vector<float> step_grads;
+    for (int step = 0; step < 2; ++step) {
+      w.zero_grad();
+      {
+        mem::TrainStepScope scope;
+        acc.micro_step([&] { return toy_loss(w, 1.0f); });
+        acc.micro_step([&] { return toy_loss(w, 3.0f); });
+      }
+      acc.finish();
+      step_grads.push_back(w.grad()[0]);
+      step_grads.push_back(w.grad()[1]);
+    }
+    // d/dw sum(c * w^2) = 2cw; mean over c in {1, 3} -> 4w.
+    ASSERT_EQ(step_grads.size(), 4u);
+    for (int step = 0; step < 2; ++step) {
+      EXPECT_FLOAT_EQ(step_grads[2 * step + 0], 4.0f)
+          << "mode " << mem::alloc_mode_name(mode) << " step " << step;
+      EXPECT_FLOAT_EQ(step_grads[2 * step + 1], 8.0f)
+          << "mode " << mem::alloc_mode_name(mode) << " step " << step;
+    }
+  }
+}
+
+TEST(AccumulatorRegression, RestorePendingZeroFillsOnFreshStart) {
+  // restore_pending(0) = "no accumulation in flight". The grad buffers may
+  // hold pre-crash partial sums; the next micro_step must start from zero.
+  ag::Variable w = ag::Variable::leaf(core::Tensor({2}, {1.0f, 2.0f}), true);
+  GradientAccumulator acc({w});
+  acc.micro_step([&] { return toy_loss(w, 5.0f); });  // dirty the buffers
+  ASSERT_NE(w.grad()[0], 0.0f);
+  acc.restore_pending(0);
+  EXPECT_EQ(acc.pending_micro_steps(), 0);
+  EXPECT_EQ(w.grad()[0], 0.0f);
+  EXPECT_EQ(w.grad()[1], 0.0f);
+  acc.micro_step([&] { return toy_loss(w, 1.0f); });
+  acc.finish();
+  EXPECT_FLOAT_EQ(w.grad()[0], 2.0f);  // 2w, no stale 10w residue
+  EXPECT_FLOAT_EQ(w.grad()[1], 4.0f);
+}
+
+TEST(AccumulatorRegression, RestorePendingPositivePreservesRestoredSums) {
+  // For count > 0 the caller restores checkpointed partial sums right after;
+  // restore_pending must materialise (not zero) the buffers it hands back.
+  ag::Variable w = ag::Variable::leaf(core::Tensor({2}, {1.0f, 2.0f}), true);
+  GradientAccumulator acc({w});
+  acc.restore_pending(1);
+  EXPECT_EQ(acc.pending_micro_steps(), 1);
+  // Simulate the checkpoint restore writing the partial sum.
+  w.mutable_grad().fill_(6.0f);
+  acc.micro_step([&] { return toy_loss(w, 1.0f); });
+  acc.finish();
+  // (restored 6 + 2w) / 2 micro-batches.
+  EXPECT_FLOAT_EQ(w.grad()[0], (6.0f + 2.0f) / 2.0f);
+  EXPECT_FLOAT_EQ(w.grad()[1], (6.0f + 4.0f) / 2.0f);
+}
+
+}  // namespace
+}  // namespace legw::train

@@ -1,0 +1,594 @@
+// Allocator test battery: the arena and its static memory plan, proven by
+// properties rather than examples.
+//
+//   * StepArena: alignment (>= 64B in every mode), no byte overlap among
+//     simultaneously-live allocations (checked against a shadow model),
+//     deterministic offsets across identically-driven arenas, record ->
+//     replay pointer stability, divergence fallback to bypass + re-record,
+//     and the release-build retire escape hatch.
+//   * plan_offsets: on randomized interval sets, no two lifetimes whose live
+//     ranges intersect may share a byte (plan_is_valid oracle), offsets stay
+//     aligned, and the plan never exceeds the no-reuse footprint.
+//   * ag::tape_lifetimes: on randomized autograd tapes, the extracted
+//     intervals feed the planner and the result must validate — the
+//     end-to-end property the runtime arena relies on.
+//
+// The battery runs under the sanitize preset (label tier1-mem matches the
+// "mem" filter), where the arena's manual ASan poisoning turns any
+// use-after-free in these tests into a hard stop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "ag/lifetimes.hpp"
+#include "ag/ops.hpp"
+#include "ag/variable.hpp"
+#include "mem/alloc.hpp"
+#include "mem/arena.hpp"
+#include "mem/plan.hpp"
+
+namespace legw::mem {
+namespace {
+
+bool is_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kArenaAlignment == 0;
+}
+
+// Shadow model: tracks [base, base+bytes) ranges of live allocations and
+// rejects any new range that intersects one.
+class ShadowLiveSet {
+ public:
+  void add(const void* p, i64 bytes) {
+    const auto base = reinterpret_cast<std::uintptr_t>(p);
+    for (const auto& [b, e] : live_) {
+      ASSERT_TRUE(base + static_cast<std::uintptr_t>(bytes) <= b || e <= base)
+          << "overlap: new [" << base << ", " << base + bytes << ") vs live ["
+          << b << ", " << e << ")";
+    }
+    live_[base] = base + static_cast<std::uintptr_t>(bytes);
+  }
+  void remove(const void* p) {
+    live_.erase(reinterpret_cast<std::uintptr_t>(p));
+  }
+  std::size_t size() const { return live_.size(); }
+
+ private:
+  std::map<std::uintptr_t, std::uintptr_t> live_;
+};
+
+// ---------------------------------------------------------------------------
+// plan_offsets property tests
+// ---------------------------------------------------------------------------
+
+std::vector<Lifetime> random_lifetimes(u64 seed, int n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<i64> size_dist(1, 4096);
+  // Random birth/death pairs on a shared clock: draw two distinct events per
+  // lifetime from a pool ~2n wide so overlap is common but not universal.
+  std::uniform_int_distribution<i64> ev(0, 2 * n - 1);
+  std::vector<Lifetime> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    i64 a = ev(rng);
+    i64 b = ev(rng);
+    if (a == b) b = a + 1;
+    Lifetime lt;
+    lt.bytes = size_dist(rng);
+    lt.birth = std::min(a, b);
+    lt.death = std::max(a, b);
+    out.push_back(lt);
+  }
+  return out;
+}
+
+TEST(MemPlan, RandomizedIntervalSetsAlwaysValidate) {
+  for (u64 seed = 1; seed <= 40; ++seed) {
+    const auto lts = random_lifetimes(seed, 64);
+    const MemPlan plan = plan_offsets(lts);
+    ASSERT_EQ(plan.slots.size(), lts.size());
+    EXPECT_TRUE(plan_is_valid(lts, plan)) << "seed " << seed;
+    // Reuse can only shrink the footprint, never grow it.
+    EXPECT_LE(plan.arena_bytes, plan.naive_bytes) << "seed " << seed;
+    EXPECT_GT(plan.arena_bytes, 0) << "seed " << seed;
+  }
+}
+
+TEST(MemPlan, PlannerIsDeterministic) {
+  const auto lts = random_lifetimes(7, 128);
+  const MemPlan a = plan_offsets(lts);
+  const MemPlan b = plan_offsets(lts);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    EXPECT_EQ(a.slots[i].offset, b.slots[i].offset) << i;
+    EXPECT_EQ(a.slots[i].bytes, b.slots[i].bytes) << i;
+  }
+  EXPECT_EQ(a.arena_bytes, b.arena_bytes);
+}
+
+TEST(MemPlan, DisjointLifetimesShareBytes) {
+  // Two buffers that never coexist must land on the same offset: this is the
+  // whole point of the plan.
+  std::vector<Lifetime> lts = {{1024, 0, 2}, {1024, 2, 4}};
+  const MemPlan plan = plan_offsets(lts);
+  EXPECT_TRUE(plan_is_valid(lts, plan));
+  EXPECT_EQ(plan.slots[0].offset, plan.slots[1].offset);
+  EXPECT_EQ(plan.arena_bytes, round_up_align(1024));
+  EXPECT_EQ(plan.naive_bytes, 2 * round_up_align(1024));
+}
+
+TEST(MemPlan, OverlappingLifetimesDoNot) {
+  std::vector<Lifetime> lts = {{1024, 0, 3}, {1024, 1, 4}};
+  const MemPlan plan = plan_offsets(lts);
+  EXPECT_TRUE(plan_is_valid(lts, plan));
+  EXPECT_NE(plan.slots[0].offset, plan.slots[1].offset);
+  EXPECT_EQ(plan.arena_bytes, 2 * round_up_align(1024));
+}
+
+TEST(MemPlan, ValidatorRejectsCorruptPlans) {
+  std::vector<Lifetime> lts = {{64, 0, 3}, {64, 1, 4}};
+  MemPlan plan = plan_offsets(lts);
+  ASSERT_TRUE(plan_is_valid(lts, plan));
+  plan.slots[1].offset = plan.slots[0].offset;  // force an overlap
+  EXPECT_FALSE(plan_is_valid(lts, plan));
+  plan = plan_offsets(lts);
+  plan.slots[0].offset += 1;  // break alignment
+  EXPECT_FALSE(plan_is_valid(lts, plan));
+}
+
+TEST(MemPlan, EmptyInputYieldsEmptyPlan) {
+  const MemPlan plan = plan_offsets({});
+  EXPECT_TRUE(plan.slots.empty());
+  EXPECT_EQ(plan.arena_bytes, 0);
+  EXPECT_TRUE(plan_is_valid({}, plan));
+}
+
+// ---------------------------------------------------------------------------
+// StepArena property tests
+// ---------------------------------------------------------------------------
+
+// Drives one step's worth of a deterministic random alloc/free trace through
+// the arena, asserting alignment + non-overlap against the shadow model.
+// Returns the sequence of (size) requests so callers can replay it.
+struct TraceAlloc {
+  void* p = nullptr;
+  i64 bytes = 0;
+  u64 gen = 0;
+};
+
+std::vector<i64> random_sizes(u64 seed, int n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<i64> size_dist(1, 8192);
+  std::vector<i64> sizes;
+  sizes.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sizes.push_back(size_dist(rng));
+  return sizes;
+}
+
+// Allocates all sizes, frees in LIFO-ish interleaved order (free every other
+// allocation mid-stream, the rest at the end) — a shape with real overlap.
+void drive_step(StepArena& arena, const std::vector<i64>& sizes) {
+  arena.begin_step();
+  ShadowLiveSet shadow;
+  std::vector<TraceAlloc> live;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    TraceAlloc a;
+    a.bytes = sizes[i];
+    a.p = arena.allocate(a.bytes);
+    a.gen = arena.generation();
+    ASSERT_NE(a.p, nullptr);
+    ASSERT_TRUE(is_aligned(a.p)) << "allocation " << i;
+    shadow.add(a.p, a.bytes);
+    if (::testing::Test::HasFatalFailure()) return;
+    live.push_back(a);
+    if (i % 2 == 1) {  // free the previous allocation mid-stream
+      TraceAlloc victim = live[live.size() - 2];
+      shadow.remove(victim.p);
+      arena.deallocate(victim.p, victim.bytes, victim.gen);
+      live.erase(live.end() - 2);
+    }
+  }
+  for (const TraceAlloc& a : live) {
+    shadow.remove(a.p);
+    arena.deallocate(a.p, a.bytes, a.gen);
+  }
+  EXPECT_EQ(arena.live_count(), 0);
+  arena.end_step();
+}
+
+TEST(StepArenaTest, RecordStepAlignsAndNeverOverlaps) {
+  StepArena arena("t_record");
+  drive_step(arena, random_sizes(11, 200));
+  const StepArena::Stats st = arena.stats();
+  EXPECT_EQ(st.steps, 1);
+  EXPECT_EQ(st.recorded_steps, 1);
+  EXPECT_EQ(st.allocs, 200);
+  EXPECT_EQ(st.live_bytes, 0);
+  EXPECT_GT(st.peak_live_bytes, 0);
+  EXPECT_EQ(st.plan_slots, 200);
+  EXPECT_GT(st.planned_bytes, 0);
+  EXPECT_LE(st.planned_bytes, st.naive_bytes);
+}
+
+TEST(StepArenaTest, ReplayStepsAlignAndNeverOverlap) {
+  StepArena arena("t_replay");
+  const auto sizes = random_sizes(12, 150);
+  drive_step(arena, sizes);  // step 1: record
+  for (int step = 0; step < 3; ++step) drive_step(arena, sizes);
+  const StepArena::Stats st = arena.stats();
+  EXPECT_EQ(st.steps, 4);
+  EXPECT_EQ(st.recorded_steps, 1);
+  EXPECT_EQ(st.replayed_steps, 3);
+  EXPECT_EQ(st.divergences, 0);
+}
+
+TEST(StepArenaTest, ReplayServesIdenticalPointersEveryStep) {
+  // The headline property: steps 2+ reuse the same bytes in place. Capture
+  // the pointer sequence of two replay steps (same alloc AND free order as
+  // the recorded step, so planned reuse is exercised) and compare.
+  StepArena arena("t_stable");
+  const auto sizes = random_sizes(13, 64);
+  drive_step(arena, sizes);  // record
+  auto capture = [&]() {
+    std::vector<void*> ptrs;
+    arena.begin_step();
+    std::vector<TraceAlloc> live;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      TraceAlloc a{arena.allocate(sizes[i]), sizes[i], arena.generation()};
+      ptrs.push_back(a.p);
+      live.push_back(a);
+      if (i % 2 == 1) {  // mirror drive_step's interleaved free pattern
+        TraceAlloc victim = live[live.size() - 2];
+        arena.deallocate(victim.p, victim.bytes, victim.gen);
+        live.erase(live.end() - 2);
+      }
+    }
+    for (const TraceAlloc& a : live) arena.deallocate(a.p, a.bytes, a.gen);
+    arena.end_step();
+    return ptrs;
+  };
+  const auto first = capture();
+  EXPECT_TRUE(arena.replaying() == false);  // between steps: idle
+  const auto second = capture();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "allocation " << i;
+  }
+}
+
+TEST(StepArenaTest, DeterministicOffsetsAcrossArenas) {
+  // Two arenas driven by the identical trace must solve the identical plan
+  // (same offsets, same region size) — the allocator-level face of the
+  // repo's determinism contract.
+  StepArena a("t_det_a");
+  StepArena b("t_det_b");
+  const auto sizes = random_sizes(14, 100);
+  drive_step(a, sizes);
+  drive_step(b, sizes);
+  const auto pa = a.current_plan();
+  const auto pb = b.current_plan();
+  ASSERT_FALSE(pa.empty());
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].offset, pb[i].offset) << i;
+    EXPECT_EQ(pa[i].bytes, pb[i].bytes) << i;
+  }
+}
+
+TEST(StepArenaTest, DivergenceFallsBackToBypassAndRerecords) {
+  StepArena arena("t_diverge");
+  const auto sizes = random_sizes(15, 32);
+  drive_step(arena, sizes);  // record
+  drive_step(arena, sizes);  // replay
+  // Change the workload: different sizes. The first mismatching allocation
+  // must divert to bypass (correct, unplanned) and the step after re-records.
+  auto changed = sizes;
+  changed[5] += 64;
+  drive_step(arena, changed);  // diverges mid-replay
+  StepArena::Stats st = arena.stats();
+  EXPECT_EQ(st.divergences, 1);
+  drive_step(arena, changed);  // re-records the new shape
+  drive_step(arena, changed);  // and replays it
+  st = arena.stats();
+  EXPECT_EQ(st.divergences, 1);
+  EXPECT_EQ(st.recorded_steps, 2);
+  EXPECT_GE(st.replayed_steps, 2);
+}
+
+TEST(StepArenaTest, ExtraAllocationsBeyondPlanDivergeSafely) {
+  StepArena arena("t_excess");
+  const auto sizes = random_sizes(16, 16);
+  drive_step(arena, sizes);
+  auto more = sizes;
+  more.push_back(4096);  // one extra allocation past the plan's slot count
+  drive_step(arena, more);
+  EXPECT_EQ(arena.stats().divergences, 1);
+  drive_step(arena, more);  // re-record
+  drive_step(arena, more);  // replay the longer trace
+  EXPECT_EQ(arena.stats().divergences, 1);
+}
+
+TEST(StepArenaTest, WriteReadIntegrityAcrossModes) {
+  // Fill every allocation with a distinct byte pattern and verify before
+  // freeing — catches any planner overlap the shadow model might miss
+  // (pointer ranges vs actually-written bytes).
+  StepArena arena("t_integrity");
+  const auto sizes = random_sizes(17, 48);
+  for (int step = 0; step < 3; ++step) {
+    arena.begin_step();
+    std::vector<TraceAlloc> live;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      TraceAlloc a{arena.allocate(sizes[i]), sizes[i], arena.generation()};
+      std::memset(a.p, static_cast<int>(i & 0xff), static_cast<std::size_t>(a.bytes));
+      live.push_back(a);
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto* bytes = static_cast<const unsigned char*>(live[i].p);
+      for (i64 j = 0; j < live[i].bytes; ++j) {
+        ASSERT_EQ(bytes[j], static_cast<unsigned char>(i & 0xff))
+            << "step " << step << " alloc " << i << " byte " << j;
+      }
+      arena.deallocate(live[i].p, live[i].bytes, live[i].gen);
+    }
+    arena.end_step();
+  }
+}
+
+#ifndef LEGW_CHECKED_BUILD
+TEST(StepArenaTest, ReleaseBuildRetiresLiveMemoryIntact) {
+  // A buffer that (buggily) survives the step must stay readable in release
+  // builds: begin_step retires the old memory instead of recycling it.
+  StepArena arena("t_retire");
+  arena.begin_step();
+  void* p = arena.allocate(256);
+  const u64 gen = arena.generation();
+  std::memset(p, 0x5a, 256);
+  arena.end_step();
+  arena.begin_step();  // p still live -> retire path
+  EXPECT_EQ(arena.stats().retired_regions, 1);
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(bytes[i], 0x5a) << i;
+  // The stale free carries a retired generation and must be ignored.
+  arena.deallocate(p, 256, gen);
+  void* q = arena.allocate(64);
+  arena.deallocate(q, 64, arena.generation());
+  arena.end_step();
+}
+#endif
+
+#ifdef LEGW_CHECKED_BUILD
+TEST(StepArenaDeathTest, CheckedBuildAbortsOnCrossStepSurvivor) {
+  // Checked builds refuse the escape hatch: storage that outlives its step
+  // is a lifetime bug and begin_step aborts with blame.
+  EXPECT_DEATH(
+      {
+        StepArena arena("t_abort");
+        arena.begin_step();
+        (void)arena.allocate(128);  // never freed
+        arena.end_step();
+        arena.begin_step();  // live allocation from the previous step
+      },
+      "outlived the training step");
+}
+#endif
+
+#ifdef LEGW_MEM_ASAN
+TEST(StepArenaDeathTest, PoisonTripsOnUseAfterFree) {
+  // Under ASan, reading a freed arena byte must fault at the load: the arena
+  // manually poisons freed regions, so stale reads cannot silently return
+  // recycled garbage.
+  EXPECT_DEATH(
+      {
+        StepArena arena("t_poison");
+        arena.begin_step();
+        void* p = arena.allocate(128);
+        const u64 gen = arena.generation();
+        arena.deallocate(p, 128, gen);
+        volatile unsigned char sink =
+            *static_cast<volatile unsigned char*>(p);  // poisoned read
+        (void)sink;
+      },
+      "use-after-poison");
+}
+#endif
+
+TEST(StepArenaTest, ResetHardDropsPlanAndMemory) {
+  StepArena arena("t_reset");
+  const auto sizes = random_sizes(18, 24);
+  drive_step(arena, sizes);
+  ASSERT_FALSE(arena.current_plan().empty());
+  arena.reset_hard();
+  EXPECT_TRUE(arena.current_plan().empty());
+  EXPECT_EQ(arena.stats().capacity_bytes, 0);
+  drive_step(arena, sizes);  // records again from scratch
+  EXPECT_EQ(arena.stats().recorded_steps, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher + storage-binding behaviour
+// ---------------------------------------------------------------------------
+
+TEST(AllocModeTest, DispatcherParsesAndRoundTrips) {
+  const AllocMode saved = alloc_mode();
+  EXPECT_TRUE(set_alloc_mode("arena"));
+  EXPECT_EQ(alloc_mode(), AllocMode::kArena);
+  EXPECT_STREQ(alloc_mode_name(alloc_mode()), "arena");
+  EXPECT_TRUE(set_alloc_mode("malloc"));
+  EXPECT_EQ(alloc_mode(), AllocMode::kMalloc);
+  EXPECT_STREQ(alloc_mode_name(alloc_mode()), "malloc");
+  EXPECT_FALSE(set_alloc_mode("bogus"));
+  EXPECT_EQ(alloc_mode(), AllocMode::kMalloc);  // unchanged on bad name
+  set_alloc_mode(saved);
+}
+
+TEST(AllocModeTest, TrainStepScopeBindsOnlyInArenaMode) {
+  const AllocMode saved = alloc_mode();
+  set_alloc_mode(AllocMode::kMalloc);
+  {
+    TrainStepScope scope;
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(bound_step_arena(), nullptr);
+  }
+  set_alloc_mode(AllocMode::kArena);
+  {
+    TrainStepScope scope;
+    EXPECT_TRUE(scope.active());
+    EXPECT_NE(bound_step_arena(), nullptr);
+    {
+      TrainStepScope inner;  // nested scope on the same thread: no-op
+      EXPECT_FALSE(inner.active());
+    }
+    EXPECT_NE(bound_step_arena(), nullptr);
+    {
+      HeapBindGuard heap_only;
+      EXPECT_EQ(bound_step_arena(), nullptr);
+    }
+    EXPECT_NE(bound_step_arena(), nullptr);
+  }
+  EXPECT_EQ(bound_step_arena(), nullptr);
+  set_alloc_mode(saved);
+}
+
+TEST(AllocModeTest, TensorsInsideScopeAreArenaBackedAndZeroed) {
+  const AllocMode saved = alloc_mode();
+  set_alloc_mode(AllocMode::kArena);
+  // Drive two steps so the second one exercises replay: recycled bytes must
+  // still come back zero-filled from Tensor::zeros.
+  for (int step = 0; step < 2; ++step) {
+    TrainStepScope scope;
+    ASSERT_TRUE(scope.active());
+    core::Tensor t = core::Tensor::zeros(core::Shape{64});
+    EXPECT_TRUE(t.arena_backed());
+    for (i64 i = 0; i < t.numel(); ++i) ASSERT_EQ(t[i], 0.0f) << i;
+    t.fill_(3.5f);  // dirty the bytes for the next step's recycling
+  }
+  set_alloc_mode(saved);
+}
+
+TEST(AllocModeTest, RehomePreservesDataAndDropsArenaBacking) {
+  const AllocMode saved = alloc_mode();
+  set_alloc_mode(AllocMode::kArena);
+  {
+    TrainStepScope scope;
+    core::Tensor t({4}, {1.0f, 2.0f, 3.0f, 4.0f});
+    ASSERT_TRUE(t.arena_backed());
+    t.rehome_();
+    EXPECT_FALSE(t.arena_backed());
+    EXPECT_EQ(t[0], 1.0f);
+    EXPECT_EQ(t[1], 2.0f);
+    EXPECT_EQ(t[2], 3.0f);
+    EXPECT_EQ(t[3], 4.0f);
+    t.rehome_();  // idempotent on heap tensors
+    EXPECT_FALSE(t.arena_backed());
+  }
+  set_alloc_mode(saved);
+}
+
+TEST(AllocModeTest, LeafGradsStayHeapInteriorValuesUseArena) {
+  const AllocMode saved = alloc_mode();
+  set_alloc_mode(AllocMode::kArena);
+  core::Tensor heap_param = core::Tensor::zeros(core::Shape{3});
+  heap_param.fill_(1.0f);
+  ag::Variable w = ag::Variable::leaf(heap_param, /*requires_grad=*/true);
+  {
+    TrainStepScope scope;
+    ag::Variable y = ag::mul(w, w);
+    ag::Variable loss = ag::sum_all(y);
+    EXPECT_TRUE(y.value().arena_backed());
+    ag::backward(loss);
+    // Parameter gradients survive the step: heap by construction.
+    EXPECT_FALSE(w.grad().arena_backed());
+    EXPECT_EQ(w.grad()[0], 2.0f);
+  }
+  // After the scope the leaf grad is still readable (heap).
+  EXPECT_EQ(w.grad()[2], 2.0f);
+  set_alloc_mode(saved);
+}
+
+TEST(AllocModeTest, MemStatsAggregateBothPaths) {
+  const AllocMode saved = alloc_mode();
+  set_alloc_mode(AllocMode::kArena);
+  const MemStats before = mem_stats();
+  {
+    TrainStepScope scope;
+    core::Tensor t = core::Tensor::zeros(core::Shape{1024});
+    const MemStats during = mem_stats();
+    EXPECT_GE(during.arena_live_bytes,
+              before.arena_live_bytes + 1024 * static_cast<i64>(sizeof(float)));
+    EXPECT_GE(during.arena_peak_bytes, during.arena_live_bytes);
+  }
+  core::Tensor heap_t = core::Tensor::zeros(core::Shape{256});
+  const MemStats after = mem_stats();
+  EXPECT_GT(after.heap_allocs, before.heap_allocs);
+  EXPECT_GE(after.heap_peak_bytes, 256 * static_cast<i64>(sizeof(float)));
+  set_alloc_mode(saved);
+}
+
+// ---------------------------------------------------------------------------
+// Tape-derived lifetimes: the planner's end-to-end property
+// ---------------------------------------------------------------------------
+
+// Builds a randomized expression tape over a few parameters: a chain of
+// binary/unary ops with random sharing, reduced to a scalar.
+ag::Variable random_tape(std::mt19937_64& rng, int depth) {
+  std::uniform_int_distribution<int> op(0, 3);
+  std::uniform_int_distribution<i64> dim(2, 6);
+  const i64 n = dim(rng);
+  core::Tensor init = core::Tensor::zeros(core::Shape{n});
+  for (i64 i = 0; i < n; ++i) init.data()[i] = 0.1f * static_cast<float>(i + 1);
+  std::vector<ag::Variable> frontier;
+  frontier.push_back(ag::Variable::leaf(init, /*requires_grad=*/true));
+  frontier.push_back(ag::Variable::leaf(init, /*requires_grad=*/true));
+  for (int d = 0; d < depth; ++d) {
+    std::uniform_int_distribution<std::size_t> pick(0, frontier.size() - 1);
+    const ag::Variable& a = frontier[pick(rng)];
+    const ag::Variable& b = frontier[pick(rng)];
+    ag::Variable next;
+    switch (op(rng)) {
+      case 0: next = ag::add(a, b); break;
+      case 1: next = ag::mul(a, b); break;
+      case 2: next = ag::tanh(a); break;
+      default: next = ag::sigmoid(a); break;
+    }
+    frontier.push_back(next);
+  }
+  return ag::sum_all(frontier.back());
+}
+
+TEST(TapeLifetimesTest, RandomizedTapesPlanWithoutOverlap) {
+  // The end-to-end property: intervals extracted from a real autograd graph
+  // must always pack into a valid plan, for many random graph shapes.
+  std::mt19937_64 rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    ag::Variable loss = random_tape(rng, 3 + trial % 8);
+    const ag::TapeLifetimes tl = ag::tape_lifetimes(loss);
+    ASSERT_FALSE(tl.lifetimes.empty()) << "trial " << trial;
+    EXPECT_GT(tl.events, 0);
+    for (const Lifetime& lt : tl.lifetimes) {
+      EXPECT_GT(lt.bytes, 0);
+      EXPECT_LT(lt.birth, lt.death);
+      EXPECT_LE(lt.death, tl.events + 1);
+    }
+    const MemPlan plan = plan_offsets(tl.lifetimes);
+    EXPECT_TRUE(plan_is_valid(tl.lifetimes, plan)) << "trial " << trial;
+    EXPECT_LE(plan.arena_bytes, plan.naive_bytes) << "trial " << trial;
+  }
+}
+
+TEST(TapeLifetimesTest, LeafBuffersAreExcluded) {
+  core::Tensor init = core::Tensor::zeros(core::Shape{8});
+  ag::Variable w = ag::Variable::leaf(init, /*requires_grad=*/true);
+  ag::Variable loss = ag::sum_all(ag::mul(w, w));
+  const ag::TapeLifetimes tl = ag::tape_lifetimes(loss);
+  // Interior nodes: mul + sum -> 2 values + 2 grads. The leaf contributes
+  // leaf_bytes only.
+  EXPECT_EQ(tl.lifetimes.size(), 4u);
+  EXPECT_EQ(tl.leaf_bytes, 2 * 8 * static_cast<i64>(sizeof(float)));
+}
+
+}  // namespace
+}  // namespace legw::mem
