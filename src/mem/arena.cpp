@@ -227,10 +227,11 @@ void* StepArena::allocate(i64 bytes) {
     }
     // The allocation sequence no longer matches the plan: the workload
     // changed. Fall back to always-correct bump slabs for the rest of the
-    // step and re-record on the next one.
+    // step. Training arenas re-record on the next step; replay-only arenas
+    // (inference plans) keep the plan so the next conforming step replays.
     ++stats_.divergences;
     mode_ = Mode::kBypass;
-    plan_valid_ = false;
+    if (!replay_only_) plan_valid_ = false;
     live_replay_.clear();
   }
 
@@ -265,6 +266,16 @@ void StepArena::deallocate(void* p, i64 bytes, u64 gen) {
 #endif
   scribble_bytes(p, rounded);
   poison_bytes(p, rounded);
+}
+
+void StepArena::set_replay_only(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replay_only_ = on;
+}
+
+bool StepArena::replay_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replay_only_;
 }
 
 u64 StepArena::generation() const {

@@ -92,6 +92,17 @@ class StepArena {
   void deallocate(void* p, i64 bytes, u64 gen);
   u64 generation() const;
 
+  // Replay-only mode, for inference plans (src/serve): a divergence still
+  // drops the *rest of the step* into bypass slabs (always correct), but the
+  // plan is KEPT instead of invalidated, so the next conforming step replays
+  // again. Without it, a serving arena whose batches alternate shapes would
+  // thrash record->diverge->re-record forever; with it, the first batch of a
+  // shape records once and every later batch of that shape replays. Off by
+  // default (training semantics: a divergence means the workload changed and
+  // the plan should be re-learned).
+  void set_replay_only(bool on);
+  bool replay_only() const;
+
   bool replaying() const;
   i64 live_count() const;
   Stats stats() const;
@@ -120,6 +131,7 @@ class StepArena {
   mutable std::mutex mu_;
   const std::string name_;
   Mode mode_ = Mode::kIdle;
+  bool replay_only_ = false;
   u64 gen_ = 0;
 
   // Bump slabs (record and bypass modes).

@@ -118,6 +118,40 @@ PtbModel::ChunkResult PtbModel::chunk_loss(const std::vector<i32>& inputs,
   return result;
 }
 
+core::Tensor PtbModel::sequence_logits(const std::vector<i32>& tokens) const {
+  const i64 bptt = static_cast<i64>(tokens.size());
+  LEGW_CHECK(bptt > 0, "sequence_logits: empty token sequence");
+
+  CarriedState carried = zero_carried(1);
+  std::vector<nn::LstmState> init;
+  init.reserve(static_cast<std::size_t>(config_.num_layers));
+  for (i64 l = 0; l < config_.num_layers; ++l) {
+    init.push_back(nn::LstmState{
+        ag::Variable::constant(carried.h[static_cast<std::size_t>(l)]),
+        ag::Variable::constant(carried.c[static_cast<std::size_t>(l)])});
+  }
+
+  std::vector<ag::Variable> steps;
+  steps.reserve(tokens.size());
+  for (i32 token : tokens) {
+    steps.push_back(embedding_->forward({token}));
+  }
+
+  const bool was_training = is_training();
+  const_cast<PtbModel*>(this)->set_training(false);
+  core::Rng rng(0);  // eval mode: dropout inactive, rng unused
+  nn::Lstm::Output out = lstm_->forward(steps, init, rng);
+  ag::Variable stacked = ag::concat_rows(out.outputs);
+  ag::Variable logits =
+      config_.tie_embeddings
+          ? ag::add_bias(ag::matmul(stacked, embedding_->weight(),
+                                    /*trans_a=*/false, /*trans_b=*/true),
+                         tied_bias_)
+          : decoder_->forward(stacked);
+  const_cast<PtbModel*>(this)->set_training(was_training);
+  return logits.value();  // copies detach from the graph
+}
+
 double PtbModel::evaluate_nll(const std::vector<i32>& tokens, i64 batch,
                               i64 bptt) const {
   data::BpttBatcher batcher(tokens, batch, bptt);

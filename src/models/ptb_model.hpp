@@ -57,6 +57,12 @@ class PtbModel : public nn::Module {
   double evaluate_nll(const std::vector<i32>& tokens, i64 batch,
                       i64 bptt) const;
 
+  // Per-position vocabulary logits for ONE sequence from a fresh zero state,
+  // in eval mode (dropout off): [tokens.size(), vocab]. Runs the same graph
+  // as chunk_loss with batch=1 minus the loss — the serving parity suite
+  // (tests/test_serve_session.cpp) holds src/serve bitwise equal to this.
+  core::Tensor sequence_logits(const std::vector<i32>& tokens) const;
+
   const PtbConfig& config() const { return config_; }
 
  private:

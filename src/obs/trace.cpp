@@ -47,7 +47,29 @@ int thread_id() {
   return t_tid;
 }
 
+// Registered CounterSource hooks (serve.* and future above-obs layers).
+// Guarded by its own mutex — sources are read while the recorder lock is NOT
+// held, so a source may itself call into obs without deadlocking.
+std::mutex& source_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<CounterSource>& counter_sources() {
+  static std::vector<CounterSource> sources;
+  return sources;
+}
+
 }  // namespace
+
+void register_counter_source(CounterSource source) {
+  LEGW_CHECK(source != nullptr, "register_counter_source: null source");
+  std::lock_guard<std::mutex> lock(source_mu());
+  auto& sources = counter_sources();
+  for (CounterSource s : sources) {
+    if (s == source) return;  // idempotent: one merge per source
+  }
+  sources.push_back(source);
+}
 
 bool tracing_enabled() {
   return enabled_state().load(std::memory_order_relaxed);
@@ -136,6 +158,13 @@ std::map<std::string, i64> TraceRecorder::counters() const {
   out["mem.arena_recorded_steps"] = ms.arena_recorded_steps;
   out["mem.arena_replayed_steps"] = ms.arena_replayed_steps;
   out["mem.arena_divergences"] = ms.arena_divergences;
+  // Above-obs layers (serve.*): merge every registered source's snapshot.
+  std::vector<CounterSource> sources;
+  {
+    std::lock_guard<std::mutex> lock(source_mu());
+    sources = counter_sources();
+  }
+  for (CounterSource s : sources) s(out);
   return out;
 }
 

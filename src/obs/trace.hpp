@@ -36,6 +36,17 @@ void set_tracing_enabled(bool enabled);
 // default trace output path.
 const std::string& trace_env_path();
 
+// Extension point for always-on counters owned by layers obs cannot link
+// against. Core's dispatch counters and mem's allocator stats are folded
+// into TraceRecorder::counters() directly (obs links both); a subsystem
+// *above* obs (src/serve's broker counters) instead registers a source once
+// and every counters() snapshot — and therefore every telemetry JSONL record
+// and chrome trace — invokes it to merge its values in. Sources must be
+// thread-safe snapshots of atomics (they run concurrently with recording)
+// and registration is permanent for the process.
+using CounterSource = void (*)(std::map<std::string, i64>& out);
+void register_counter_source(CounterSource source);
+
 class TraceRecorder {
  public:
   struct SpanRecord {

@@ -1,0 +1,124 @@
+// RequestBroker: multi-threaded front door of the serving runtime.
+//
+// submit() validates a request, stamps it into the Batcher, and returns a
+// future; worker threads wake on capacity or deadline (Batcher::pop_ready
+// under the broker mutex), claim the batch's requests, and execute them
+// OUTSIDE the lock via ServeSession::run_batch, so inference never blocks
+// enqueue. Shutdown drains: every request accepted before shutdown() gets
+// exactly one response (kDrain batches), and submits after it resolve
+// immediately with Status::kUnavailable.
+//
+// Batches are padded to stable shapes (rows up to batch_cap, sequences to
+// the bucket length) so each worker can keep one replay-only mem::StepArena
+// per bucket: the first batch of a bucket records the step plan, every later
+// one replays it in place. Padding is bitwise-invisible to real rows (see
+// serve/session.hpp).
+//
+// Observability: spans serve.enqueue / serve.batch / serve.infer, and
+// process-global serve.* counters registered with the obs recorder via
+// obs::register_counter_source — they ride along in every counters()
+// snapshot and telemetry JSONL line, tracing enabled or not.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "serve/batcher.hpp"
+#include "serve/session.hpp"
+
+namespace legw::serve {
+
+struct BrokerConfig {
+  BatchPolicy policy = BatchPolicy::from_env();
+  int workers = 2;
+  // Pad every batch with zero rows up to policy.batch_cap. Costs flops on
+  // partial batches but gives each (worker, bucket) a single step shape, so
+  // the replay-only arena plan always hits after the first batch.
+  bool pad_rows_to_cap = true;
+  // Give each worker a replay-only StepArena per bucket. Engages only when
+  // the process allocator is in arena mode (LEGW_ALLOC=arena); a no-op
+  // otherwise, exactly like the training-side TrainStepScope.
+  bool use_arena = true;
+};
+
+// Snapshot of the process-global serve counters (all brokers, all time).
+struct BrokerCounters {
+  i64 requests = 0;           // accepted submits
+  i64 rejected = 0;           // invalid or post-shutdown submits
+  i64 responses = 0;          // futures resolved with a computed result
+  i64 batches = 0;            // executed batches
+  i64 batch_rows = 0;         // real request rows across executed batches
+  i64 pad_rows = 0;           // zero rows added by pad_rows_to_cap
+  i64 capacity_batches = 0;   // popped because a bucket hit batch_cap
+  i64 deadline_batches = 0;   // popped because the oldest row aged out
+  i64 drain_batches = 0;      // flushed by shutdown
+};
+
+class RequestBroker {
+ public:
+  // `session` must outlive the broker and is shared read-only by all
+  // workers. Registers the serve.* counter source on first construction.
+  explicit RequestBroker(const ServeSession& session, BrokerConfig config = {});
+  ~RequestBroker();  // shutdown()
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  // Never blocks on inference. Invalid requests and submits after shutdown
+  // resolve immediately (kInvalidRequest / kUnavailable); accepted requests
+  // resolve when their batch executes. Response.enqueue_ns/done_ns are
+  // steady-clock stamps for latency accounting.
+  std::future<Response> submit(Request req);
+
+  // Drains every accepted request, joins the workers. Idempotent; called by
+  // the destructor. After it returns all futures are resolved.
+  void shutdown();
+
+  const BrokerConfig& config() const { return config_; }
+
+  static BrokerCounters counters();
+
+ private:
+  struct Waiting {
+    Request req;
+    std::promise<Response> promise;
+    i64 enqueue_ns = 0;
+  };
+  struct Claimed {
+    BatchPlan plan;
+    std::vector<Request> reqs;
+    std::vector<std::promise<Response>> promises;
+    std::vector<i64> enqueue_ns;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void execute(std::size_t worker_index, Claimed batch);
+  i64 now_ms() const;
+
+  const ServeSession& session_;
+  const BrokerConfig config_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Batcher batcher_;
+  std::map<u64, Waiting> waiting_;  // ticket -> promise (guarded by mu_)
+  u64 next_ticket_ = 1;
+  bool stop_ = false;
+  bool joined_ = false;
+
+  // One replay-only arena per (worker, bucket_len); workers never share one.
+  std::vector<std::map<i64, std::unique_ptr<mem::StepArena>>> arenas_;
+
+  // lint-allow: raw-thread — workers block on a condition variable, which
+  // the ThreadPool's task model cannot express; shutdown() joins them all.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace legw::serve

@@ -1,0 +1,80 @@
+// Standalone checkpoint-container reader for the serving runtime.
+//
+// The serving path (src/serve) is deliberately tape-free: it links only
+// legw_core + legw_mem + legw_obs, never the autograd/nn/ckpt stack
+// (tools/lint.py's serve-no-tape rule enforces this statically). ckpt::load
+// restores into live nn::Module state and therefore drags the whole training
+// graph in, so serving re-reads the same v2 container bytes
+// (ckpt/checkpoint.cpp writes them; docs/CHECKPOINT.md has the layout) into
+// plain name->tensor maps here, with the identical validation posture: the
+// whole file is parsed and every section CRC-checked before anything is
+// returned, failures are structured Status values, never aborts.
+//
+// Serving requires a *full-state* v2 checkpoint: `meta` (provenance),
+// `params` and `buffers` (inference-mode BatchNorm needs the running stats a
+// v1 parameter-only file does not carry). A v1 file or a v2 container
+// missing those sections is rejected with kMissingSection naming exactly
+// what is absent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace legw::serve {
+
+enum class Status {
+  kOk,
+  kOpenFailed,      // cannot open/read the file
+  kTruncated,       // file ends inside a declared header/section
+  kBadMagic,        // not a LEGW checkpoint at all
+  kBadVersion,      // container version newer than this reader
+  kCrcMismatch,     // a section's payload fails its CRC32
+  kMalformed,       // implausible lengths/counts (bit-flipped fields)
+  kMissingSection,  // v1 file, or v2 container without a serve-required
+                    // section; the message names every missing section
+  kSchemaMismatch,  // checkpoint disagrees with the session's model config
+                    // (missing tensor, wrong shape)
+  kInvalidRequest,  // request rejected before batching (bad tokens/shape)
+  kUnavailable,     // broker already shut down
+};
+
+const char* status_name(Status s);
+
+struct Result {
+  Status status = Status::kOk;
+  std::string message;  // empty when ok
+  bool ok() const { return status == Status::kOk; }
+};
+
+struct NamedTensor {
+  std::string name;
+  core::Tensor tensor;
+};
+
+// Everything serving needs out of a checkpoint: trained parameters,
+// non-trainable buffers, and provenance counters. Tensors are heap-owned
+// copies of the file bytes (the image outlives any step arena).
+struct ModelImage {
+  std::vector<NamedTensor> params;   // file order == module registration order
+  std::vector<NamedTensor> buffers;
+  i64 step = 0;
+  i64 epoch = 0;
+  std::string optimizer;  // informational ("" when trained without one)
+
+  // nullptr when absent.
+  const core::Tensor* find_param(const std::string& name) const;
+  const core::Tensor* find_buffer(const std::string& name) const;
+};
+
+// Validating reader over a file on disk.
+[[nodiscard]] Result read_model_image(const std::string& path,
+                                      ModelImage* out);
+
+// Same, over an in-memory byte image — the corruption-corpus tests mutate
+// bytes directly and must exercise the identical decode path.
+[[nodiscard]] Result read_model_image_bytes(const std::string& image,
+                                            ModelImage* out);
+
+}  // namespace legw::serve

@@ -5,6 +5,8 @@
 // both the default and checked builds (this file runs under both presets).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -20,6 +22,7 @@
 #include "nn/serialize.hpp"
 #include "optim/ema.hpp"
 #include "optim/optimizer.hpp"
+#include "serve/container.hpp"
 #include "train/accumulate.hpp"
 
 namespace legw {
@@ -30,8 +33,12 @@ using core::Tensor;
 
 struct TempDir {
   std::string path;
+  // Suffixed with the pid: ctest -j runs each test of this binary as its own
+  // process, and fixtures reusing a name (CorruptionCorpus's "corpus") must
+  // not have one process's teardown remove_all another's live directory.
   explicit TempDir(const char* name)
-      : path(std::string("/tmp/legw_ckpt_") + name) {
+      : path(std::string("/tmp/legw_ckpt_") + name + "_" +
+             std::to_string(::getpid())) {
     std::filesystem::remove_all(path);
     std::filesystem::create_directories(path);
   }
@@ -560,6 +567,99 @@ TEST_F(CorruptionCorpus, UnsupportedFutureVersionIsRejected) {
   std::string future = image_;
   future[8] = 99;  // version field follows the 8-byte magic
   EXPECT_EQ(load_mutated(future), ckpt::Status::kBadVersion);
+}
+
+// ---- corruption corpus, serve load path -------------------------------------
+// The same corpus must be rejected with structured statuses by the no-tape
+// serving reader (serve::read_model_image_bytes), which parses the container
+// independently of ckpt::load.
+
+serve::Status serve_status(const std::string& bytes) {
+  serve::ModelImage img;
+  return serve::read_model_image_bytes(bytes, &img).status;
+}
+
+TEST_F(CorruptionCorpus, ServeReaderAcceptsTheIntactImage) {
+  serve::ModelImage img;
+  const auto res = serve::read_model_image_bytes(image_, &img);
+  ASSERT_TRUE(res.ok()) << res.message;
+  EXPECT_EQ(img.step, 2);
+  EXPECT_FALSE(img.params.empty());
+  EXPECT_EQ(img.optimizer, "adam");
+}
+
+TEST_F(CorruptionCorpus, ServeReaderRejectsTruncationAtEveryBoundary) {
+  std::vector<std::size_t> cuts = {0, 4, 9, 13, 15};
+  for (std::size_t frac = 1; frac < 20; ++frac) {
+    cuts.push_back(image_.size() * frac / 20);
+  }
+  cuts.push_back(image_.size() - 1);
+  for (std::size_t cut : cuts) {
+    ASSERT_LT(cut, image_.size());
+    EXPECT_NE(serve_status(image_.substr(0, cut)), serve::Status::kOk)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(CorruptionCorpus, ServeReaderRejectsBitFlipsEverywhere) {
+  std::vector<std::size_t> offsets = {0, 5, 8, 12, 14, 20, 30};
+  for (std::size_t frac = 1; frac < 16; ++frac) {
+    offsets.push_back(image_.size() * frac / 16);
+  }
+  offsets.push_back(image_.size() - 1);
+  for (std::size_t off : offsets) {
+    ASSERT_LT(off, image_.size());
+    for (int bit : {0, 7}) {
+      std::string flipped = image_;
+      flipped[off] = static_cast<char>(flipped[off] ^ (1 << bit));
+      EXPECT_NE(serve_status(flipped), serve::Status::kOk)
+          << "undetected flip at byte " << off << " bit " << bit;
+    }
+  }
+}
+
+TEST_F(CorruptionCorpus, ServeReaderRefusesV1FilesWithMissingSections) {
+  // Property of the v1 -> v2 compat split: training restores v1 files
+  // (parameters only), serving refuses them with a structured status naming
+  // the sections a v2 re-save would add — never an abort.
+  Rng rng(5);
+  nn::Linear model(3, 2, rng);
+  const std::string path = dir_->file("v1_for_serve.ckpt");
+  ASSERT_TRUE(nn::save_checkpoint(model, path).ok());  // v1 writer
+
+  // Training-side load succeeds on the same file.
+  nn::Linear target(3, 2, rng);
+  ckpt::TrainState tgt;
+  tgt.models.push_back(&target);
+  ASSERT_TRUE(ckpt::load(tgt, path).ok());
+
+  serve::ModelImage img;
+  const auto res = serve::read_model_image(path, &img);
+  EXPECT_EQ(res.status, serve::Status::kMissingSection);
+  EXPECT_NE(res.message.find("v1"), std::string::npos) << res.message;
+  EXPECT_NE(res.message.find("meta"), std::string::npos) << res.message;
+  EXPECT_NE(res.message.find("buffers"), std::string::npos) << res.message;
+  EXPECT_NE(res.message.find(path), std::string::npos)
+      << "failure should carry the path: " << res.message;
+}
+
+TEST_F(CorruptionCorpus, ServeReaderStatusTaxonomyMatchesTheFailure) {
+  EXPECT_EQ(serve_status(""), serve::Status::kTruncated);
+  EXPECT_EQ(serve_status("definitely not a checkpoint file, long enough"),
+            serve::Status::kBadMagic);
+  EXPECT_EQ(serve_status(image_ + "xxxx"), serve::Status::kMalformed);
+  std::string future = image_;
+  future[8] = 99;
+  EXPECT_EQ(serve_status(future), serve::Status::kBadVersion);
+  // Flip one payload byte inside the last section: the CRC must catch it.
+  std::string payload_flip = image_;
+  payload_flip[image_.size() - 1] =
+      static_cast<char>(payload_flip[image_.size() - 1] ^ 0x10);
+  EXPECT_EQ(serve_status(payload_flip), serve::Status::kCrcMismatch);
+  serve::ModelImage img;
+  const auto missing =
+      serve::read_model_image("/tmp/legw_ckpt_never_written.legw", &img);
+  EXPECT_EQ(missing.status, serve::Status::kOpenFailed);
 }
 
 // ---- CheckpointManager ------------------------------------------------------

@@ -396,6 +396,98 @@ TEST(StepArenaDeathTest, PoisonTripsOnUseAfterFree) {
 }
 #endif
 
+TEST(StepArenaTest, ReplayOnlyKeepsPlanAcrossDivergence) {
+  // Serving mode (serve/broker.hpp): a divergence still drops the rest of
+  // the step into bypass, but the plan survives, so the next conforming step
+  // replays instead of re-recording. Training mode (default) re-records.
+  StepArena arena("t_replay_only");
+  arena.set_replay_only(true);
+  EXPECT_TRUE(arena.replay_only());
+  const auto shape_a = random_sizes(21, 32);
+  auto shape_b = shape_a;
+  shape_b[3] += 128;
+
+  drive_step(arena, shape_a);  // records shape A
+  drive_step(arena, shape_a);  // replays
+  drive_step(arena, shape_b);  // diverges -> bypass, but the plan is KEPT
+  drive_step(arena, shape_a);  // must replay again, not re-record
+  const StepArena::Stats st = arena.stats();
+  EXPECT_EQ(st.recorded_steps, 1) << "replay-only must never re-record";
+  EXPECT_EQ(st.replayed_steps, 2);
+  EXPECT_EQ(st.divergences, 1);
+}
+
+TEST(StepArenaTest, ReplayOnlySeededAlternationNeverCorruptsInFlight) {
+  // Property: under replay-only, any seeded alternation of conforming and
+  // divergent steps keeps every in-flight allocation intact — each live
+  // buffer holds exactly the sentinel pattern written into it, whether it
+  // was served from the replay region (before the divergence point) or from
+  // a bypass slab (after it).
+  for (u64 seed : {31u, 47u, 63u}) {
+    StepArena arena("t_replay_only_prop");
+    arena.set_replay_only(true);
+    const auto shape_a = random_sizes(seed, 24);
+    std::mt19937_64 rng(seed * 977);
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<i64> delta(1, 8);
+
+    // One step with `sizes`: allocate everything (sentinel-filled), verify,
+    // free everything. The SAME pattern records and replays, so the plan's
+    // no-overlap guarantee applies to every later step of this shape.
+    auto run_pattern = [&](const std::vector<i64>& sizes, int step) {
+      arena.begin_step();
+      ShadowLiveSet shadow;
+      std::vector<TraceAlloc> live;
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        TraceAlloc a{arena.allocate(sizes[i]), sizes[i], arena.generation()};
+        ASSERT_NE(a.p, nullptr);
+        ASSERT_TRUE(is_aligned(a.p));
+        shadow.add(a.p, a.bytes);
+        if (::testing::Test::HasFatalFailure()) return;
+        std::memset(a.p, static_cast<int>((i * 7 + static_cast<std::size_t>(
+                                                       step + 1)) &
+                                          0xff),
+                    static_cast<std::size_t>(a.bytes));
+        live.push_back(a);
+      }
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const auto* bytes = static_cast<const unsigned char*>(live[i].p);
+        const auto want = static_cast<unsigned char>(
+            (i * 7 + static_cast<std::size_t>(step + 1)) & 0xff);
+        for (i64 j = 0; j < live[i].bytes; ++j) {
+          ASSERT_EQ(bytes[j], want)
+              << "seed " << seed << " step " << step << " alloc " << i
+              << " byte " << j;
+        }
+        shadow.remove(live[i].p);
+        arena.deallocate(live[i].p, live[i].bytes, live[i].gen);
+      }
+      arena.end_step();
+    };
+
+    run_pattern(shape_a, -1);  // record the serving shape
+    if (::testing::Test::HasFatalFailure()) return;
+    i64 divergent_steps = 0;
+    for (int step = 0; step < 12; ++step) {
+      auto sizes = shape_a;
+      if (coin(rng) == 1) {
+        ++divergent_steps;
+        // +64k always changes the rounded size, so the step really diverges.
+        sizes[static_cast<std::size_t>(step) % sizes.size()] +=
+            64 * delta(rng);
+      }
+      run_pattern(sizes, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    const StepArena::Stats st = arena.stats();
+    EXPECT_EQ(st.recorded_steps, 1) << "seed " << seed;
+    EXPECT_EQ(st.divergences, divergent_steps) << "seed " << seed;
+    // 12 driven steps after the record: divergent ones bypass, every
+    // conforming one must replay.
+    EXPECT_EQ(st.replayed_steps, 12 - divergent_steps) << "seed " << seed;
+  }
+}
+
 TEST(StepArenaTest, ResetHardDropsPlanAndMemory) {
   StepArena arena("t_reset");
   const auto sizes = random_sizes(18, 24);

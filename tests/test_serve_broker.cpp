@@ -1,0 +1,199 @@
+// RequestBroker concurrency battery. Runs in the tier1-serve suite AND in
+// legw_concurrency_tests under the tsan preset: N producer threads hammer a
+// broker with M workers and every future must resolve exactly once with the
+// bitwise-correct result; shutdown with requests still in flight drains them
+// (zero dropped, zero duplicated); submits after shutdown are refused with a
+// structured status.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/rng.hpp"
+#include "models/mnist_lstm.hpp"
+#include "obs/trace.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/broker.hpp"
+
+namespace legw {
+namespace {
+
+using core::Rng;
+using core::Tensor;
+
+models::MnistLstmConfig small_config() {
+  models::MnistLstmConfig c;
+  c.transform_dim = 12;
+  c.hidden_dim = 12;
+  c.seed = 9;
+  return c;
+}
+
+std::unique_ptr<serve::ServeSession> make_session() {
+  models::MnistLstm model(small_config());
+  ckpt::TrainState state;
+  state.models.push_back(&model);
+  state.step = 1;
+  serve::SessionConfig sc;
+  sc.kind = serve::ModelKind::kMnistLstm;
+  sc.mnist.transform_dim = 12;
+  sc.mnist.hidden_dim = 12;
+  std::unique_ptr<serve::ServeSession> session;
+  const auto res =
+      serve::ServeSession::load_bytes(sc, ckpt::encode(state), &session);
+  EXPECT_TRUE(res.ok()) << res.message;
+  return session;
+}
+
+serve::Request random_request(u64 id, Rng& rng) {
+  serve::Request req;
+  req.id = id;
+  req.features.resize(28 * 28);
+  for (float& v : req.features) {
+    v = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  return req;
+}
+
+serve::BrokerConfig broker_config(int workers, i64 cap, i64 deadline_ms) {
+  serve::BrokerConfig cfg;
+  cfg.workers = workers;
+  cfg.policy.batch_cap = cap;
+  cfg.policy.deadline_ms = deadline_ms;
+  return cfg;
+}
+
+TEST(RequestBroker, ProducersTimesWorkersBitwiseCorrect) {
+  auto session = make_session();
+  ASSERT_NE(session, nullptr);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 12;
+  // Requests plus their synchronous batch-of-one reference results, prepared
+  // before the broker exists so nothing races the comparison data.
+  std::vector<std::vector<serve::Request>> reqs(kProducers);
+  std::vector<std::vector<Tensor>> want(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    Rng rng(static_cast<u64>(100 + p));
+    for (int i = 0; i < kPerProducer; ++i) {
+      const u64 id = static_cast<u64>(p * kPerProducer + i);
+      reqs[p].push_back(random_request(id, rng));
+      const serve::Response ref = session->run(reqs[p].back());
+      EXPECT_EQ(ref.status, serve::Status::kOk);
+      want[p].push_back(ref.logits);
+    }
+  }
+
+  serve::RequestBroker broker(*session, broker_config(3, 4, 1));
+  std::vector<std::vector<std::future<serve::Response>>> futures(kProducers);
+  {
+    // lint-allow: raw-thread — the test IS the threading scenario
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      // lint-allow: raw-thread — the test IS the threading scenario
+      producers.emplace_back([&, p] {
+        for (const serve::Request& req : reqs[p]) {
+          futures[p].push_back(broker.submit(req));
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+  }
+
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      serve::Response r = futures[p][static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(r.status, serve::Status::kOk) << r.message;
+      EXPECT_EQ(r.id, static_cast<u64>(p * kPerProducer + i));
+      ASSERT_EQ(r.logits.shape(), want[p][i].shape());
+      for (i64 k = 0; k < r.logits.numel(); ++k) {
+        ASSERT_EQ(r.logits[k], want[p][i][k])
+            << "producer " << p << " request " << i << " flat " << k;
+      }
+      EXPECT_GE(r.done_ns, r.enqueue_ns);
+    }
+  }
+}
+
+TEST(RequestBroker, ShutdownDrainsInflightWithoutDropsOrDuplicates) {
+  auto session = make_session();
+  ASSERT_NE(session, nullptr);
+
+  // A long deadline keeps requests parked in the batcher until shutdown's
+  // drain flushes them, so the drain path itself is what resolves most
+  // futures here.
+  serve::RequestBroker broker(*session, broker_config(2, 64, 10'000));
+  Rng rng(3);
+  std::vector<std::future<serve::Response>> futures;
+  for (u64 i = 0; i < 40; ++i) {
+    futures.push_back(broker.submit(random_request(i, rng)));
+  }
+  broker.shutdown();
+  std::atomic<int> resolved{0};
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    serve::Response r = futures[i].get();  // .get() faults on a dropped or
+    ASSERT_EQ(r.status, serve::Status::kOk) << r.message;  // doubled promise
+    EXPECT_EQ(r.id, static_cast<u64>(i));
+    ++resolved;
+  }
+  EXPECT_EQ(resolved.load(), 40);
+
+  // Idempotent, and the door is closed afterwards.
+  broker.shutdown();
+  serve::Response late = broker.submit(random_request(99, rng)).get();
+  EXPECT_EQ(late.status, serve::Status::kUnavailable);
+}
+
+TEST(RequestBroker, InvalidRequestsAreRefusedAtSubmit) {
+  auto session = make_session();
+  serve::RequestBroker broker(*session, broker_config(2, 4, 1));
+  serve::Request bad;
+  bad.id = 7;
+  bad.features.resize(3);  // needs 784
+  serve::Response r = broker.submit(bad).get();
+  EXPECT_EQ(r.status, serve::Status::kInvalidRequest);
+  EXPECT_EQ(r.id, 7u);
+}
+
+TEST(RequestBroker, CountersReachTelemetryWithTracingDisabled) {
+  obs::set_tracing_enabled(false);
+  const serve::BrokerCounters before = serve::RequestBroker::counters();
+  auto session = make_session();
+  {
+    serve::RequestBroker broker(*session, broker_config(2, 4, 1));
+    Rng rng(5);
+    std::vector<std::future<serve::Response>> futures;
+    for (u64 i = 0; i < 10; ++i) {
+      futures.push_back(broker.submit(random_request(i, rng)));
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().status, serve::Status::kOk);
+  }
+  const serve::BrokerCounters after = serve::RequestBroker::counters();
+  EXPECT_EQ(after.requests - before.requests, 10);
+  EXPECT_EQ(after.responses - before.responses, 10);
+  EXPECT_GE(after.batches - before.batches, 1);
+  EXPECT_GE(after.batch_rows - before.batch_rows, 10);
+
+  // The registered counter source folds serve.* into every recorder
+  // snapshot — and therefore into the telemetry JSONL — even with tracing
+  // disabled (the counters are always-on atomics, not spans).
+  const auto counters = obs::TraceRecorder::global().counters();
+  ASSERT_EQ(counters.count("serve.requests"), 1u);
+  EXPECT_GE(counters.at("serve.requests"), 10);
+  ASSERT_EQ(counters.count("serve.batches"), 1u);
+
+  obs::RunRecord record;
+  record.run = "serve.telemetry.test";
+  const std::string line =
+      obs::render_run_telemetry(record, obs::TraceRecorder::global());
+  EXPECT_NE(line.find("\"serve.requests\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"serve.batch_rows\""), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace legw

@@ -3,8 +3,11 @@
 
 Run from the repo root (the `lint` CMake target does):
 
-    python3 tools/lint.py            # check, exit 1 on findings
-    python3 tools/lint.py --list     # print the rules and exit
+    python3 tools/lint.py             # check, exit 1 on findings
+    python3 tools/lint.py --list      # print the rules and exit
+    python3 tools/lint.py --self-test # plant violations in a scratch tree,
+                                      # assert the rules catch them and the
+                                      # real tree stays clean
 
 Rules:
 
@@ -27,6 +30,15 @@ Rules:
                   torn by a crash corrupts the run artifact it replaces.
                   Read-mode opens ("r"/"rb") and append journals ("a") are
                   exempt.
+  serve-no-tape   src/serve/ is the tape-free inference path: it may not
+                  include ag/ or nn/ headers, nor ckpt/checkpoint.hpp (which
+                  restores into live nn::Module state) — ckpt/crc32.hpp is
+                  header-only and stays allowed. `ag::` / `nn::` tokens in
+                  code are banned (comments may reference them), and
+                  src/serve/CMakeLists.txt may not link legw_ag, legw_nn, or
+                  legw_ckpt. This makes the "serving never touches the
+                  autograd tape" guarantee a build-time property instead of
+                  a code-review hope.
 
 A finding can be waived where the rule's intent is genuinely inapplicable by
 putting `lint-allow: <rule>` in a comment on the offending line or one of
@@ -37,6 +49,7 @@ from __future__ import annotations
 
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -59,6 +72,13 @@ TRACE_RE = re.compile(r"ScopedTrace|--trace")
 # dangerous shape.
 FOPEN_WRITE_RE = re.compile(r'\bfopen\s*\([^;]*,\s*"w[b+]?"\s*\)')
 OFSTREAM_RE = re.compile(r"\bstd::ofstream\b")
+# serve-no-tape: headers that drag the tape/training stack into serving.
+# ckpt/crc32.hpp is the one sanctioned ckpt include (header-only, no link).
+SERVE_INCLUDE_RE = re.compile(r'#\s*include\s*"(?:ag/|nn/|ckpt/checkpoint)')
+# Token usage is checked on comment-stripped text so doc comments may still
+# say "mirrors ag::add_bias" without tripping the rule.
+SERVE_TOKEN_RE = re.compile(r"\b(?:ag|nn)::")
+SERVE_LINK_RE = re.compile(r"\blegw_(?:ag|nn|ckpt)\b")
 
 
 def allowed(lines: list[str], idx: int, rule: str) -> bool:
@@ -69,28 +89,35 @@ def allowed(lines: list[str], idx: int, rule: str) -> bool:
     return False
 
 
-def iter_sources() -> list[Path]:
+def strip_line_comment(line: str, marker: str) -> str:
+    pos = line.find(marker)
+    return line if pos < 0 else line[:pos]
+
+
+def iter_sources(root: Path) -> list[Path]:
     out = []
     for d in SOURCE_DIRS:
-        root = REPO / d
-        if root.is_dir():
-            out.extend(p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES)
+        sub = root / d
+        if sub.is_dir():
+            out.extend(p for p in sorted(sub.rglob("*"))
+                       if p.suffix in CPP_SUFFIXES)
     return out
 
 
-def lint() -> list[str]:
+def lint(root: Path = REPO) -> list[str]:
     findings: list[str] = []
 
     def report(path: Path, lineno: int, rule: str, msg: str) -> None:
-        rel = path.relative_to(REPO)
+        rel = path.relative_to(root)
         findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
-    for path in iter_sources():
-        rel = path.relative_to(REPO).as_posix()
+    for path in iter_sources(root):
+        rel = path.relative_to(root).as_posix()
         lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
         in_thread_pool = rel.startswith("src/core/thread_pool")
         in_rng = rel.startswith("src/core/rng")
         is_lint_py_peer = rel.startswith("tools/")
+        in_serve = rel.startswith("src/serve/")
         for i, line in enumerate(lines):
             lineno = i + 1
             if not in_thread_pool and RAW_THREAD_RE.search(line):
@@ -114,21 +141,122 @@ def lint() -> list[str]:
                            "direct write-mode open in src/; publish run "
                            "artifacts via core::AtomicFile / "
                            "core::atomic_write_file")
+            if in_serve:
+                if SERVE_INCLUDE_RE.search(line):
+                    if not allowed(lines, i, "serve-no-tape"):
+                        report(path, lineno, "serve-no-tape",
+                               "src/serve/ must stay tape-free: no ag/, nn/, "
+                               "or ckpt/checkpoint includes "
+                               "(ckpt/crc32.hpp is the allowed exception)")
+                elif SERVE_TOKEN_RE.search(strip_line_comment(line, "//")):
+                    if not allowed(lines, i, "serve-no-tape"):
+                        report(path, lineno, "serve-no-tape",
+                               "src/serve/ must stay tape-free: ag:: / nn:: "
+                               "usage is banned on the inference path")
 
-    for path in sorted((REPO / "bench").glob("*.cpp")):
-        text = path.read_text(encoding="utf-8", errors="replace")
-        if not TRACE_RE.search(text):
-            report(path, 1, "bench-trace",
-                   "bench binary does not accept --trace "
-                   "(construct bench_common.hpp's ScopedTrace in main)")
+    bench_dir = root / "bench"
+    if bench_dir.is_dir():
+        for path in sorted(bench_dir.glob("*.cpp")):
+            text = path.read_text(encoding="utf-8", errors="replace")
+            if not TRACE_RE.search(text):
+                report(path, 1, "bench-trace",
+                       "bench binary does not accept --trace "
+                       "(construct bench_common.hpp's ScopedTrace in main)")
+
+    # The no-tape link contract lives in the build file, not a C++ source, so
+    # scan it specially (comments after `#` may still name the banned libs).
+    serve_cmake = root / "src" / "serve" / "CMakeLists.txt"
+    if serve_cmake.is_file():
+        lines = serve_cmake.read_text(encoding="utf-8",
+                                      errors="replace").splitlines()
+        for i, line in enumerate(lines):
+            if SERVE_LINK_RE.search(strip_line_comment(line, "#")):
+                if not allowed(lines, i, "serve-no-tape"):
+                    report(serve_cmake, i + 1, "serve-no-tape",
+                           "legw_serve may link only legw_core, legw_mem, "
+                           "and legw_obs; legw_ag/legw_nn/legw_ckpt pull "
+                           "the tape into serving")
 
     return findings
+
+
+def self_test() -> int:
+    """Seeded-violation check for serve-no-tape: the rule must fire on a
+    planted bad tree, stay quiet on a planted clean tree, and the real repo
+    must be clean. Exits 0 on success, 1 with diagnostics on any miss."""
+    failures: list[str] = []
+
+    def expect(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    with tempfile.TemporaryDirectory(prefix="legw-lint-selftest-") as tmp:
+        bad = Path(tmp) / "bad"
+        (bad / "src" / "serve").mkdir(parents=True)
+        (bad / "src" / "serve" / "bad.cpp").write_text(
+            '#include "ag/ops.hpp"\n'                      # line 1: fires
+            '#include "nn/module.hpp"\n'                   # line 2: fires
+            '#include "ckpt/checkpoint.hpp"\n'             # line 3: fires
+            '#include "ckpt/crc32.hpp"\n'                  # line 4: allowed
+            '// comment mentioning ag::add_bias is fine\n'  # line 5: quiet
+            'void f() { auto v = ag::relu(nn::zeros()); }\n',  # line 6: fires
+            encoding="utf-8")
+        (bad / "src" / "serve" / "CMakeLists.txt").write_text(
+            "# comment naming legw_ag is fine\n"
+            "add_library(legw_serve bad.cpp)\n"
+            "target_link_libraries(legw_serve PUBLIC legw_core legw_ag)\n",
+            encoding="utf-8")
+        found = [f for f in lint(bad) if "[serve-no-tape]" in f]
+        expect(any("bad.cpp:1:" in f for f in found),
+               "ag/ include not caught")
+        expect(any("bad.cpp:2:" in f for f in found),
+               "nn/ include not caught")
+        expect(any("bad.cpp:3:" in f for f in found),
+               "ckpt/checkpoint include not caught")
+        expect(not any("bad.cpp:4:" in f for f in found),
+               "ckpt/crc32.hpp wrongly flagged")
+        expect(not any("bad.cpp:5:" in f for f in found),
+               "comment-only ag:: wrongly flagged")
+        expect(any("bad.cpp:6:" in f for f in found),
+               "ag::/nn:: code token not caught")
+        expect(any("CMakeLists.txt:3:" in f for f in found),
+               "legw_ag link not caught")
+        expect(not any("CMakeLists.txt:1:" in f for f in found),
+               "CMake comment naming legw_ag wrongly flagged")
+
+        clean = Path(tmp) / "clean"
+        (clean / "src" / "serve").mkdir(parents=True)
+        (clean / "src" / "serve" / "good.cpp").write_text(
+            '#include "ckpt/crc32.hpp"\n'
+            '#include "core/tensor.hpp"\n'
+            '// replicates ag::lstm_cell forward without the tape\n'
+            'void g() { (void)legw::ckpt::crc32(nullptr, 0); }\n',
+            encoding="utf-8")
+        (clean / "src" / "serve" / "CMakeLists.txt").write_text(
+            "add_library(legw_serve good.cpp)\n"
+            "target_link_libraries(legw_serve PUBLIC legw_core legw_mem "
+            "legw_obs)\n",
+            encoding="utf-8")
+        stray = [f for f in lint(clean) if "[serve-no-tape]" in f]
+        expect(not stray, f"clean tree flagged: {stray}")
+
+    real = [f for f in lint(REPO) if "[serve-no-tape]" in f]
+    expect(not real, f"real tree has serve-no-tape findings: {real}")
+
+    if failures:
+        for msg in failures:
+            print(f"lint --self-test: FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("lint --self-test: ok")
+    return 0
 
 
 def main(argv: list[str]) -> int:
     if "--list" in argv:
         print(__doc__)
         return 0
+    if "--self-test" in argv:
+        return self_test()
     findings = lint()
     for f in findings:
         print(f)
