@@ -13,6 +13,7 @@ namespace {
 // only the value matters, not ordering against other memory.
 std::atomic<bool>& tripwire_state() {
   static std::atomic<bool> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     if (const char* env = std::getenv("LEGW_CHECK_FINITE")) {
       return env[0] != '\0' && env[0] != '0';
     }

@@ -847,6 +847,7 @@ Result CheckpointManager::maybe_save(const TrainState& state) {
 }
 
 Result CheckpointManager::save_now(const TrainState& state) {
+  core::MutexLock lock(io_mu_);
   std::error_code ec;
   std::filesystem::create_directories(config_.dir, ec);
   const std::string path = step_path(config_.dir, state.step);
@@ -882,6 +883,7 @@ Result CheckpointManager::save_now(const TrainState& state) {
 
 CheckpointManager::RestoreOutcome CheckpointManager::restore_latest(
     TrainState& state) {
+  core::MutexLock lock(io_mu_);
   RestoreOutcome out;
   const auto files = list_checkpoints(config_.dir);
   if (files.empty()) {

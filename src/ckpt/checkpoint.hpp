@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/mutex.hpp"
 #include "core/rng.hpp"
 #include "nn/module.hpp"
 #include "optim/ema.hpp"
@@ -164,9 +165,9 @@ class CheckpointManager {
   // save() to step_path(state.step) when due (plus retention); kOk no-op
   // otherwise. A kSimulatedCrash result means the injected kill fired — the
   // caller should stop the run as if the process died.
-  Result maybe_save(const TrainState& state);
+  Result maybe_save(const TrainState& state) LEGW_EXCLUDES(io_mu_);
   // Unconditional save + retention (also the maybe_save workhorse).
-  Result save_now(const TrainState& state);
+  Result save_now(const TrainState& state) LEGW_EXCLUDES(io_mu_);
 
   struct RestoreOutcome {
     bool restored = false;
@@ -178,12 +179,16 @@ class CheckpointManager {
   // Walks checkpoints newest → oldest, restoring the first one that loads
   // cleanly; corrupted/torn/truncated files are skipped (and counted on the
   // `ckpt_corrupt_skipped` obs counter), never fatal.
-  RestoreOutcome restore_latest(TrainState& state);
+  RestoreOutcome restore_latest(TrainState& state) LEGW_EXCLUDES(io_mu_);
 
  private:
-  void apply_retention();
+  void apply_retention() LEGW_REQUIRES(io_mu_);
 
   ManagerConfig config_;
+  // Serialises save/retention/restore directory traffic: a retention delete
+  // racing a concurrent save_now (e.g. an async checkpoint thread alongside
+  // a final shutdown save) must not observe a half-applied directory.
+  core::Mutex io_mu_;
 };
 
 }  // namespace legw::ckpt

@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<GemmKernel>& gemm_kernel_state() {
   static std::atomic<GemmKernel> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     if (const char* env = std::getenv("LEGW_KERNEL")) {
       const std::string v(env);
       if (v == "ref") return GemmKernel::kRef;
@@ -22,6 +23,7 @@ std::atomic<GemmKernel>& gemm_kernel_state() {
 
 std::atomic<bool>& fused_lstm_state() {
   static std::atomic<bool> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     if (const char* env = std::getenv("LEGW_LSTM")) {
       const std::string v(env);
       if (v == "composed") return false;
@@ -35,6 +37,7 @@ std::atomic<bool>& fused_lstm_state() {
 
 std::atomic<DistMode>& dist_mode_state() {
   static std::atomic<DistMode> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     if (const char* env = std::getenv("LEGW_DIST")) {
       const std::string v(env);
       if (v == "overlap") return DistMode::kOverlap;

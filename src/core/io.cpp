@@ -9,6 +9,7 @@ namespace legw::core {
 
 namespace {
 std::string errno_string() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): errno snapshot on the error path
   return std::strerror(errno);
 }
 }  // namespace

@@ -1,0 +1,123 @@
+// Annotated mutex / condition-variable wrappers for Clang TSA.
+//
+// Every lock in src/ goes through these types (the `raw-mutex` lint rule
+// bans std::mutex and friends elsewhere), so the whole lock protocol is
+// visible to the thread-safety analysis:
+//
+//   core::Mutex mu;
+//   int depth LEGW_GUARDED_BY(mu);          // field names its lock
+//   void push() LEGW_EXCLUDES(mu);          // method acquires mu itself
+//   void push_locked() LEGW_REQUIRES(mu);   // caller must hold mu
+//
+// CondVar deliberately has no predicate overloads: a predicate lambda is a
+// separate function to the analysis and cannot see the caller's held locks,
+// so waits are written as explicit loops —
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(mu_);
+//
+// — which is also the shape the analysis can prove. Wrappers are thin
+// (one std::mutex / std::condition_variable member, no extra state beyond
+// MutexLock's held flag), so they cost nothing over the raw primitives.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace legw::core {
+
+class CondVar;
+
+// A std::mutex declared as a TSA capability.
+class LEGW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LEGW_ACQUIRE() { mu_.lock(); }
+  void unlock() LEGW_RELEASE() { mu_.unlock(); }
+  bool try_lock() LEGW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() re-wraps the raw mutex to park on it
+  std::mutex mu_;
+};
+
+// RAII lock guard (the std::lock_guard / std::unique_lock replacement).
+// Supports early unlock() and re-lock(); the destructor releases only if
+// still held, which the analysis models through the scoped capability.
+class LEGW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LEGW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LEGW_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  // Early release, e.g. to run a claimed batch outside the lock.
+  void unlock() LEGW_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() LEGW_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+// Condition variable over core::Mutex. All waits REQUIRE the mutex and
+// return still holding it; spurious wakeups are the caller's loop to absorb
+// (see the header comment for the canonical shape).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) LEGW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): callers loop.
+    cv_.wait(lk);
+    lk.release();  // the caller keeps ownership; MutexLock/caller unlocks
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      LEGW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): callers loop.
+    const std::cv_status status = cv_.wait_for(lk, dur);
+    lk.release();
+    return status;
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      LEGW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): callers loop.
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace legw::core

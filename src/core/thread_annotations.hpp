@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The repo's lock protocol is declared in the types: core::Mutex is a
+// CAPABILITY, fields name their lock with GUARDED_BY, and methods state
+// REQUIRES/EXCLUDES contracts. Compiling with clang under the `analyze`
+// preset (-Wthread-safety -Wthread-safety-beta, both as errors) then PROVES
+// the protocol: a guarded read without the lock, a path that leaks a held
+// mutex, or an ACQUIRED_BEFORE inversion is a compile error, not a race a
+// TSan interleaving may or may not catch. tests/analysis/ keeps seeded
+// violations that must FAIL to compile, so the gate itself is tested.
+//
+// On non-clang compilers (and clang without the attributes) every macro
+// expands to nothing — the annotations are free documentation. See
+// docs/CHECKS.md ("Compile-time thread safety") for conventions, how to
+// read a failure, and how to waive.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LEGW_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LEGW_THREAD_ANNOTATION
+#define LEGW_THREAD_ANNOTATION(x)  // no-op outside clang TSA builds
+#endif
+
+// On a class: instances are a lockable capability (core::Mutex).
+#define LEGW_CAPABILITY(x) LEGW_THREAD_ANNOTATION(capability(x))
+
+// On a class: RAII guard that acquires in the ctor and releases in the dtor
+// (core::MutexLock). The analysis tracks early unlock()/relock through the
+// ACQUIRE/RELEASE annotations on its methods.
+#define LEGW_SCOPED_CAPABILITY LEGW_THREAD_ANNOTATION(scoped_lockable)
+
+// On a field: reads and writes require holding the named mutex.
+#define LEGW_GUARDED_BY(x) LEGW_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer field: the pointee (not the pointer) is guarded.
+#define LEGW_PT_GUARDED_BY(x) LEGW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a mutex member: declares lock ordering; acquiring in the opposite
+// order is a compile error under -Wthread-safety-beta.
+#define LEGW_ACQUIRED_BEFORE(...) \
+  LEGW_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LEGW_ACQUIRED_AFTER(...) \
+  LEGW_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// On a function: the caller must already hold the mutex(es).
+#define LEGW_REQUIRES(...) \
+  LEGW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On a function: acquires the mutex(es) and returns holding them.
+#define LEGW_ACQUIRE(...) \
+  LEGW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// On a function: releases mutex(es) the caller held on entry.
+#define LEGW_RELEASE(...) \
+  LEGW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// On a function: acquires only on the given return value.
+#define LEGW_TRY_ACQUIRE(...) \
+  LEGW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the mutex(es) — the function
+// acquires them itself (deadlock guard for self-calls).
+#define LEGW_EXCLUDES(...) LEGW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: tells the analysis the mutex is held without acquiring it
+// (for runtime-checked entry points).
+#define LEGW_ASSERT_CAPABILITY(x) \
+  LEGW_THREAD_ANNOTATION(assert_capability(x))
+
+// On a function returning a reference to a mutex.
+#define LEGW_RETURN_CAPABILITY(x) LEGW_THREAD_ANNOTATION(lock_returned(x))
+
+// Last resort: opt a function out of the analysis. Every use needs a
+// comment justifying why the contract cannot be expressed.
+#define LEGW_NO_THREAD_SAFETY_ANALYSIS \
+  LEGW_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -39,7 +39,7 @@ ThreadPool::ThreadPool(int n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -50,8 +50,8 @@ void ThreadPool::worker_loop(int worker_index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || next_task_ < queue_.size(); });
+      MutexLock lock(mu_);
+      while (!stop_ && next_task_ >= queue_.size()) cv_.wait(mu_);
       if (stop_) return;
       task = queue_[next_task_++];
     }
@@ -63,7 +63,7 @@ void ThreadPool::worker_loop(int worker_index) {
                                             std::memory_order_relaxed);
     chunks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
     }
   }
@@ -93,11 +93,11 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
   // Serialise concurrent submitters: the queue/pending bookkeeping below is
   // per-submission, so two overlapping parallel_for calls (e.g. from
   // simulated distributed workers) must not interleave their task batches.
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(submit_mu_);
   submissions_.fetch_add(1, std::memory_order_relaxed);
   i64 queued = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Queue all chunks except the first, which the caller runs itself.
     for (i64 c = 1; c < n_chunks; ++c) {
       const i64 b = begin + c * chunk;
@@ -118,8 +118,8 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
   inline_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   chunks_inline_.fetch_add(1, std::memory_order_relaxed);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) done_cv_.wait(mu_);
   // All chunks done; reset the queue for the next call.
   queue_.clear();
   next_task_ = 0;
@@ -153,6 +153,7 @@ void ThreadPool::reset_stats() {
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     if (const char* env = std::getenv("LEGW_NUM_THREADS")) {
       const int n = std::atoi(env);
       if (n > 0) return n;

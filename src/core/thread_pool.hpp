@@ -9,14 +9,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/mutex.hpp"
 
 namespace legw::core {
 
@@ -75,14 +74,16 @@ class ThreadPool {
   std::atomic<i64> chunks_executed_{0};
   std::atomic<i64> chunks_inline_{0};
   std::atomic<i64> submissions_{0};
-  std::mutex submit_mu_;  // serialises concurrent parallel_for submissions
-  std::mutex mu_;
-  std::condition_variable cv_;        // wakes workers when tasks arrive
-  std::condition_variable done_cv_;   // wakes the submitter when all done
-  std::vector<Task> queue_;
-  std::size_t next_task_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  // Serialises concurrent parallel_for submissions. Always taken before the
+  // queue lock (the submission path nests them); TSA enforces the order.
+  Mutex submit_mu_ LEGW_ACQUIRED_BEFORE(mu_);
+  Mutex mu_;
+  CondVar cv_;       // wakes workers when tasks arrive
+  CondVar done_cv_;  // wakes the submitter when all done
+  std::vector<Task> queue_ LEGW_GUARDED_BY(mu_);
+  std::size_t next_task_ LEGW_GUARDED_BY(mu_) = 0;
+  int pending_ LEGW_GUARDED_BY(mu_) = 0;
+  bool stop_ LEGW_GUARDED_BY(mu_) = false;
 };
 
 // Convenience wrapper over the global pool. Falls back to a serial loop for

@@ -3,15 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <numeric>
 #include <thread>
 #include <unordered_map>
 
 #include "core/flags.hpp"
+#include "core/mutex.hpp"
 #include "core/rng.hpp"
 #include "dist/allreduce.hpp"
 #include "dist/data_parallel.hpp"
@@ -90,6 +89,7 @@ std::vector<std::vector<std::size_t>> plan_buckets(
 
 OverlapConfig default_overlap_config() {
   OverlapConfig config;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
   if (const char* env = std::getenv("LEGW_DIST_BUCKET_KB")) {
     char* end = nullptr;
     const long long kb = std::strtoll(env, &end, 10);
@@ -121,117 +121,164 @@ std::string join_ints(const std::vector<int>& v) {
 
 }  // namespace
 
-OverlapResult overlapped_backward(
-    const std::vector<std::vector<ag::Variable>>& replica_params,
-    const std::function<ag::Variable(int replica)>& loss_fn,
-    const OverlapConfig& config) {
-  const int n_replicas = static_cast<int>(replica_params.size());
-  LEGW_CHECK(n_replicas >= 1, "overlapped_backward: need >= 1 replica");
-  const std::size_t n_params = replica_params[0].size();
-  for (const auto& params : replica_params) {
-    LEGW_CHECK(params.size() == n_params,
-               "overlapped_backward: replicas disagree on parameter count");
-  }
+namespace {
 
-  OverlapResult result;
-  const auto buckets = plan_buckets(replica_params[0], config.bucket_bytes);
-  const std::size_t n_buckets = buckets.size();
-  result.stats.n_buckets = static_cast<i64>(n_buckets);
-
-  std::vector<std::size_t> bucket_of(n_params, 0);
-  for (std::size_t b = 0; b < n_buckets; ++b) {
-    for (std::size_t p : buckets[b]) bucket_of[p] = b;
-  }
-
-  // Materialise every gradient buffer up front, on this thread, so the
-  // replica and communication threads only ever touch pre-allocated storage.
-  std::vector<std::vector<core::Tensor*>> grads(
-      static_cast<std::size_t>(n_replicas));
-  // Per replica: leaf Node -> parameter index, for hook dispatch.
-  std::vector<std::unordered_map<ag::Node*, std::size_t>> index_of(
-      static_cast<std::size_t>(n_replicas));
-  for (int r = 0; r < n_replicas; ++r) {
-    auto& g = grads[static_cast<std::size_t>(r)];
-    g.reserve(n_params);
-    for (std::size_t p = 0; p < n_params; ++p) {
-      ag::Variable handle = replica_params[static_cast<std::size_t>(r)][p];
-      g.push_back(&handle.mutable_grad());
-      index_of[static_cast<std::size_t>(r)][handle.node().get()] = p;
+// The overlap engine's shared state, annotated so Clang TSA proves the
+// comm-thread protocol at compile time: replica threads deliver gradients
+// (signal -> try_enqueue under mu_), the reducer claims completed buckets
+// from ready_, and the timeout machinery mutates the exclusion set — all of
+// it behind one mutex whose protocol used to live in a comment.
+class OverlapEngine {
+ public:
+  OverlapEngine(const std::vector<std::vector<ag::Variable>>& replica_params,
+                const std::function<ag::Variable(int replica)>& loss_fn,
+                const OverlapConfig& config)
+      : replica_params_(replica_params), loss_fn_(loss_fn), config_(config) {
+    n_replicas_ = static_cast<int>(replica_params_.size());
+    LEGW_CHECK(n_replicas_ >= 1, "overlapped_backward: need >= 1 replica");
+    n_params_ = replica_params_[0].size();
+    for (const auto& params : replica_params_) {
+      LEGW_CHECK(params.size() == n_params_,
+                 "overlapped_backward: replicas disagree on parameter count");
     }
-  }
 
-  // Injected dead replicas are recorded but NOT pre-excluded: the engine
-  // must *detect* them through the timeout machinery, exactly as it would a
-  // genuinely hung node. They only leave the reduction once a timeout
-  // episode names them as blockers (or fail-fast aborts the step).
-  std::vector<char> excluded(static_cast<std::size_t>(n_replicas), 0);
-  if (config.faults != nullptr) {
-    for (int r = 0; r < n_replicas; ++r) {
-      if (config.faults->is_dead(r)) result.stats.dead_replicas.push_back(r);
+    buckets_ = plan_buckets(replica_params_[0], config_.bucket_bytes);
+    n_buckets_ = buckets_.size();
+    result_.stats.n_buckets = static_cast<i64>(n_buckets_);
+
+    bucket_of_.assign(n_params_, 0);
+    for (std::size_t b = 0; b < n_buckets_; ++b) {
+      for (std::size_t p : buckets_[b]) bucket_of_[p] = b;
     }
-  }
-  const bool any_dead = !result.stats.dead_replicas.empty();
-  LEGW_CHECK(!any_dead || config.bucket_timeout_ms > 0,
-             "overlapped_backward: a fault plan with dead replicas requires "
-             "bucket_timeout_ms > 0");
-  LEGW_CHECK(result.stats.dead_replicas.size() <
-                 static_cast<std::size_t>(n_replicas),
-             "overlapped_backward: every replica is dead");
 
-  // pending[b * n_replicas + r]: gradients replica r still owes bucket b.
-  std::vector<std::atomic<int>> pending(n_buckets *
-                                        static_cast<std::size_t>(n_replicas));
-  for (std::size_t b = 0; b < n_buckets; ++b) {
-    for (int r = 0; r < n_replicas; ++r) {
-      pending[b * static_cast<std::size_t>(n_replicas) +
-              static_cast<std::size_t>(r)]
-          .store(static_cast<int>(buckets[b].size()),
-                 std::memory_order_relaxed);
+    // Materialise every gradient buffer up front, on this thread, so the
+    // replica and communication threads only ever touch pre-allocated
+    // storage.
+    grads_.resize(static_cast<std::size_t>(n_replicas_));
+    index_of_.resize(static_cast<std::size_t>(n_replicas_));
+    for (int r = 0; r < n_replicas_; ++r) {
+      auto& g = grads_[static_cast<std::size_t>(r)];
+      g.reserve(n_params_);
+      for (std::size_t p = 0; p < n_params_; ++p) {
+        ag::Variable handle = replica_params_[static_cast<std::size_t>(r)][p];
+        g.push_back(&handle.mutable_grad());
+        index_of_[static_cast<std::size_t>(r)][handle.node().get()] = p;
+      }
     }
+
+    // Injected dead replicas are recorded but NOT pre-excluded: the engine
+    // must *detect* them through the timeout machinery, exactly as it would
+    // a genuinely hung node. They only leave the reduction once a timeout
+    // episode names them as blockers (or fail-fast aborts the step).
+    excluded_.assign(static_cast<std::size_t>(n_replicas_), 0);
+    if (config_.faults != nullptr) {
+      for (int r = 0; r < n_replicas_; ++r) {
+        if (config_.faults->is_dead(r)) {
+          result_.stats.dead_replicas.push_back(r);
+        }
+      }
+    }
+    const bool any_dead = !result_.stats.dead_replicas.empty();
+    LEGW_CHECK(!any_dead || config_.bucket_timeout_ms > 0,
+               "overlapped_backward: a fault plan with dead replicas requires "
+               "bucket_timeout_ms > 0");
+    LEGW_CHECK(result_.stats.dead_replicas.size() <
+                   static_cast<std::size_t>(n_replicas_),
+               "overlapped_backward: every replica is dead");
+
+    pending_ = std::make_unique<std::atomic<int>[]>(
+        n_buckets_ * static_cast<std::size_t>(n_replicas_));
+    for (std::size_t b = 0; b < n_buckets_; ++b) {
+      for (int r = 0; r < n_replicas_; ++r) {
+        bucket_pending(b, r).store(static_cast<int>(buckets_[b].size()),
+                                   std::memory_order_relaxed);
+      }
+    }
+
+    enqueued_.assign(n_buckets_, 0);
+    losses_.assign(static_cast<std::size_t>(n_replicas_), 0.0f);
+    ran_.assign(static_cast<std::size_t>(n_replicas_), 0);
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::size_t> ready;  // completed buckets, completion order
-  std::vector<char> enqueued(n_buckets, 0);
-  bool failed = false;
-  std::string error;
+  OverlapResult run() {
+    // Replicas model independent cluster nodes and the reducer models the
+    // NIC-side communication engine; both run full graph passes that
+    // internally submit to the ThreadPool, so neither can be a pool task.
+    // lint-allow: raw-thread
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n_replicas_));
+    for (int r = 0; r < n_replicas_; ++r) {
+      if (config_.faults != nullptr && config_.faults->is_dead(r)) continue;
+      threads.emplace_back([this, r] { replica_body(r); });
+    }
 
-  auto bucket_pending = [&](std::size_t b, int r) -> std::atomic<int>& {
-    return pending[b * static_cast<std::size_t>(n_replicas) +
-                   static_cast<std::size_t>(r)];
-  };
+    if (config_.overlap) {
+      // lint-allow: raw-thread — see above.
+      std::thread reducer([this] { reduce_loop(); });
+      for (auto& t : threads) t.join();
+      reducer.join();
+    } else {
+      // Synchronous baseline: identical buckets, identical reduction order,
+      // identical wire bill — but nothing reduces until every replica
+      // joined.
+      for (auto& t : threads) t.join();
+      reduce_loop();
+    }
 
-  // Caller must hold mu. Enqueues b if every non-excluded replica has
-  // delivered all of b's gradients and b was not already claimed.
-  auto try_enqueue_locked = [&](std::size_t b) {
-    if (enqueued[b]) return;
-    for (int r = 0; r < n_replicas; ++r) {
-      if (excluded[static_cast<std::size_t>(r)]) continue;
+    float loss_sum = 0.0f;
+    int loss_count = 0;
+    for (int r = 0; r < n_replicas_; ++r) {
+      if (ran_[static_cast<std::size_t>(r)]) {
+        loss_sum += losses_[static_cast<std::size_t>(r)];
+        ++loss_count;
+      }
+    }
+    result_.mean_loss =
+        loss_count > 0 ? loss_sum / static_cast<float>(loss_count) : 0.0f;
+    {
+      // The threads are joined, but the guarded fields keep their contract:
+      // take the lock rather than waive the analysis.
+      core::MutexLock lock(mu_);
+      result_.ok = !failed_;
+      result_.error = error_;
+    }
+    return result_;
+  }
+
+ private:
+  std::atomic<int>& bucket_pending(std::size_t b, int r) {
+    // pending_[b * n_replicas + r]: gradients replica r still owes bucket b.
+    return pending_[b * static_cast<std::size_t>(n_replicas_) +
+                    static_cast<std::size_t>(r)];
+  }
+
+  // Enqueues b if every non-excluded replica has delivered all of b's
+  // gradients and b was not already claimed.
+  void try_enqueue(std::size_t b) LEGW_REQUIRES(mu_) {
+    if (enqueued_[b]) return;
+    for (int r = 0; r < n_replicas_; ++r) {
+      if (excluded_[static_cast<std::size_t>(r)]) continue;
       if (bucket_pending(b, r).load(std::memory_order_acquire) != 0) return;
     }
-    enqueued[b] = 1;
-    ready.push_back(b);
-    cv.notify_one();
-  };
+    enqueued_[b] = 1;
+    ready_.push_back(b);
+    cv_.notify_one();
+  }
 
   // Replica r delivered parameter p's final gradient. The release half of
   // the fetch_sub publishes the gradient writes; the reducer's acquire load
   // of pending (and the RMW release sequence) makes them visible.
-  auto signal = [&](int r, std::size_t p) {
-    const std::size_t b = bucket_of[p];
+  void signal(int r, std::size_t p) LEGW_EXCLUDES(mu_) {
+    const std::size_t b = bucket_of_[p];
     if (bucket_pending(b, r).fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu);
-      try_enqueue_locked(b);
+      core::MutexLock lock(mu_);
+      try_enqueue(b);
     }
-  };
+  }
 
-  std::vector<float> losses(static_cast<std::size_t>(n_replicas), 0.0f);
-  std::vector<char> ran(static_cast<std::size_t>(n_replicas), 0);
-
-  auto replica_body = [&](int r) {
-    if (config.faults != nullptr) {
-      const double delay = config.faults->delay_ms_for(r);
+  void replica_body(int r) LEGW_EXCLUDES(mu_) {
+    if (config_.faults != nullptr) {
+      const double delay = config_.faults->delay_ms_for(r);
       if (delay > 0.0) {
         obs::Span span("fault_straggler");
         sleep_us(delay * 1000.0);
@@ -243,114 +290,119 @@ OverlapResult overlapped_backward(
     // cross-replica sharing. Leaf grads stay heap-bound (Node::ensure_grad)
     // — the reducer thread reads them outside this scope.
     mem::TrainStepScope arena_scope(mem::step_arena(r));
-    if (config.zero_grads) {
-      for (std::size_t p = 0; p < n_params; ++p) {
-        grads[static_cast<std::size_t>(r)][p]->zero_();
+    if (config_.zero_grads) {
+      for (std::size_t p = 0; p < n_params_; ++p) {
+        grads_[static_cast<std::size_t>(r)][p]->zero_();
       }
     }
-    std::vector<char> fired(n_params, 0);
+    std::vector<char> fired(n_params_, 0);
     ag::BackwardHooks hooks;
     hooks.on_leaf_grad_ready = [&](ag::Node& leaf) {
-      const auto it = index_of[static_cast<std::size_t>(r)].find(&leaf);
-      if (it == index_of[static_cast<std::size_t>(r)].end()) return;
+      const auto it = index_of_[static_cast<std::size_t>(r)].find(&leaf);
+      if (it == index_of_[static_cast<std::size_t>(r)].end()) return;
       if (fired[it->second]) return;
       fired[it->second] = 1;
       signal(r, it->second);
     };
-    ag::Variable loss = loss_fn(r);
-    losses[static_cast<std::size_t>(r)] = loss.value()[0];
-    ran[static_cast<std::size_t>(r)] = 1;
+    ag::Variable loss = loss_fn_(r);
+    losses_[static_cast<std::size_t>(r)] = loss.value()[0];
+    ran_[static_cast<std::size_t>(r)] = 1;
     ag::backward(loss, nullptr, hooks);
     // Parameters the graph never reached keep their (zeroed or accumulated)
     // gradient as-is — that IS their final value, so deliver it.
-    for (std::size_t p = 0; p < n_params; ++p) {
+    for (std::size_t p = 0; p < n_params_; ++p) {
       if (!fired[p]) signal(r, p);
     }
-  };
+  }
+
+  // Timed out with no completed bucket. The blockers are the replicas still
+  // owing gradients on some unclaimed bucket; returns false when the policy
+  // says the step cannot continue.
+  bool handle_timeout() LEGW_REQUIRES(mu_) {
+    ++result_.stats.timeout_episodes;
+    std::vector<int> blockers;
+    for (int r = 0; r < n_replicas_; ++r) {
+      if (excluded_[static_cast<std::size_t>(r)]) continue;
+      for (std::size_t b = 0; b < n_buckets_; ++b) {
+        if (enqueued_[b]) continue;
+        if (bucket_pending(b, r).load(std::memory_order_acquire) != 0) {
+          blockers.push_back(r);
+          break;
+        }
+      }
+    }
+    if (config_.timeout_policy == TimeoutPolicy::kFailFast) {
+      failed_ = true;
+      error_ = "overlapped_backward: bucket all-reduce timed out after " +
+               std::to_string(config_.bucket_timeout_ms) +
+               " ms waiting on replica(s) [" + join_ints(blockers) + "]";
+      return false;
+    }
+    // Degrade: drop the blockers, then re-scan — buckets that are now
+    // complete over the survivors become reducible.
+    for (int r : blockers) {
+      excluded_[static_cast<std::size_t>(r)] = 1;
+      result_.stats.excluded_replicas.push_back(r);
+      obs::count("replica_timeout", 1);
+    }
+    int live = 0;
+    for (int r = 0; r < n_replicas_; ++r) {
+      if (!excluded_[static_cast<std::size_t>(r)]) ++live;
+    }
+    if (live == 0) {
+      failed_ = true;
+      error_ = "overlapped_backward: degraded until no replica survived";
+      return false;
+    }
+    for (std::size_t b = 0; b < n_buckets_; ++b) try_enqueue(b);
+    return true;
+  }
 
   // Reducer: service completed buckets in completion order. Values cannot
   // depend on that order because buckets are disjoint and each bucket
   // reduces parameter by parameter in replica-index order.
-  auto reduce_loop = [&] {
+  void reduce_loop() LEGW_EXCLUDES(mu_) {
     std::size_t processed = 0;
     std::vector<int> participants;
     std::vector<core::Tensor*> shards;
-    while (processed < n_buckets) {
+    while (processed < n_buckets_) {
       std::size_t b = 0;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        while (ready.empty()) {
+        core::MutexLock lock(mu_);
+        while (ready_.empty()) {
           const auto t0 = std::chrono::steady_clock::now();
           bool got = true;
           {
             obs::Span idle_span("overlap_idle");
-            if (config.bucket_timeout_ms > 0) {
-              got = cv.wait_for(
-                  lock,
-                  std::chrono::duration<double, std::milli>(
-                      config.bucket_timeout_ms),
-                  [&] { return !ready.empty(); });
+            if (config_.bucket_timeout_ms > 0) {
+              const auto deadline =
+                  t0 + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config_.bucket_timeout_ms));
+              while (ready_.empty() && cv_.wait_until(mu_, deadline) !=
+                                           std::cv_status::timeout) {
+              }
+              got = !ready_.empty();
             } else {
-              cv.wait(lock, [&] { return !ready.empty(); });
+              while (ready_.empty()) cv_.wait(mu_);
             }
           }
-          result.stats.idle_ns +=
+          result_.stats.idle_ns +=
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
           if (got) break;
-
-          // Timed out with no completed bucket. The blockers are the
-          // replicas still owing gradients on some unclaimed bucket.
-          ++result.stats.timeout_episodes;
-          std::vector<int> blockers;
-          for (int r = 0; r < n_replicas; ++r) {
-            if (excluded[static_cast<std::size_t>(r)]) continue;
-            for (std::size_t b2 = 0; b2 < n_buckets; ++b2) {
-              if (enqueued[b2]) continue;
-              if (bucket_pending(b2, r).load(std::memory_order_acquire) !=
-                  0) {
-                blockers.push_back(r);
-                break;
-              }
-            }
-          }
-          if (config.timeout_policy == TimeoutPolicy::kFailFast) {
-            failed = true;
-            error = "overlapped_backward: bucket all-reduce timed out after " +
-                    std::to_string(config.bucket_timeout_ms) +
-                    " ms waiting on replica(s) [" + join_ints(blockers) + "]";
-            return;
-          }
-          // Degrade: drop the blockers, then re-scan — buckets that are now
-          // complete over the survivors become reducible.
-          for (int r : blockers) {
-            excluded[static_cast<std::size_t>(r)] = 1;
-            result.stats.excluded_replicas.push_back(r);
-            obs::count("replica_timeout", 1);
-          }
-          int live = 0;
-          for (int r = 0; r < n_replicas; ++r) {
-            if (!excluded[static_cast<std::size_t>(r)]) ++live;
-          }
-          if (live == 0) {
-            failed = true;
-            error =
-                "overlapped_backward: degraded until no replica survived";
-            return;
-          }
-          for (std::size_t b2 = 0; b2 < n_buckets; ++b2) {
-            try_enqueue_locked(b2);
-          }
+          if (!handle_timeout()) return;
         }
-        b = ready.front();
-        ready.pop_front();
+        b = ready_.front();
+        ready_.pop_front();
         // Participant set snapshot: every currently-live replica delivered
-        // this bucket in full (guaranteed by try_enqueue_locked; exclusion
-        // only shrinks the set and excluded replicas never rejoin).
+        // this bucket in full (guaranteed by try_enqueue; exclusion only
+        // shrinks the set and excluded replicas never rejoin).
         participants.clear();
-        for (int r = 0; r < n_replicas; ++r) {
-          if (excluded[static_cast<std::size_t>(r)]) continue;
+        for (int r = 0; r < n_replicas_; ++r) {
+          if (excluded_[static_cast<std::size_t>(r)]) continue;
           if (bucket_pending(b, r).load(std::memory_order_acquire) == 0) {
             participants.push_back(r);
           }
@@ -361,59 +413,62 @@ OverlapResult overlapped_backward(
       {
         obs::Span span("bucket_reduce");
         shards.resize(participants.size());
-        for (std::size_t p : buckets[b]) {
+        for (std::size_t p : buckets_[b]) {
           for (std::size_t i = 0; i < participants.size(); ++i) {
-            shards[i] = grads[static_cast<std::size_t>(participants[i])][p];
+            shards[i] = grads_[static_cast<std::size_t>(participants[i])][p];
           }
           tree_allreduce_mean(shards);
           bytes += shards.empty() ? 0
                                   : shards[0]->numel() *
                                         static_cast<i64>(sizeof(float));
         }
-        sleep_us(config.wire.bucket_us(bytes));
+        sleep_us(config_.wire.bucket_us(bytes));
       }
       obs::count("bucket_reduce", 1);
-      ++result.stats.buckets_reduced;
+      ++result_.stats.buckets_reduced;
       ++processed;
     }
-  };
-
-  // Replicas model independent cluster nodes and the reducer models the
-  // NIC-side communication engine; both run full graph passes that
-  // internally submit to the ThreadPool, so neither can be a pool task.
-  // lint-allow: raw-thread
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_replicas));
-  for (int r = 0; r < n_replicas; ++r) {
-    if (config.faults != nullptr && config.faults->is_dead(r)) continue;
-    threads.emplace_back(replica_body, r);
   }
 
-  if (config.overlap) {
-    // lint-allow: raw-thread — see above.
-    std::thread reducer(reduce_loop);
-    for (auto& t : threads) t.join();
-    reducer.join();
-  } else {
-    // Synchronous baseline: identical buckets, identical reduction order,
-    // identical wire bill — but nothing reduces until every replica joined.
-    for (auto& t : threads) t.join();
-    reduce_loop();
-  }
+  const std::vector<std::vector<ag::Variable>>& replica_params_;
+  const std::function<ag::Variable(int replica)>& loss_fn_;
+  const OverlapConfig& config_;
+  int n_replicas_ = 0;
+  std::size_t n_params_ = 0;
+  std::size_t n_buckets_ = 0;
 
-  float loss_sum = 0.0f;
-  int loss_count = 0;
-  for (int r = 0; r < n_replicas; ++r) {
-    if (ran[static_cast<std::size_t>(r)]) {
-      loss_sum += losses[static_cast<std::size_t>(r)];
-      ++loss_count;
-    }
-  }
-  result.mean_loss =
-      loss_count > 0 ? loss_sum / static_cast<float>(loss_count) : 0.0f;
-  result.ok = !failed;
-  result.error = error;
-  return result;
+  // Fixed before any thread starts; read-only afterwards.
+  std::vector<std::vector<std::size_t>> buckets_;
+  std::vector<std::size_t> bucket_of_;
+  std::vector<std::vector<core::Tensor*>> grads_;
+  std::vector<std::unordered_map<ag::Node*, std::size_t>> index_of_;
+
+  // Lock-free delivery counters (release/acquire pairs publish gradients).
+  std::unique_ptr<std::atomic<int>[]> pending_;
+
+  // Per-replica slots written only by that replica's thread, read after
+  // join; and the reducer-owned result (stats mutated by the reducer only).
+  std::vector<float> losses_;
+  std::vector<char> ran_;
+  OverlapResult result_;
+
+  core::Mutex mu_;
+  core::CondVar cv_;
+  std::deque<std::size_t> ready_ LEGW_GUARDED_BY(mu_);  // completion order
+  std::vector<char> enqueued_ LEGW_GUARDED_BY(mu_);
+  std::vector<char> excluded_ LEGW_GUARDED_BY(mu_);
+  bool failed_ LEGW_GUARDED_BY(mu_) = false;
+  std::string error_ LEGW_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+OverlapResult overlapped_backward(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    const OverlapConfig& config) {
+  OverlapEngine engine(replica_params, loss_fn, config);
+  return engine.run();
 }
 
 float replica_backward(

@@ -4,9 +4,9 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <new>
 
+#include "core/mutex.hpp"
 #include "mem/arena.hpp"
 
 namespace legw::mem {
@@ -15,6 +15,7 @@ namespace {
 
 std::atomic<AllocMode>& alloc_mode_state() {
   static std::atomic<AllocMode> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     if (const char* env = std::getenv("LEGW_ALLOC")) {
       const std::string v(env);
       if (v == "arena") return AllocMode::kArena;
@@ -28,8 +29,9 @@ std::atomic<AllocMode>& alloc_mode_state() {
 
 thread_local StepArena* t_bound_arena = nullptr;
 
-std::mutex g_registry_mu;
-std::map<int, std::unique_ptr<StepArena>>& registry_locked() {
+core::Mutex g_registry_mu;
+std::map<int, std::unique_ptr<StepArena>>& registry_locked()
+    LEGW_REQUIRES(g_registry_mu) {
   static std::map<int, std::unique_ptr<StepArena>> arenas;
   return arenas;
 }
@@ -77,7 +79,7 @@ const char* alloc_mode_name(AllocMode m) {
 StepArena* bound_step_arena() { return t_bound_arena; }
 
 StepArena& step_arena(int slot) {
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  core::MutexLock lock(g_registry_mu);
   auto& arenas = registry_locked();
   auto it = arenas.find(slot);
   if (it == arenas.end()) {
@@ -135,7 +137,7 @@ MemStats mem_stats() {
   out.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
   out.heap_live_bytes = g_heap_live_bytes.load(std::memory_order_relaxed);
   out.heap_peak_bytes = g_heap_peak_bytes.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  core::MutexLock lock(g_registry_mu);
   for (const auto& [slot, arena] : registry_locked()) {
     (void)slot;
     const StepArena::Stats s = arena->stats();
@@ -156,7 +158,7 @@ MemStats mem_stats() {
 void reset_mem_peaks() {
   g_heap_peak_bytes.store(g_heap_live_bytes.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  core::MutexLock lock(g_registry_mu);
   for (const auto& [slot, arena] : registry_locked()) {
     (void)slot;
     arena->reset_peak();

@@ -131,7 +131,7 @@ void StepArena::retire_live_memory_locked() {
 }
 
 void StepArena::begin_step() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   ++stats_.steps;
   ++gen_;
   if (live_count_ != 0) {
@@ -167,7 +167,7 @@ void StepArena::begin_step() {
 }
 
 void StepArena::end_step() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (mode_ == Mode::kRecord) {
     // Allocations still live at end of step (e.g. freed between end_step and
     // the scope's surrounding code) die at the step boundary for planning
@@ -188,7 +188,7 @@ void StepArena::end_step() {
 }
 
 void* StepArena::allocate(i64 bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   LEGW_CHECK(bytes > 0, "StepArena '" + name_ + "': non-positive allocation");
   LEGW_DCHECK(mode_ != Mode::kIdle,
               "StepArena '" + name_ + "': allocate outside begin/end_step");
@@ -245,7 +245,7 @@ void* StepArena::allocate(i64 bytes) {
 }
 
 void StepArena::deallocate(void* p, i64 bytes, u64 gen) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (gen != gen_) return;  // allocation's backing block was retired
   LEGW_DCHECK(live_count_ > 0,
               "StepArena '" + name_ + "': free with no live allocations");
@@ -269,32 +269,32 @@ void StepArena::deallocate(void* p, i64 bytes, u64 gen) {
 }
 
 void StepArena::set_replay_only(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   replay_only_ = on;
 }
 
 bool StepArena::replay_only() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return replay_only_;
 }
 
 u64 StepArena::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return gen_;
 }
 
 bool StepArena::replaying() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return mode_ == Mode::kReplay;
 }
 
 i64 StepArena::live_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return live_count_;
 }
 
 StepArena::Stats StepArena::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   Stats s = stats_;
   s.capacity_bytes = region_bytes_;
   for (const Slab& sl : slabs_) s.capacity_bytes += sl.bytes;
@@ -303,17 +303,17 @@ StepArena::Stats StepArena::stats() const {
 }
 
 void StepArena::reset_peak() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   stats_.peak_live_bytes = stats_.live_bytes;
 }
 
 std::vector<Placement> StepArena::current_plan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return plan_valid_ ? plan_.slots : std::vector<Placement>{};
 }
 
 void StepArena::reset_hard() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   LEGW_CHECK(live_count_ == 0,
              "StepArena '" + name_ + "': reset_hard with live allocations");
   for (Slab& s : slabs_) {

@@ -37,12 +37,12 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/mutex.hpp"
 #include "mem/plan.hpp"
 
 // LEGW_MEM_ASAN: defined when the build has AddressSanitizer instrumentation
@@ -124,41 +124,41 @@ class StepArena {
     i64 used = 0;
   };
 
-  void* slab_alloc(i64 rounded);
-  void poison_all_locked();
-  void retire_live_memory_locked();
+  void* slab_alloc(i64 rounded) LEGW_REQUIRES(mu_);
+  void poison_all_locked() LEGW_REQUIRES(mu_);
+  void retire_live_memory_locked() LEGW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable core::Mutex mu_;
   const std::string name_;
-  Mode mode_ = Mode::kIdle;
-  bool replay_only_ = false;
-  u64 gen_ = 0;
+  Mode mode_ LEGW_GUARDED_BY(mu_) = Mode::kIdle;
+  bool replay_only_ LEGW_GUARDED_BY(mu_) = false;
+  u64 gen_ LEGW_GUARDED_BY(mu_) = 0;
 
   // Bump slabs (record and bypass modes).
-  std::vector<Slab> slabs_;
+  std::vector<Slab> slabs_ LEGW_GUARDED_BY(mu_);
 
   // Recorded step: rounded size + birth/death events per allocation, plus
   // pointer -> record index so frees can stamp the death event.
-  std::vector<Lifetime> recs_;
-  std::unordered_map<const void*, std::size_t> rec_of_;
-  i64 event_ = 0;
+  std::vector<Lifetime> recs_ LEGW_GUARDED_BY(mu_);
+  std::unordered_map<const void*, std::size_t> rec_of_ LEGW_GUARDED_BY(mu_);
+  i64 event_ LEGW_GUARDED_BY(mu_) = 0;
 
   // Replay: the solved plan and the fixed region it indexes into.
-  MemPlan plan_;
-  bool plan_valid_ = false;
-  std::byte* region_ = nullptr;
-  i64 region_bytes_ = 0;
-  std::size_t next_slot_ = 0;
+  MemPlan plan_ LEGW_GUARDED_BY(mu_);
+  bool plan_valid_ LEGW_GUARDED_BY(mu_) = false;
+  std::byte* region_ LEGW_GUARDED_BY(mu_) = nullptr;
+  i64 region_bytes_ LEGW_GUARDED_BY(mu_) = 0;
+  std::size_t next_slot_ LEGW_GUARDED_BY(mu_) = 0;
   // Checked builds: offsets of live replay allocations, to assert the plan's
   // no-overlap invariant against the actual free order.
-  std::map<i64, i64> live_replay_;
+  std::map<i64, i64> live_replay_ LEGW_GUARDED_BY(mu_);
 
   // Escape hatch: memory that still had live allocations at begin_step is
   // parked here (valid, never recycled) until reset_hard()/destruction.
-  std::vector<Slab> retired_;
+  std::vector<Slab> retired_ LEGW_GUARDED_BY(mu_);
 
-  i64 live_count_ = 0;
-  Stats stats_;
+  i64 live_count_ LEGW_GUARDED_BY(mu_) = 0;
+  Stats stats_ LEGW_GUARDED_BY(mu_);
 };
 
 }  // namespace legw::mem

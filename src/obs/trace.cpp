@@ -5,10 +5,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 
 #include "core/counters.hpp"
+#include "core/mutex.hpp"
 #include "core/io.hpp"
 #include "core/thread_pool.hpp"
 #include "mem/alloc.hpp"
@@ -26,6 +26,7 @@ i64 now_ns() {
 
 std::atomic<bool>& enabled_state() {
   static std::atomic<bool> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     const char* env = std::getenv("LEGW_TRACE");
     return env != nullptr && env[0] != '\0';
   }()};
@@ -50,25 +51,25 @@ int thread_id() {
 // Registered CounterSource hooks (serve.* and future above-obs layers).
 // Guarded by its own mutex — sources are read while the recorder lock is NOT
 // held, so a source may itself call into obs without deadlocking.
-std::mutex& source_mu() {
-  static std::mutex mu;
-  return mu;
-}
-std::vector<CounterSource>& counter_sources() {
-  static std::vector<CounterSource> sources;
-  return sources;
+struct SourceRegistry {
+  core::Mutex mu;
+  std::vector<CounterSource> sources LEGW_GUARDED_BY(mu);
+};
+SourceRegistry& source_registry() {
+  static SourceRegistry registry;
+  return registry;
 }
 
 }  // namespace
 
 void register_counter_source(CounterSource source) {
   LEGW_CHECK(source != nullptr, "register_counter_source: null source");
-  std::lock_guard<std::mutex> lock(source_mu());
-  auto& sources = counter_sources();
-  for (CounterSource s : sources) {
+  SourceRegistry& registry = source_registry();
+  core::MutexLock lock(registry.mu);
+  for (CounterSource s : registry.sources) {
     if (s == source) return;  // idempotent: one merge per source
   }
-  sources.push_back(source);
+  registry.sources.push_back(source);
 }
 
 bool tracing_enabled() {
@@ -81,6 +82,7 @@ void set_tracing_enabled(bool enabled) {
 
 const std::string& trace_env_path() {
   static const std::string path = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
     const char* env = std::getenv("LEGW_TRACE");
     return std::string(env == nullptr ? "" : env);
   }();
@@ -88,10 +90,10 @@ const std::string& trace_env_path() {
 }
 
 struct TraceRecorder::Impl {
-  mutable std::mutex mu;
-  std::vector<SpanRecord> spans;
-  std::map<std::string, i64> counters;
-  i64 epoch_ns = now_ns();
+  mutable core::Mutex mu;
+  std::vector<SpanRecord> spans LEGW_GUARDED_BY(mu);
+  std::map<std::string, i64> counters LEGW_GUARDED_BY(mu);
+  i64 epoch_ns LEGW_GUARDED_BY(mu) = now_ns();
 };
 
 TraceRecorder::Impl& TraceRecorder::impl() const {
@@ -117,20 +119,20 @@ void TraceRecorder::end() {
   const int tid = thread_id();
   const int depth = static_cast<int>(t_span_stack.size());
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  core::MutexLock lock(im.mu);
   im.spans.push_back(
       SpanRecord{open.name, tid, depth, open.begin_ns - im.epoch_ns, dur});
 }
 
 void TraceRecorder::counter_add(const std::string& name, i64 delta) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  core::MutexLock lock(im.mu);
   im.counters[name] += delta;
 }
 
 std::vector<TraceRecorder::SpanRecord> TraceRecorder::spans() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  core::MutexLock lock(im.mu);
   return im.spans;
 }
 
@@ -138,7 +140,7 @@ std::map<std::string, i64> TraceRecorder::counters() const {
   std::map<std::string, i64> out;
   {
     Impl& im = impl();
-    std::lock_guard<std::mutex> lock(im.mu);
+    core::MutexLock lock(im.mu);
     out = im.counters;
   }
   for (int i = 0; i < static_cast<int>(core::DispatchCounter::kCount); ++i) {
@@ -161,8 +163,9 @@ std::map<std::string, i64> TraceRecorder::counters() const {
   // Above-obs layers (serve.*): merge every registered source's snapshot.
   std::vector<CounterSource> sources;
   {
-    std::lock_guard<std::mutex> lock(source_mu());
-    sources = counter_sources();
+    SourceRegistry& registry = source_registry();
+    core::MutexLock lock(registry.mu);
+    sources = registry.sources;
   }
   for (CounterSource s : sources) s(out);
   return out;
@@ -171,7 +174,7 @@ std::map<std::string, i64> TraceRecorder::counters() const {
 std::map<std::string, i64> TraceRecorder::span_counts() const {
   std::map<std::string, i64> out;
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  core::MutexLock lock(im.mu);
   for (const SpanRecord& s : im.spans) ++out[s.name];
   return out;
 }
@@ -181,7 +184,7 @@ std::map<std::string, TraceRecorder::PhaseStats> TraceRecorder::phase_summary()
   std::map<std::string, std::vector<i64>> durs;
   {
     Impl& im = impl();
-    std::lock_guard<std::mutex> lock(im.mu);
+    core::MutexLock lock(im.mu);
     for (const SpanRecord& s : im.spans) durs[s.name].push_back(s.dur_ns);
   }
   std::map<std::string, PhaseStats> out;
@@ -292,7 +295,7 @@ bool TraceRecorder::write_chrome_trace(const std::string& path,
 
 void TraceRecorder::clear() {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  core::MutexLock lock(im.mu);
   im.spans.clear();
   im.counters.clear();
   im.epoch_ns = now_ns();

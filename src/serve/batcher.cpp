@@ -8,6 +8,7 @@ namespace legw::serve {
 namespace {
 
 i64 env_i64(const char* name, i64 fallback, i64 lo, i64 hi) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
   const i64 v = std::atoll(env);

@@ -1,7 +1,6 @@
 #include "serve/broker.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
 
 #include "mem/alloc.hpp"
@@ -76,9 +75,12 @@ RequestBroker::RequestBroker(const ServeSession& session, BrokerConfig config)
       epoch_(std::chrono::steady_clock::now()),
       batcher_(config_.policy) {
   LEGW_CHECK(config_.workers > 0, "RequestBroker: needs at least one worker");
-  static std::once_flag once;
-  std::call_once(once,
-                 [] { obs::register_counter_source(&serve_counter_source); });
+  // Magic-static init is the C++11 call_once: the first broker registers the
+  // counter source, later ones skip (registration is idempotent anyway).
+  [[maybe_unused]] static const bool kSourceRegistered = [] {
+    obs::register_counter_source(&serve_counter_source);
+    return true;
+  }();
   arenas_.resize(static_cast<std::size_t>(config_.workers));
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w) {
@@ -110,7 +112,7 @@ std::future<Response> RequestBroker::submit(Request req) {
   }
   std::future<Response> fut;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     if (stop_) {
       bump(counts().rejected);
       std::promise<Response> p;
@@ -136,7 +138,7 @@ void RequestBroker::worker_loop(std::size_t worker_index) {
     std::vector<BatchPlan> plans;
     bool draining = false;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      core::MutexLock lk(mu_);
       for (;;) {
         if (stop_) {
           plans = batcher_.drain();
@@ -147,9 +149,9 @@ void RequestBroker::worker_loop(std::size_t worker_index) {
         if (!plans.empty()) break;
         const i64 due = batcher_.next_deadline_ms();
         if (due < 0) {
-          cv_.wait(lk);
+          cv_.wait(mu_);
         } else {
-          cv_.wait_until(lk, epoch_ + std::chrono::milliseconds(due));
+          cv_.wait_until(mu_, epoch_ + std::chrono::milliseconds(due));
         }
       }
       if (draining && plans.empty()) return;
@@ -231,7 +233,7 @@ void RequestBroker::execute(std::size_t worker_index, Claimed batch) {
 
 void RequestBroker::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     if (joined_) return;
     stop_ = true;
   }
@@ -240,7 +242,7 @@ void RequestBroker::shutdown() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::MutexLock lk(mu_);
     joined_ = true;
     LEGW_CHECK(waiting_.empty(), "broker: shutdown left unresolved requests");
   }

@@ -21,14 +21,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.hpp"
 #include "mem/arena.hpp"
 #include "serve/batcher.hpp"
 #include "serve/session.hpp"
@@ -74,11 +73,11 @@ class RequestBroker {
   // resolve immediately (kInvalidRequest / kUnavailable); accepted requests
   // resolve when their batch executes. Response.enqueue_ns/done_ns are
   // steady-clock stamps for latency accounting.
-  std::future<Response> submit(Request req);
+  std::future<Response> submit(Request req) LEGW_EXCLUDES(mu_);
 
   // Drains every accepted request, joins the workers. Idempotent; called by
   // the destructor. After it returns all futures are resolved.
-  void shutdown();
+  void shutdown() LEGW_EXCLUDES(mu_);
 
   const BrokerConfig& config() const { return config_; }
 
@@ -97,7 +96,7 @@ class RequestBroker {
     std::vector<i64> enqueue_ns;
   };
 
-  void worker_loop(std::size_t worker_index);
+  void worker_loop(std::size_t worker_index) LEGW_EXCLUDES(mu_);
   void execute(std::size_t worker_index, Claimed batch);
   i64 now_ms() const;
 
@@ -105,13 +104,13 @@ class RequestBroker {
   const BrokerConfig config_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  Batcher batcher_;
-  std::map<u64, Waiting> waiting_;  // ticket -> promise (guarded by mu_)
-  u64 next_ticket_ = 1;
-  bool stop_ = false;
-  bool joined_ = false;
+  core::Mutex mu_;
+  core::CondVar cv_;  // wakes workers on new requests, deadlines, shutdown
+  Batcher batcher_ LEGW_GUARDED_BY(mu_);
+  std::map<u64, Waiting> waiting_ LEGW_GUARDED_BY(mu_);  // ticket -> promise
+  u64 next_ticket_ LEGW_GUARDED_BY(mu_) = 1;
+  bool stop_ LEGW_GUARDED_BY(mu_) = false;
+  bool joined_ LEGW_GUARDED_BY(mu_) = false;
 
   // One replay-only arena per (worker, bucket_len); workers never share one.
   std::vector<std::map<i64, std::unique_ptr<mem::StepArena>>> arenas_;

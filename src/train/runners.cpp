@@ -172,6 +172,7 @@ void capture_params(const RunConfig& run,
 // sweep should not die on a bad log path.
 void maybe_emit_telemetry(const char* runner, const RunConfig& run,
                           const RunResult& result) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
   const char* path = std::getenv("LEGW_TELEMETRY");
   if (path == nullptr || path[0] == '\0') return;
   const std::string name = std::string(runner) + ".b" +

@@ -1,0 +1,47 @@
+// TSA positive control: the idioms the negative tests break, written
+// correctly — guarded access under MutexLock, REQUIRES helpers called with
+// the lock held, CondVar waits in explicit loops, early unlock, and the
+// declared two-mutex ordering. This file must COMPILE CLEANLY under
+// -Werror=thread-safety; if it ever goes red, the harness (not the seeded
+// bugs) is broken.
+#include "core/mutex.hpp"
+
+namespace {
+
+class Engine {
+ public:
+  void submit(int task) LEGW_EXCLUDES(submit_mu_, mu_) {
+    legw::core::MutexLock submit_lock(submit_mu_);
+    legw::core::MutexLock lock(mu_);
+    pending_ += task;
+    cv_.notify_one();
+  }
+
+  int drain() LEGW_EXCLUDES(mu_) {
+    legw::core::MutexLock lock(mu_);
+    while (pending_ == 0) cv_.wait(mu_);
+    const int claimed = claim_locked();
+    lock.unlock();  // early release: "work" happens outside the lock
+    return claimed;
+  }
+
+ private:
+  int claim_locked() LEGW_REQUIRES(mu_) {
+    const int out = pending_;
+    pending_ = 0;
+    return out;
+  }
+
+  legw::core::Mutex submit_mu_ LEGW_ACQUIRED_BEFORE(mu_);
+  legw::core::Mutex mu_;
+  legw::core::CondVar cv_;
+  int pending_ LEGW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.submit(1);
+  return e.drain() == 1 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// TSA negative test: reading a GUARDED_BY field without holding its mutex
+// must be a compile error (-Werror=thread-safety). Build harness expects
+// this file to FAIL to compile; see CMakeLists.txt (WILL_FAIL).
+#include "core/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    legw::core::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // BUG: guarded read with no lock held.
+  long balance() const { return balance_; }
+
+ private:
+  mutable legw::core::Mutex mu_;
+  long balance_ LEGW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return static_cast<int>(a.balance());
+}

@@ -1,0 +1,37 @@
+// TSA negative test: acquiring mutexes against a declared ACQUIRED_BEFORE
+// order must be a compile error (ordering diagnostics live under
+// -Wthread-safety-beta, promoted to errors by the harness). Build harness
+// expects this file to FAIL to compile (WILL_FAIL).
+#include "core/mutex.hpp"
+
+namespace {
+
+class Ordered {
+ public:
+  void correct_order() {
+    legw::core::MutexLock first(submit_mu_);
+    legw::core::MutexLock second(mu_);
+    ++depth_;
+  }
+
+  // BUG: takes mu_ then submit_mu_, inverting the declared order.
+  void inverted_order() {
+    legw::core::MutexLock second(mu_);
+    legw::core::MutexLock first(submit_mu_);
+    ++depth_;
+  }
+
+ private:
+  legw::core::Mutex submit_mu_ LEGW_ACQUIRED_BEFORE(mu_);
+  legw::core::Mutex mu_;
+  int depth_ LEGW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  o.correct_order();
+  o.inverted_order();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// TSA negative test: a path that returns while still holding a manually
+// acquired mutex must be a compile error (capability held at function exit).
+// Build harness expects this file to FAIL to compile (WILL_FAIL).
+#include "core/mutex.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  bool pop_nonempty() {
+    mu_.lock();
+    if (size_ == 0) {
+      return false;  // BUG: early return leaks mu_ held
+    }
+    --size_;
+    mu_.unlock();
+    return true;
+  }
+
+ private:
+  legw::core::Mutex mu_;
+  int size_ LEGW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  return q.pop_nonempty() ? 0 : 1;
+}

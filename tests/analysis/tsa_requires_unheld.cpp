@@ -1,0 +1,32 @@
+// TSA negative test: calling a REQUIRES(mu) function without holding mu must
+// be a compile error. Build harness expects this file to FAIL to compile
+// (WILL_FAIL).
+#include "core/mutex.hpp"
+
+namespace {
+
+class Planner {
+ public:
+  void rebuild() {
+    legw::core::MutexLock lock(mu_);
+    rebuild_locked();
+  }
+
+  // BUG: calls the REQUIRES helper with no lock held.
+  void rebuild_unlocked() { rebuild_locked(); }
+
+ private:
+  void rebuild_locked() LEGW_REQUIRES(mu_) { ++version_; }
+
+  legw::core::Mutex mu_;
+  int version_ LEGW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Planner p;
+  p.rebuild();
+  p.rebuild_unlocked();
+  return 0;
+}

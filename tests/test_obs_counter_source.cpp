@@ -1,0 +1,124 @@
+// Concurrency contract of obs::register_counter_source: registration is
+// thread-safe against other registrations AND against counters() snapshots
+// taken while registration is still in flight, and it is idempotent — a
+// source registered from N racing threads merges exactly once per snapshot.
+//
+// Rides in legw_concurrency_tests (label tier1-concurrency), so the tsan
+// preset replays these races under ThreadSanitizer.
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace legw {
+namespace {
+
+// Template-stamped sources: each instantiation is a distinct function
+// pointer with its own key and invocation counter, so one test run can
+// register many independent sources without runtime state.
+template <int I>
+std::atomic<i64>& invocations() {
+  static std::atomic<i64> count{0};
+  return count;
+}
+
+template <int I>
+void stamped_source(std::map<std::string, i64>& out) {
+  invocations<I>().fetch_add(1, std::memory_order_relaxed);
+  out["test.counter_source." + std::to_string(I)] = I;
+}
+
+// Runtime-indexable table over the compile-time stamps.
+using Source = void (*)(std::map<std::string, i64>&);
+constexpr Source kSources[] = {
+    &stamped_source<0>, &stamped_source<1>, &stamped_source<2>,
+    &stamped_source<3>, &stamped_source<4>, &stamped_source<5>,
+    &stamped_source<6>, &stamped_source<7>,
+};
+constexpr int kNumSources = 8;
+
+TEST(ObsCounterSource, ConcurrentRegistrationAndSnapshotIsSafe) {
+  // Half the threads register (every thread registers EVERY source, so each
+  // source races with itself across threads — the idempotency path), half
+  // take counters() snapshots mid-registration.
+  constexpr int kRegistrars = 4;
+  constexpr int kSnapshotters = 4;
+  std::atomic<bool> go{false};
+
+  // lint-allow: raw-thread — the test *is* about cross-thread registration;
+  // pool tasks would serialise behind parallel_for's submit lock.
+  std::vector<std::thread> threads;
+  threads.reserve(kRegistrars + kSnapshotters);
+  for (int t = 0; t < kRegistrars; ++t) {
+    threads.emplace_back([&go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (const Source s : kSources) obs::register_counter_source(s);
+    });
+  }
+  for (int t = 0; t < kSnapshotters; ++t) {
+    threads.emplace_back([&go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 8; ++i) {
+        const auto snap = obs::TraceRecorder::global().counters();
+        // A snapshot taken mid-registration sees a prefix of the sources;
+        // any key that IS present must carry the source's value.
+        for (int s = 0; s < kNumSources; ++s) {
+          const auto it =
+              snap.find("test.counter_source." + std::to_string(s));
+          if (it != snap.end()) {
+            EXPECT_EQ(it->second, s);
+          }
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  // After the dust settles every source is registered and one snapshot
+  // invokes each exactly once — N racing registrations collapsed to one
+  // registry entry apiece.
+  const i64 before[kNumSources] = {
+      invocations<0>().load(), invocations<1>().load(),
+      invocations<2>().load(), invocations<3>().load(),
+      invocations<4>().load(), invocations<5>().load(),
+      invocations<6>().load(), invocations<7>().load(),
+  };
+  const auto snap = obs::TraceRecorder::global().counters();
+  for (int s = 0; s < kNumSources; ++s) {
+    const std::string key = "test.counter_source." + std::to_string(s);
+    ASSERT_TRUE(snap.count(key)) << key << " missing after registration";
+    EXPECT_EQ(snap.at(key), s);
+  }
+  const i64 after[kNumSources] = {
+      invocations<0>().load(), invocations<1>().load(),
+      invocations<2>().load(), invocations<3>().load(),
+      invocations<4>().load(), invocations<5>().load(),
+      invocations<6>().load(), invocations<7>().load(),
+  };
+  for (int s = 0; s < kNumSources; ++s) {
+    EXPECT_EQ(after[s] - before[s], 1)
+        << "source " << s << " merged " << (after[s] - before[s])
+        << " times in one counters() call (want exactly 1)";
+  }
+}
+
+TEST(ObsCounterSource, ReRegistrationStaysIdempotent) {
+  // Serial double-registration after the concurrent test: still one merge
+  // per snapshot.
+  obs::register_counter_source(kSources[0]);
+  obs::register_counter_source(kSources[0]);
+  const i64 before = invocations<0>().load();
+  (void)obs::TraceRecorder::global().counters();
+  EXPECT_EQ(invocations<0>().load() - before, 1);
+}
+
+}  // namespace
+}  // namespace legw

@@ -39,6 +39,12 @@ Rules:
                   legw_ckpt. This makes the "serving never touches the
                   autograd tape" guarantee a build-time property instead of
                   a code-review hope.
+  raw-mutex       std::mutex / lock_guard / unique_lock / scoped_lock /
+                  condition_variable / call_once are banned in src/ outside
+                  core/thread_annotations.hpp and core/mutex.hpp: every lock
+                  goes through core::Mutex / core::MutexLock / core::CondVar
+                  so the Clang thread-safety analysis (`analyze` preset) sees
+                  the whole protocol. Comments may name the std types.
 
 A finding can be waived where the rule's intent is genuinely inapplicable by
 putting `lint-allow: <rule>` in a comment on the offending line or one of
@@ -79,6 +85,15 @@ SERVE_INCLUDE_RE = re.compile(r'#\s*include\s*"(?:ag/|nn/|ckpt/checkpoint)')
 # say "mirrors ag::add_bias" without tripping the rule.
 SERVE_TOKEN_RE = re.compile(r"\b(?:ag|nn)::")
 SERVE_LINK_RE = re.compile(r"\blegw_(?:ag|nn|ckpt)\b")
+# raw-mutex: the std locking vocabulary, checked on comment-stripped text so
+# docs may still say "the std::lock_guard replacement". The annotated
+# wrappers themselves (core/mutex.hpp, core/thread_annotations.hpp) are the
+# sanctioned home.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?|call_once|once_flag)\b")
+RAW_MUTEX_EXEMPT = ("src/core/mutex.hpp", "src/core/thread_annotations.hpp")
 
 
 def allowed(lines: list[str], idx: int, rule: str) -> bool:
@@ -141,6 +156,13 @@ def lint(root: Path = REPO) -> list[str]:
                            "direct write-mode open in src/; publish run "
                            "artifacts via core::AtomicFile / "
                            "core::atomic_write_file")
+            if (rel.startswith("src/") and rel not in RAW_MUTEX_EXEMPT
+                    and RAW_MUTEX_RE.search(strip_line_comment(line, "//"))):
+                if not allowed(lines, i, "raw-mutex"):
+                    report(path, lineno, "raw-mutex",
+                           "raw std mutex/lock in src/; use core::Mutex / "
+                           "core::MutexLock / core::CondVar (core/mutex.hpp) "
+                           "so the thread-safety analysis sees the lock")
             if in_serve:
                 if SERVE_INCLUDE_RE.search(line):
                     if not allowed(lines, i, "serve-no-tape"):
@@ -181,9 +203,10 @@ def lint(root: Path = REPO) -> list[str]:
 
 
 def self_test() -> int:
-    """Seeded-violation check for serve-no-tape: the rule must fire on a
-    planted bad tree, stay quiet on a planted clean tree, and the real repo
-    must be clean. Exits 0 on success, 1 with diagnostics on any miss."""
+    """Seeded-violation check for EVERY rule: each must fire on a planted bad
+    tree, respect its waiver/exemption edges on a planted clean tree, and the
+    real repo must be clean. Exits 0 on success, 1 with diagnostics on any
+    miss."""
     failures: list[str] = []
 
     def expect(cond: bool, msg: str) -> None:
@@ -192,7 +215,10 @@ def self_test() -> int:
 
     with tempfile.TemporaryDirectory(prefix="legw-lint-selftest-") as tmp:
         bad = Path(tmp) / "bad"
-        (bad / "src" / "serve").mkdir(parents=True)
+        for sub in ("src/serve", "src/core", "src/train", "bench"):
+            (bad / sub).mkdir(parents=True)
+
+        # serve-no-tape -------------------------------------------------------
         (bad / "src" / "serve" / "bad.cpp").write_text(
             '#include "ag/ops.hpp"\n'                      # line 1: fires
             '#include "nn/module.hpp"\n'                   # line 2: fires
@@ -206,26 +232,79 @@ def self_test() -> int:
             "add_library(legw_serve bad.cpp)\n"
             "target_link_libraries(legw_serve PUBLIC legw_core legw_ag)\n",
             encoding="utf-8")
-        found = [f for f in lint(bad) if "[serve-no-tape]" in f]
-        expect(any("bad.cpp:1:" in f for f in found),
-               "ag/ include not caught")
-        expect(any("bad.cpp:2:" in f for f in found),
-               "nn/ include not caught")
-        expect(any("bad.cpp:3:" in f for f in found),
-               "ckpt/checkpoint include not caught")
-        expect(not any("bad.cpp:4:" in f for f in found),
-               "ckpt/crc32.hpp wrongly flagged")
-        expect(not any("bad.cpp:5:" in f for f in found),
-               "comment-only ag:: wrongly flagged")
-        expect(any("bad.cpp:6:" in f for f in found),
-               "ag::/nn:: code token not caught")
-        expect(any("CMakeLists.txt:3:" in f for f in found),
-               "legw_ag link not caught")
-        expect(not any("CMakeLists.txt:1:" in f for f in found),
-               "CMake comment naming legw_ag wrongly flagged")
+        # raw-thread / unseeded-rng / raw-mutex -------------------------------
+        (bad / "src" / "train" / "bad_thread.cpp").write_text(
+            '#include <thread>\n'
+            'void spawn() { std::thread t([] {}); t.join(); }\n'   # fires
+            'int noise() { return rand(); }\n'                     # fires
+            '#include <mutex>\n'
+            'std::mutex g_mu;\n'                                   # fires
+            'void locked() { std::lock_guard<std::mutex> l(g_mu); }\n'  # fires
+            '// a comment naming std::mutex is fine\n'             # quiet
+            'std::condition_variable g_cv;\n',                     # fires
+            encoding="utf-8")
+        # iostream-core -------------------------------------------------------
+        (bad / "src" / "core" / "bad_io.cpp").write_text(
+            '#include <iostream>\n'                                # fires
+            'void log() {}\n',
+            encoding="utf-8")
+        # atomic-write --------------------------------------------------------
+        (bad / "src" / "train" / "bad_write.cpp").write_text(
+            '#include <cstdio>\n'
+            'void save() { std::FILE* f = fopen("out.bin", "wb"); '  # fires
+            'if (f) fclose(f); }\n'
+            'void journal() { std::FILE* f = fopen("log.txt", "a"); '  # quiet
+            'if (f) fclose(f); }\n',
+            encoding="utf-8")
+        # bench-trace ---------------------------------------------------------
+        (bad / "bench" / "bad_bench.cpp").write_text(
+            'int main() { return 0; }\n',                          # fires
+            encoding="utf-8")
 
+        found = lint(bad)
+
+        def fired(rule: str, at: str) -> bool:
+            return any(f"[{rule}]" in f and at in f for f in found)
+
+        expect(fired("serve-no-tape", "bad.cpp:1:"), "ag/ include not caught")
+        expect(fired("serve-no-tape", "bad.cpp:2:"), "nn/ include not caught")
+        expect(fired("serve-no-tape", "bad.cpp:3:"),
+               "ckpt/checkpoint include not caught")
+        expect(not fired("serve-no-tape", "bad.cpp:4:"),
+               "ckpt/crc32.hpp wrongly flagged")
+        expect(not fired("serve-no-tape", "bad.cpp:5:"),
+               "comment-only ag:: wrongly flagged")
+        expect(fired("serve-no-tape", "bad.cpp:6:"),
+               "ag::/nn:: code token not caught")
+        expect(fired("serve-no-tape", "CMakeLists.txt:3:"),
+               "legw_ag link not caught")
+        expect(not fired("serve-no-tape", "CMakeLists.txt:1:"),
+               "CMake comment naming legw_ag wrongly flagged")
+        expect(fired("raw-thread", "bad_thread.cpp:2:"),
+               "raw std::thread not caught")
+        expect(fired("unseeded-rng", "bad_thread.cpp:3:"),
+               "rand() not caught")
+        expect(fired("raw-mutex", "bad_thread.cpp:5:"),
+               "std::mutex declaration not caught")
+        expect(fired("raw-mutex", "bad_thread.cpp:6:"),
+               "std::lock_guard not caught")
+        expect(not fired("raw-mutex", "bad_thread.cpp:7:"),
+               "comment-only std::mutex wrongly flagged")
+        expect(fired("raw-mutex", "bad_thread.cpp:8:"),
+               "std::condition_variable not caught")
+        expect(fired("iostream-core", "bad_io.cpp:1:"),
+               "<iostream> in core/ not caught")
+        expect(fired("atomic-write", "bad_write.cpp:2:"),
+               'fopen "wb" not caught')
+        expect(not fired("atomic-write", "bad_write.cpp:3:"),
+               'append-mode fopen "a" wrongly flagged')
+        expect(fired("bench-trace", "bad_bench.cpp:1:"),
+               "bench without --trace not caught")
+
+        # Clean tree: waivers and sanctioned homes must stay quiet -----------
         clean = Path(tmp) / "clean"
-        (clean / "src" / "serve").mkdir(parents=True)
+        for sub in ("src/serve", "src/core", "src/train", "bench"):
+            (clean / sub).mkdir(parents=True)
         (clean / "src" / "serve" / "good.cpp").write_text(
             '#include "ckpt/crc32.hpp"\n'
             '#include "core/tensor.hpp"\n'
@@ -237,11 +316,34 @@ def self_test() -> int:
             "target_link_libraries(legw_serve PUBLIC legw_core legw_mem "
             "legw_obs)\n",
             encoding="utf-8")
-        stray = [f for f in lint(clean) if "[serve-no-tape]" in f]
+        # The sanctioned homes for std::mutex / std::thread, plus explicit
+        # waivers; none of these may fire.
+        (clean / "src" / "core" / "mutex.hpp").write_text(
+            '#include <mutex>\n'
+            'class Mutex { std::mutex mu_; };\n',
+            encoding="utf-8")
+        (clean / "src" / "core" / "thread_pool.cpp").write_text(
+            '#include <thread>\n'
+            'void pool() { std::thread t([] {}); t.join(); }\n',
+            encoding="utf-8")
+        (clean / "src" / "train" / "waived.cpp").write_text(
+            '// lint-allow: raw-thread — dedicated watchdog, joined at exit\n'
+            'void w() { std::thread t([] {}); t.join(); }\n'
+            '// lint-allow: raw-mutex — interop with a C library callback\n'
+            'std::mutex g_interop_mu;\n',
+            encoding="utf-8")
+        (clean / "bench" / "good_bench.cpp").write_text(
+            '#include "bench_common.hpp"\n'
+            'int main(int argc, char** argv) {\n'
+            '  bench::ScopedTrace trace(argc, argv);\n'
+            '  return 0;\n'
+            '}\n',
+            encoding="utf-8")
+        stray = lint(clean)
         expect(not stray, f"clean tree flagged: {stray}")
 
-    real = [f for f in lint(REPO) if "[serve-no-tape]" in f]
-    expect(not real, f"real tree has serve-no-tape findings: {real}")
+    real = lint(REPO)
+    expect(not real, f"real tree has findings: {real}")
 
     if failures:
         for msg in failures:
