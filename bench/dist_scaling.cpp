@@ -1,10 +1,14 @@
-// Distributed-engine scaling bench: times one data-parallel gradient step at
-// 1/2/4/8 replicas with bucketed allreduce in barrier mode (reduce after the
-// full backward — the classic synchronous schedule) versus overlapped mode
-// (buckets reduced concurrently with the backward tail). Both modes share the
-// same bucket plan, reduction order, and simulated wire (latency + bandwidth
-// sleeps), so the comparison isolates overlap, and their gradients must stay
-// bitwise identical ("parity" in the output). Emits BENCH_dist.json.
+// Distributed-engine scaling bench: times one data-parallel gradient step
+// per all-reduce algorithm (tree / ring / hier / the auto policy) across
+// replica counts up to 32, in barrier mode (reduce after the full backward —
+// the classic synchronous schedule) versus overlapped mode (buckets reduced
+// concurrently with the backward tail). Both modes share the same bucket
+// plan, reduction order, and simulated wire (latency + bandwidth sleeps, with
+// a faster intra-group link for the hierarchical schedule), so the comparison
+// isolates overlap, and their gradients must stay bitwise identical
+// ("parity" in the output). A second section re-runs the 8-replica auto row
+// under the fp16 and int8 wire formats to show the compression effect on the
+// simulated wire volume. Emits BENCH_dist.json.
 //
 // The workload is a deep Linear+ReLU stack rather than the LSTM models: BPTT
 // accumulates every cell weight's gradient across all timesteps, so an
@@ -14,7 +18,11 @@
 // overlapped schedule exploits (and what deep stacked-LSTM models get
 // per-layer).
 //
-// Usage: dist_scaling [--out BENCH_dist.json] [--reps N]
+// Usage: dist_scaling [--out BENCH_dist.json] [--reps N] [--smoke]
+//                     [--lat-us US] [--gbps GB] [--only N]
+//   --smoke: tiny shapes, 2/4/8 replicas, one rep — the ctest smoke target.
+//   --lat-us/--gbps: fabric wire-model overrides (intra-group link derives
+//   from them); --only N restricts the sweep to one replica count.
 // See docs/DIST.md for how to read the output.
 #include <chrono>
 #include <cstdio>
@@ -28,6 +36,7 @@
 #include "core/io.hpp"
 #include "nn/layers.hpp"
 #include "obs/trace.hpp"
+#include "dist/algorithms.hpp"
 #include "dist/overlap.hpp"
 
 namespace {
@@ -36,9 +45,11 @@ using namespace legw;
 using core::Rng;
 using core::Tensor;
 
-constexpr i64 kLayers = 8;
-constexpr i64 kDim = 512;   // 512x512 weights: one ~1 MB bucket per layer
-constexpr i64 kBatch = 32;  // per replica
+struct Shape {
+  i64 layers = 16;  // deep: bucket completions spread across the backward
+  i64 dim = 256;    // 256x256 weights: one ~256 KB bucket per layer
+  i64 batch = 16;   // per replica
+};
 
 struct Replica {
   std::vector<std::unique_ptr<nn::Linear>> layers;
@@ -50,13 +61,14 @@ struct ReplicaSet {
   std::vector<std::vector<ag::Variable>> params;
 };
 
-ReplicaSet make_replicas(int n) {
+ReplicaSet make_replicas(int n, const Shape& shape) {
   ReplicaSet set;
   for (int r = 0; r < n; ++r) {
     Replica rep;
     Rng rng(42);  // identical initialisation on every replica
-    for (i64 l = 0; l < kLayers; ++l) {
-      rep.layers.push_back(std::make_unique<nn::Linear>(kDim, kDim, rng));
+    for (i64 l = 0; l < shape.layers; ++l) {
+      rep.layers.push_back(
+          std::make_unique<nn::Linear>(shape.dim, shape.dim, rng));
       for (const ag::Variable& p : rep.layers.back()->parameters()) {
         rep.params.push_back(p);
       }
@@ -67,15 +79,30 @@ ReplicaSet make_replicas(int n) {
   return set;
 }
 
-dist::OverlapConfig bench_config(bool overlap) {
+// Wire sized so the comm term is a large fraction of — but not larger
+// than — the backward compute: a bigger bill cannot be hidden no matter
+// how good the schedule is, and a much smaller one is invisible. The
+// intra-group link is the faster "within one node" path the hierarchical
+// schedule exploits. Overridable from the command line for tuning against a
+// particular host.
+struct WireParams {
+  double latency_us = 100.0;
+  double gbytes_per_sec = 1.0;
+};
+
+dist::OverlapConfig bench_config(bool overlap, core::DistAlgo algo,
+                                 core::WireFormat wire_format,
+                                 const WireParams& wp) {
   dist::OverlapConfig config;
   config.overlap = overlap;
+  config.algo = algo;
+  config.wire_format = wire_format;
   config.bucket_bytes = 8 * 1024;  // roughly one bucket per layer
-  // Wire sized so the comm term is a large fraction of — but not larger
-  // than — the backward compute: a bigger bill cannot be hidden no matter
-  // how good the schedule is, and a much smaller one is invisible.
-  config.wire.latency_us = 200.0;
-  config.wire.gbytes_per_sec = 0.5;
+  config.comm_threads = 2;         // exercise the multi-reducer path
+  config.wire.latency_us = wp.latency_us;
+  config.wire.gbytes_per_sec = wp.gbytes_per_sec;
+  config.wire.intra_latency_us = wp.latency_us / 5.0;
+  config.wire.intra_gbytes_per_sec = wp.gbytes_per_sec * 4.0;
   return config;
 }
 
@@ -88,30 +115,35 @@ double now_seconds() {
 struct ModeResult {
   double step_ms = 0.0;
   i64 buckets = 0;
+  i64 wire_bytes = 0;
+  dist::OverlapStats stats;
   std::vector<Tensor> grads;  // replica 0, for the parity check
 };
 
-ModeResult run_mode(int n_replicas, bool overlap, int reps) {
-  ReplicaSet set = make_replicas(n_replicas);
+ModeResult run_mode(int n_replicas, const Shape& shape, bool overlap,
+                    core::DistAlgo algo, core::WireFormat wire_format,
+                    const WireParams& wp, int reps) {
+  ReplicaSet set = make_replicas(n_replicas, shape);
   // Per-replica input/target shards, distinct across replicas.
   std::vector<Tensor> inputs, targets;
   Rng data_rng(7);
   for (int r = 0; r < n_replicas; ++r) {
-    inputs.push_back(Tensor::randn({kBatch, kDim}, data_rng));
-    targets.push_back(Tensor::randn({kBatch, kDim}, data_rng));
+    inputs.push_back(Tensor::randn({shape.batch, shape.dim}, data_rng));
+    targets.push_back(Tensor::randn({shape.batch, shape.dim}, data_rng));
   }
   auto loss_fn = [&](int r) {
     const Replica& rep = set.replicas[static_cast<std::size_t>(r)];
     ag::Variable h =
         ag::Variable::constant(inputs[static_cast<std::size_t>(r)]);
-    for (i64 l = 0; l < kLayers; ++l) {
+    for (i64 l = 0; l < shape.layers; ++l) {
       h = rep.layers[static_cast<std::size_t>(l)]->forward(h);
-      if (l + 1 < kLayers) h = ag::relu(h);
+      if (l + 1 < shape.layers) h = ag::relu(h);
     }
     return ag::mean_all(ag::mul(
         h, ag::Variable::constant(targets[static_cast<std::size_t>(r)])));
   };
-  const dist::OverlapConfig config = bench_config(overlap);
+  const dist::OverlapConfig config =
+      bench_config(overlap, algo, wire_format, wp);
 
   ModeResult res;
   dist::OverlapResult step = dist::overlapped_backward(set.params, loss_fn,
@@ -124,6 +156,8 @@ ModeResult run_mode(int n_replicas, bool overlap, int reps) {
   }
   res.step_ms = (now_seconds() - t0) * 1e3 / reps;
   res.buckets = step.stats.n_buckets;
+  res.wire_bytes = step.stats.wire_bytes;
+  res.stats = step.stats;
   for (const ag::Variable& p : set.params[0]) res.grads.push_back(p.grad());
   return res;
 }
@@ -139,56 +173,136 @@ bool bitwise_equal(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
   return true;
 }
 
+// The algorithm most buckets resolved to — for auto rows this names the
+// policy's pick at that scale.
+const char* resolved_name(const dist::OverlapStats& stats) {
+  if (stats.buckets_ring >= stats.buckets_tree &&
+      stats.buckets_ring >= stats.buckets_hier) {
+    if (stats.buckets_ring > 0) return "ring";
+  }
+  if (stats.buckets_hier >= stats.buckets_tree && stats.buckets_hier > 0) {
+    return "hier";
+  }
+  return "tree";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::ScopedTrace scoped_trace(argc, argv);
   core::Flags flags(argc, argv);
   const std::string out_path = flags.get_string("out", "BENCH_dist.json");
-  const int reps = static_cast<int>(flags.get_int("reps", 5));
+  const bool smoke = flags.get_bool("smoke", false);
+  const int reps =
+      static_cast<int>(flags.get_int("reps", smoke ? 1 : 3));
+  WireParams wp;
+  wp.latency_us = flags.get_double("lat-us", wp.latency_us);
+  wp.gbytes_per_sec = flags.get_double("gbps", wp.gbytes_per_sec);
 
-  const std::vector<int> replica_counts = {1, 2, 4, 8};
+  Shape shape;
+  std::vector<int> replica_counts = {1, 2, 4, 8, 16, 32};
+  if (smoke) {
+    shape.layers = 4;
+    shape.dim = 64;
+    shape.batch = 8;
+    replica_counts = {2, 4, 8};
+  }
+  const int only = static_cast<int>(flags.get_int("only", 0));
+  if (only > 0) replica_counts = {only};
+  shape.layers = flags.get_int("layers", shape.layers);
+  shape.dim = flags.get_int("dim", shape.dim);
+  shape.batch = flags.get_int("batch", shape.batch);
+  const std::vector<core::DistAlgo> algos = {
+      core::DistAlgo::kAuto, core::DistAlgo::kTree, core::DistAlgo::kRing,
+      core::DistAlgo::kHier};
 
   core::AtomicFile out(out_path);
   LEGW_CHECK(out.ok(), "dist_scaling: cannot open " + out_path);
   std::FILE* f = out.stream();
   std::fprintf(f, "{\n  \"layers\": %lld,\n  \"dim\": %lld,\n",
-               static_cast<long long>(kLayers), static_cast<long long>(kDim));
+               static_cast<long long>(shape.layers),
+               static_cast<long long>(shape.dim));
   std::fprintf(f, "  \"batch_per_replica\": %lld,\n",
-               static_cast<long long>(kBatch));
-  std::fprintf(f, "  \"bucket_bytes\": %lld,\n",
-               static_cast<long long>(bench_config(true).bucket_bytes));
-  std::fprintf(f, "  \"replicas\": [\n");
+               static_cast<long long>(shape.batch));
+  const dist::OverlapConfig ref =
+      bench_config(true, core::DistAlgo::kAuto, core::WireFormat::kFp32, wp);
+  std::fprintf(f, "  \"bucket_bytes\": %lld,\n  \"comm_threads\": %d,\n",
+               static_cast<long long>(ref.bucket_bytes), ref.comm_threads);
+  std::fprintf(f,
+               "  \"wire_latency_us\": %.1f,\n  \"wire_gbytes_per_sec\": "
+               "%.3f,\n",
+               wp.latency_us, wp.gbytes_per_sec);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"rows\": [\n");
 
-  for (std::size_t i = 0; i < replica_counts.size(); ++i) {
-    const int n = replica_counts[i];
-    const ModeResult sync = run_mode(n, /*overlap=*/false, reps);
-    const ModeResult ovl = run_mode(n, /*overlap=*/true, reps);
-    const bool parity = bitwise_equal(sync.grads, ovl.grads);
-    const double speedup = sync.step_ms / ovl.step_ms;
-    std::printf("replicas %d  sync %8.2f ms  overlap %8.2f ms  "
-                "speedup %.2fx  buckets %lld  parity %s\n",
-                n, sync.step_ms, ovl.step_ms, speedup,
-                static_cast<long long>(ovl.buckets), parity ? "yes" : "NO");
+  bool first_row = true;
+  for (const int n : replica_counts) {
+    // The big counts dominate wall time on small hosts; halve the reps.
+    const int n_reps = n >= 16 ? std::max(1, reps / 2) : reps;
+    for (const core::DistAlgo algo : algos) {
+      const ModeResult sync = run_mode(n, shape, /*overlap=*/false, algo,
+                                       core::WireFormat::kFp32, wp, n_reps);
+      const ModeResult ovl = run_mode(n, shape, /*overlap=*/true, algo,
+                                      core::WireFormat::kFp32, wp, n_reps);
+      const bool parity = bitwise_equal(sync.grads, ovl.grads);
+      const double speedup = sync.step_ms / ovl.step_ms;
+      std::printf("replicas %2d  algo %-4s  sync %8.2f ms  overlap %8.2f ms  "
+                  "speedup %.2fx  buckets %lld (%s)  wire %lld B  parity %s\n",
+                  n, core::dist_algo_name(algo), sync.step_ms, ovl.step_ms,
+                  speedup, static_cast<long long>(ovl.buckets),
+                  resolved_name(ovl.stats),
+                  static_cast<long long>(ovl.wire_bytes),
+                  parity ? "yes" : "NO");
+      std::fprintf(f,
+                   "%s    {\"replicas\": %d, \"algo\": \"%s\", "
+                   "\"resolved\": \"%s\", \"sync_step_ms\": %.3f, "
+                   "\"overlap_step_ms\": %.3f, \"speedup\": %.3f, "
+                   "\"buckets\": %lld, \"wire_bytes\": %lld, \"parity\": %s}",
+                   first_row ? "" : ",\n", n, core::dist_algo_name(algo),
+                   resolved_name(ovl.stats), sync.step_ms, ovl.step_ms,
+                   speedup, static_cast<long long>(ovl.buckets),
+                   static_cast<long long>(ovl.wire_bytes),
+                   parity ? "true" : "false");
+      first_row = false;
+    }
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  // Wire-format section: the 8-replica auto row under each wire format. The
+  // interesting number is the simulated wire volume — fp16 halves it, int8
+  // quarters it (plus one scale word per hop) — while parity degrades from
+  // bitwise to approximate by design (error feedback recovers the loss in
+  // training; see tests/test_dist_wire.cpp).
+  const int wire_n = smoke ? 4 : 8;
+  std::fprintf(f, "  \"wire_formats\": [\n");
+  const std::vector<core::WireFormat> formats = {
+      core::WireFormat::kFp32, core::WireFormat::kFp16,
+      core::WireFormat::kInt8};
+  for (std::size_t i = 0; i < formats.size(); ++i) {
+    const ModeResult r = run_mode(wire_n, shape, /*overlap=*/true,
+                                  core::DistAlgo::kAuto, formats[i], wp,
+                                  smoke ? 1 : reps);
+    std::printf("wire %-4s  replicas %d  step %8.2f ms  wire %lld B\n",
+                core::wire_format_name(formats[i]), wire_n, r.step_ms,
+                static_cast<long long>(r.wire_bytes));
     std::fprintf(f,
-                 "    {\"replicas\": %d, \"sync_step_ms\": %.3f, "
-                 "\"overlap_step_ms\": %.3f, \"speedup\": %.3f, "
-                 "\"buckets\": %lld, \"parity\": %s}%s\n",
-                 n, sync.step_ms, ovl.step_ms, speedup,
-                 static_cast<long long>(ovl.buckets),
-                 parity ? "true" : "false",
-                 i + 1 < replica_counts.size() ? "," : "");
+                 "    {\"format\": \"%s\", \"replicas\": %d, "
+                 "\"step_ms\": %.3f, \"wire_bytes\": %lld}%s\n",
+                 core::wire_format_name(formats[i]), wire_n, r.step_ms,
+                 static_cast<long long>(r.wire_bytes),
+                 i + 1 < formats.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
 
-  // Traced pass: one overlapped 4-replica step under tracing so the JSON
-  // carries the per-bucket spans (bucket_reduce, overlap_idle,
-  // replica_backward) and engine counters.
+  // Traced pass: one overlapped step under tracing so the JSON carries the
+  // per-bucket spans (bucket_reduce and its per-algorithm children,
+  // overlap_idle, replica_backward) and engine counters.
   const bool was_enabled = obs::tracing_enabled();
   auto& rec = obs::TraceRecorder::global();
   obs::set_tracing_enabled(true);
   rec.clear();
-  (void)run_mode(4, /*overlap=*/true, 1);
+  (void)run_mode(smoke ? 4 : 8, shape, /*overlap=*/true, core::DistAlgo::kAuto,
+                 core::WireFormat::kFp32, wp, 1);
   obs::set_tracing_enabled(was_enabled);
 
   const auto phases = rec.phase_summary();

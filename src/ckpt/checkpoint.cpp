@@ -375,6 +375,15 @@ struct Section {
 }  // namespace
 
 Result load(TrainState& state, const std::string& path) {
+  std::string image;
+  if (!slurp(path, &image)) {
+    return fail(Status::kOpenFailed, "ckpt::load: cannot read " + path);
+  }
+  return load_image(state, image, path);
+}
+
+Result load_image(TrainState& state, const std::string& image,
+                  const std::string& path) {
   obs::Span span("ckpt_restore");
   if (state.models.empty()) {
     return fail(Status::kStateMismatch, "ckpt::load: no model in state");
@@ -383,10 +392,6 @@ Result load(TrainState& state, const std::string& path) {
       state.optimizers.size() != state.models.size()) {
     return fail(Status::kStateMismatch,
                 "ckpt::load: optimizers must align with models");
-  }
-  std::string image;
-  if (!slurp(path, &image)) {
-    return fail(Status::kOpenFailed, "ckpt::load: cannot read " + path);
   }
   Reader r{image.data(), image.size()};
 

@@ -109,6 +109,13 @@ std::string encode(const TrainState& state);
 // left untouched and the result message says so).
 [[nodiscard]] Result load(TrainState& state, const std::string& path);
 
+// load() over an in-memory container image — no file IO. This is the
+// elastic-join hand-off path (dist/membership.hpp): the anchor replica
+// encode()s its state and the joining replica restores straight from the
+// bytes. `origin` only labels error messages.
+[[nodiscard]] Result load_image(TrainState& state, const std::string& image,
+                                const std::string& origin);
+
 // A deterministic, seeded set of injected kills (the training-loop twin of
 // dist::FaultPlan). Steps are matched against TrainState::step.
 struct CrashPlan {

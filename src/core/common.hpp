@@ -14,6 +14,8 @@ using u64 = std::uint64_t;
 using i32 = std::int32_t;
 using u32 = std::uint32_t;
 using u16 = std::uint16_t;
+using i8 = std::int8_t;
+using u8 = std::uint8_t;
 
 namespace detail {
 [[noreturn]] inline void check_failed(const char* file, int line,

@@ -49,6 +49,39 @@ std::atomic<DistMode>& dist_mode_state() {
   return state;
 }
 
+std::atomic<DistAlgo>& dist_algo_state() {
+  static std::atomic<DistAlgo> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
+    if (const char* env = std::getenv("LEGW_DIST_ALGO")) {
+      const std::string v(env);
+      if (v == "tree") return DistAlgo::kTree;
+      if (v == "ring") return DistAlgo::kRing;
+      if (v == "hier") return DistAlgo::kHier;
+      LEGW_CHECK(v == "auto" || v.empty(),
+                 "LEGW_DIST_ALGO must be 'auto', 'tree', 'ring' or 'hier', "
+                 "got '" + v + "'");
+    }
+    return DistAlgo::kAuto;
+  }()};
+  return state;
+}
+
+std::atomic<WireFormat>& dist_wire_state() {
+  static std::atomic<WireFormat> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
+    if (const char* env = std::getenv("LEGW_DIST_WIRE")) {
+      const std::string v(env);
+      if (v == "fp16") return WireFormat::kFp16;
+      if (v == "int8") return WireFormat::kInt8;
+      LEGW_CHECK(v == "fp32" || v.empty(),
+                 "LEGW_DIST_WIRE must be 'fp32', 'fp16' or 'int8', got '" +
+                     v + "'");
+    }
+    return WireFormat::kFp32;
+  }()};
+  return state;
+}
+
 }  // namespace
 
 GemmKernel gemm_kernel() {
@@ -105,6 +138,77 @@ bool set_dist_mode(const std::string& name) {
 
 const char* dist_mode_name(DistMode m) {
   return m == DistMode::kSync ? "sync" : "overlap";
+}
+
+DistAlgo dist_algo() {
+  return dist_algo_state().load(std::memory_order_relaxed);
+}
+
+void set_dist_algo(DistAlgo a) {
+  dist_algo_state().store(a, std::memory_order_relaxed);
+}
+
+bool set_dist_algo(const std::string& name) {
+  if (name == "auto") {
+    set_dist_algo(DistAlgo::kAuto);
+    return true;
+  }
+  if (name == "tree") {
+    set_dist_algo(DistAlgo::kTree);
+    return true;
+  }
+  if (name == "ring") {
+    set_dist_algo(DistAlgo::kRing);
+    return true;
+  }
+  if (name == "hier") {
+    set_dist_algo(DistAlgo::kHier);
+    return true;
+  }
+  return false;
+}
+
+const char* dist_algo_name(DistAlgo a) {
+  switch (a) {
+    case DistAlgo::kAuto: return "auto";
+    case DistAlgo::kTree: return "tree";
+    case DistAlgo::kRing: return "ring";
+    case DistAlgo::kHier: return "hier";
+  }
+  return "auto";
+}
+
+WireFormat dist_wire() {
+  return dist_wire_state().load(std::memory_order_relaxed);
+}
+
+void set_dist_wire(WireFormat w) {
+  dist_wire_state().store(w, std::memory_order_relaxed);
+}
+
+bool set_dist_wire(const std::string& name) {
+  if (name == "fp32") {
+    set_dist_wire(WireFormat::kFp32);
+    return true;
+  }
+  if (name == "fp16") {
+    set_dist_wire(WireFormat::kFp16);
+    return true;
+  }
+  if (name == "int8") {
+    set_dist_wire(WireFormat::kInt8);
+    return true;
+  }
+  return false;
+}
+
+const char* wire_format_name(WireFormat w) {
+  switch (w) {
+    case WireFormat::kFp32: return "fp32";
+    case WireFormat::kFp16: return "fp16";
+    case WireFormat::kInt8: return "int8";
+  }
+  return "fp32";
 }
 
 Flags::Flags(int argc, char** argv) {

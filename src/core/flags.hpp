@@ -56,6 +56,43 @@ void set_dist_mode(DistMode m);
 bool set_dist_mode(const std::string& name);
 const char* dist_mode_name(DistMode m);
 
+// Which all-reduce algorithm reduces a gradient bucket (dist/algorithms.hpp):
+//   kAuto — size-based policy: tree for latency-bound small buckets, ring
+//           for bandwidth-bound large ones, hierarchical at high replica
+//           counts (dist::choose_algorithm resolves per bucket).
+//   kTree — flat stride-doubling binary tree (the original engine).
+//   kRing — chunked reduce-scatter + all-gather ring.
+//   kHier — intra-group tree reduce, inter-group exchange, intra-group
+//           broadcast (two-level topology, LBANN-style grouping).
+// Initial selection comes from LEGW_DIST_ALGO ("auto" default, "tree",
+// "ring", "hier"), read once on first use; same override pattern as
+// LEGW_KERNEL.
+enum class DistAlgo { kAuto, kTree, kRing, kHier };
+
+DistAlgo dist_algo();
+void set_dist_algo(DistAlgo a);
+// Parses "auto" / "tree" / "ring" / "hier" (the LEGW_DIST_ALGO vocabulary);
+// returns false on an unknown name and leaves the selection unchanged.
+bool set_dist_algo(const std::string& name);
+const char* dist_algo_name(DistAlgo a);
+
+// What format gradients travel in on the (simulated) wire:
+//   kFp32 — uncompressed (default).
+//   kFp16 — IEEE binary16, 2 bytes/element (~2x fewer bytes on wire).
+//   kInt8 — symmetric per-tensor int8, 1 byte/element (~4x fewer bytes);
+//           pair with error-feedback residuals (dist::WireState) to keep
+//           large-batch convergence intact.
+// Initial selection comes from LEGW_DIST_WIRE ("fp32" default, "fp16",
+// "int8"), read once on first use.
+enum class WireFormat { kFp32, kFp16, kInt8 };
+
+WireFormat dist_wire();
+void set_dist_wire(WireFormat w);
+// Parses "fp32" / "fp16" / "int8" (the LEGW_DIST_WIRE vocabulary); returns
+// false on an unknown name and leaves the selection unchanged.
+bool set_dist_wire(const std::string& name);
+const char* wire_format_name(WireFormat w);
+
 class Flags {
  public:
   // Parses argv; aborts with usage on malformed input (a flag without a

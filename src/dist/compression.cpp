@@ -1,6 +1,9 @@
 #include "dist/compression.hpp"
 
+#include <cmath>
 #include <cstring>
+
+#include "obs/trace.hpp"
 
 namespace legw::dist {
 
@@ -89,6 +92,155 @@ void decompress_fp16(const std::vector<u16>& src, core::Tensor& out) {
              "decompress_fp16: size mismatch");
   for (i64 i = 0; i < out.numel(); ++i) {
     out[i] = half_to_float(src[static_cast<std::size_t>(i)]);
+  }
+}
+
+void quantize_int8(const core::Tensor& src, std::vector<i8>& out,
+                   float* scale_out) {
+  const i64 n = src.numel();
+  out.resize(static_cast<std::size_t>(n));
+  float amax = 0.0f;
+  for (i64 i = 0; i < n; ++i) {
+    const float v = src[i];
+    if (std::isfinite(v)) amax = std::max(amax, std::fabs(v));
+  }
+  const float scale = amax / 127.0f;
+  if (scale_out != nullptr) *scale_out = scale;
+  const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+  for (i64 i = 0; i < n; ++i) {
+    const float v = src[i];
+    if (!std::isfinite(v)) {
+      out[static_cast<std::size_t>(i)] = 0;
+      continue;
+    }
+    float q = std::nearbyint(v * inv);
+    if (q > 127.0f) q = 127.0f;
+    if (q < -127.0f) q = -127.0f;
+    out[static_cast<std::size_t>(i)] = static_cast<i8>(q);
+  }
+}
+
+void dequantize_int8(const std::vector<i8>& src, float scale,
+                     core::Tensor& out) {
+  LEGW_CHECK(static_cast<i64>(src.size()) == out.numel(),
+             "dequantize_int8: size mismatch");
+  for (i64 i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<float>(src[static_cast<std::size_t>(i)]) * scale;
+  }
+}
+
+void wire_roundtrip(WireFormat format, core::Tensor& t) {
+  switch (format) {
+    case WireFormat::kFp32:
+      return;
+    case WireFormat::kFp16: {
+      for (i64 i = 0; i < t.numel(); ++i) {
+        t[i] = half_to_float(float_to_half(t[i]));
+      }
+      break;
+    }
+    case WireFormat::kInt8: {
+      const i64 n = t.numel();
+      float amax = 0.0f;
+      for (i64 i = 0; i < n; ++i) {
+        if (std::isfinite(t[i])) amax = std::max(amax, std::fabs(t[i]));
+      }
+      const float scale = amax / 127.0f;
+      const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+      for (i64 i = 0; i < n; ++i) {
+        const float v = t[i];
+        if (!std::isfinite(v)) {
+          // NaN stays NaN, +-Inf stays +-Inf: the tripwires must still see
+          // a diverged gradient on the far side of the wire.
+          t[i] = v;
+          continue;
+        }
+        float q = std::nearbyint(v * inv);
+        if (q > 127.0f) q = 127.0f;
+        if (q < -127.0f) q = -127.0f;
+        t[i] = q * scale;
+      }
+      break;
+    }
+  }
+  obs::count("dist.requantize", 1);
+}
+
+WireState::WireState(
+    const std::vector<std::vector<ag::Variable>>& replica_params) {
+  residual_.reserve(replica_params.size());
+  for (const auto& params : replica_params) {
+    std::vector<core::Tensor> row;
+    row.reserve(params.size());
+    for (const ag::Variable& p : params) {
+      row.push_back(core::Tensor::zeros(p.value().shape()));
+    }
+    residual_.push_back(std::move(row));
+  }
+}
+
+core::Tensor& WireState::residual(int replica, std::size_t param) {
+  LEGW_CHECK(replica >= 0 && replica < n_replicas() && param < n_params(),
+             "WireState::residual: index out of range");
+  return residual_[static_cast<std::size_t>(replica)][param];
+}
+
+float WireState::max_abs_residual() const {
+  float amax = 0.0f;
+  for (const auto& row : residual_) {
+    for (const core::Tensor& t : row) {
+      for (i64 i = 0; i < t.numel(); ++i) {
+        amax = std::max(amax, std::fabs(t[i]));
+      }
+    }
+  }
+  return amax;
+}
+
+std::vector<std::pair<std::string, core::Tensor*>>
+WireState::named_residuals() {
+  std::vector<std::pair<std::string, core::Tensor*>> out;
+  for (std::size_t r = 0; r < residual_.size(); ++r) {
+    for (std::size_t p = 0; p < residual_[r].size(); ++p) {
+      out.emplace_back("dist.ef.r" + std::to_string(r) + ".p" +
+                           std::to_string(p),
+                       &residual_[r][p]);
+    }
+  }
+  return out;
+}
+
+void quantize_contributions(std::vector<core::Tensor*>& shards,
+                            WireFormat format, WireState* state,
+                            const std::vector<int>* global_ids,
+                            std::size_t param) {
+  if (format == WireFormat::kFp32) return;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    core::Tensor& grad = *shards[i];
+    if (state == nullptr) {
+      wire_roundtrip(format, grad);
+      continue;
+    }
+    const int gid = global_ids != nullptr
+                        ? (*global_ids)[i]
+                        : static_cast<int>(i);
+    core::Tensor& res = state->residual(gid, param);
+    LEGW_CHECK(res.same_shape(grad),
+               "quantize_contributions: residual shape mismatch");
+    // v = grad + residual; grad = Q(v); residual = v - Q(v).
+    for (i64 j = 0; j < grad.numel(); ++j) grad[j] += res[j];
+    for (i64 j = 0; j < grad.numel(); ++j) res[j] = grad[j];
+    wire_roundtrip(format, grad);
+    for (i64 j = 0; j < grad.numel(); ++j) res[j] -= grad[j];
+  }
+}
+
+void quantize_broadcast(std::vector<core::Tensor*>& shards,
+                        WireFormat format) {
+  if (format == WireFormat::kFp32 || shards.empty()) return;
+  wire_roundtrip(format, *shards[0]);
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    *shards[i] = *shards[0];
   }
 }
 

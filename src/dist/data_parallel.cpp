@@ -2,7 +2,9 @@
 
 #include <thread>
 
-#include "dist/allreduce.hpp"
+#include "core/flags.hpp"
+#include "dist/algorithms.hpp"
+#include "dist/compression.hpp"
 #include "mem/alloc.hpp"
 #include "obs/trace.hpp"
 
@@ -10,7 +12,8 @@ namespace legw::dist {
 
 float synchronous_backward(
     const std::vector<std::vector<ag::Variable>>& replica_params,
-    const std::function<ag::Variable(int replica)>& loss_fn) {
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    WireState* wire_state) {
   const int n_replicas = static_cast<int>(replica_params.size());
   LEGW_CHECK(n_replicas >= 1, "synchronous_backward: need >= 1 replica");
   const std::size_t n_params = replica_params[0].size();
@@ -43,7 +46,11 @@ float synchronous_backward(
   }
   for (auto& t : threads) t.join();
 
-  // Bucket-by-bucket deterministic all-reduce over the gradients.
+  // Parameter-by-parameter deterministic all-reduce over the gradients,
+  // through the configured algorithm and wire format.
+  const core::DistAlgo algo = core::dist_algo();
+  const core::WireFormat wire = core::dist_wire();
+  i64 wire_bytes = 0;
   for (std::size_t p = 0; p < n_params; ++p) {
     std::vector<core::Tensor*> shards;
     shards.reserve(static_cast<std::size_t>(n_replicas));
@@ -51,8 +58,12 @@ float synchronous_backward(
       ag::Variable handle = replica_params[static_cast<std::size_t>(r)][p];
       shards.push_back(&handle.mutable_grad());
     }
-    tree_allreduce_mean(shards);
+    quantize_contributions(shards, wire, wire_state, nullptr, p);
+    allreduce_mean(shards, algo);
+    quantize_broadcast(shards, wire);
+    wire_bytes += allreduce_wire_bytes(n_replicas, shards[0]->numel(), wire);
   }
+  obs::count("dist.wire_bytes", wire_bytes);
 
   float mean_loss = 0.0f;
   for (float l : losses) mean_loss += l;

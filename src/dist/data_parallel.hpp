@@ -6,8 +6,9 @@
 // all-reduce averages the gradients, and every replica applies the identical
 // optimizer update — so replicas stay bit-synchronised without ever shipping
 // weights. Here replicas are real threads in one process and the all-reduce
-// is dist::tree_allreduce_mean, which is deterministic, so the synchrony
-// invariant is exactly testable (tests/test_data_parallel.cpp).
+// is dist::allreduce_mean (tree, ring or hierarchical, per LEGW_DIST_ALGO),
+// each of which is deterministic, so the synchrony invariant is exactly
+// testable (tests/test_data_parallel.cpp).
 #pragma once
 
 #include <functional>
@@ -16,6 +17,8 @@
 #include "ag/variable.hpp"
 
 namespace legw::dist {
+
+class WireState;  // compression.hpp — error-feedback residuals
 
 // One synchronous backward pass:
 //  * `replica_params[r]` are replica r's parameters (aligned across r);
@@ -26,9 +29,16 @@ namespace legw::dist {
 //    the global-batch mean gradient).
 // Gradients are zeroed before the backward. Returns the mean of the shard
 // losses. Thread-safety: loss_fn runs concurrently, one thread per replica.
+//
+// The all-reduce runs the LEGW_DIST_ALGO algorithm over the LEGW_DIST_WIRE
+// format: non-fp32 formats quantize each replica's contribution at the
+// sender edge, reduce in fp32, and re-quantize the broadcast, keeping the
+// replicas bit-synchronised. `wire_state` (optional, caller-owned) enables
+// error-feedback residuals for the quantized wire.
 float synchronous_backward(
     const std::vector<std::vector<ag::Variable>>& replica_params,
-    const std::function<ag::Variable(int replica)>& loss_fn);
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    WireState* wire_state = nullptr);
 
 // Verifies the synchrony invariant: all replicas hold bitwise-identical
 // parameter values. Returns the index of the first mismatching parameter,

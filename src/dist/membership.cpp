@@ -1,0 +1,217 @@
+#include "dist/membership.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace legw::dist {
+
+const char* membership_policy_name(MembershipPolicy p) {
+  switch (p) {
+    case MembershipPolicy::kFailFast: return "fail-fast";
+    case MembershipPolicy::kDegrade: return "degrade";
+    case MembershipPolicy::kReassign: return "reassign";
+  }
+  return "fail-fast";
+}
+
+MembershipPlan MembershipPlan::seeded(u64 seed, i64 steps, int n_replicas,
+                                      int n_events) {
+  LEGW_CHECK(steps >= 2 && n_replicas >= 2 && n_events >= 0,
+             "MembershipPlan::seeded: need steps >= 2, replicas >= 2");
+  core::Rng rng(seed);
+  MembershipPlan plan;
+  // Track per-replica presence while generating so the plan stays
+  // consistent; replica 0 never appears.
+  std::vector<ReplicaState> st(static_cast<std::size_t>(n_replicas),
+                               ReplicaState::kActive);
+  i64 step = 1;
+  for (int e = 0; e < n_events && step < steps; ++e) {
+    const int r = 1 + static_cast<int>(
+                          rng.uniform_int(static_cast<u64>(n_replicas - 1)));
+    auto& s = st[static_cast<std::size_t>(r)];
+    MembershipEvent ev;
+    ev.step = step;
+    ev.replica = r;
+    if (s == ReplicaState::kActive) {
+      // Mostly graceful leaves, occasionally a death.
+      const bool die = rng.uniform_int(4) == 0;
+      ev.kind = die ? MembershipEvent::Kind::kDie
+                    : MembershipEvent::Kind::kLeave;
+      s = die ? ReplicaState::kDead : ReplicaState::kStandby;
+    } else if (s == ReplicaState::kStandby) {
+      ev.kind = MembershipEvent::Kind::kJoin;
+      s = ReplicaState::kActive;
+    } else {
+      // Dead stays dead: skip the step slot but not the event budget.
+      --e;
+      step += 1 + static_cast<i64>(rng.uniform_int(2));
+      continue;
+    }
+    plan.events.push_back(ev);
+    step += 1 + static_cast<i64>(rng.uniform_int(2));
+  }
+  plan.validate(n_replicas);
+  return plan;
+}
+
+void MembershipPlan::validate(int n_replicas) const {
+  std::vector<ReplicaState> st(static_cast<std::size_t>(n_replicas),
+                               ReplicaState::kActive);
+  i64 prev_step = 0;
+  for (const MembershipEvent& e : events) {
+    LEGW_CHECK(e.step >= prev_step, "MembershipPlan: events must be sorted");
+    prev_step = e.step;
+    LEGW_CHECK(e.replica >= 1 && e.replica < n_replicas,
+               "MembershipPlan: replica out of range (replica 0 anchors "
+               "checkpointing and can never leave)");
+    auto& s = st[static_cast<std::size_t>(e.replica)];
+    LEGW_CHECK(s != ReplicaState::kDead,
+               "MembershipPlan: event on a dead replica");
+    switch (e.kind) {
+      case MembershipEvent::Kind::kJoin:
+        LEGW_CHECK(s == ReplicaState::kStandby,
+                   "MembershipPlan: join of a replica that never left");
+        s = ReplicaState::kActive;
+        break;
+      case MembershipEvent::Kind::kLeave:
+        LEGW_CHECK(s == ReplicaState::kActive,
+                   "MembershipPlan: leave of an absent replica");
+        s = ReplicaState::kStandby;
+        break;
+      case MembershipEvent::Kind::kDie:
+        LEGW_CHECK(s == ReplicaState::kActive,
+                   "MembershipPlan: death of an absent replica");
+        s = ReplicaState::kDead;
+        break;
+    }
+  }
+}
+
+MembershipManager::MembershipManager(int n_replicas, MembershipPolicy policy,
+                                     const MembershipPlan* plan)
+    : n_replicas_(n_replicas), policy_(policy), plan_(plan) {
+  LEGW_CHECK(n_replicas_ >= 1, "MembershipManager: need >= 1 replica");
+  if (plan_ != nullptr) plan_->validate(n_replicas_);
+  state_.assign(static_cast<std::size_t>(n_replicas_),
+                ReplicaState::kActive);
+  active_.resize(static_cast<std::size_t>(n_replicas_));
+  for (int r = 0; r < n_replicas_; ++r) {
+    active_[static_cast<std::size_t>(r)] = r;
+  }
+}
+
+void MembershipManager::apply(const MembershipEvent& e, Transition* out) {
+  auto& s = state_[static_cast<std::size_t>(e.replica)];
+  switch (e.kind) {
+    case MembershipEvent::Kind::kJoin:
+      s = ReplicaState::kActive;
+      if (out != nullptr) out->joined.push_back(e.replica);
+      break;
+    case MembershipEvent::Kind::kLeave:
+      s = ReplicaState::kStandby;
+      if (out != nullptr) out->left.push_back(e.replica);
+      break;
+    case MembershipEvent::Kind::kDie:
+      s = ReplicaState::kDead;
+      if (out != nullptr) {
+        out->died.push_back(e.replica);
+        dying_now_.push_back(e.replica);
+      }
+      break;
+  }
+  active_.clear();
+  for (int r = 0; r < n_replicas_; ++r) {
+    if (state_[static_cast<std::size_t>(r)] == ReplicaState::kActive) {
+      active_.push_back(r);
+    }
+  }
+}
+
+MembershipManager::Transition MembershipManager::begin_step(i64 step) {
+  LEGW_CHECK(step >= current_step_,
+             "MembershipManager: steps must be visited in order");
+  current_step_ = step;
+  dying_now_.clear();
+  Transition tr;
+  if (plan_ == nullptr) return tr;
+  while (next_event_ < plan_->events.size() &&
+         plan_->events[next_event_].step <= step) {
+    // Events planned for skipped steps (e.g. a resume that jumps the
+    // boundary) still apply, just without the detection theatre.
+    const MembershipEvent& e = plan_->events[next_event_];
+    apply(e, e.step == step ? &tr : nullptr);
+    ++next_event_;
+  }
+  std::sort(dying_now_.begin(), dying_now_.end());
+  LEGW_CHECK(!active_.empty(),
+             "MembershipManager: no active replica left at step " +
+                 std::to_string(step));
+  return tr;
+}
+
+void MembershipManager::fast_forward(i64 resume_step) {
+  while (plan_ != nullptr && next_event_ < plan_->events.size() &&
+         plan_->events[next_event_].step < resume_step) {
+    apply(plan_->events[next_event_], nullptr);
+    ++next_event_;
+  }
+  current_step_ = resume_step - 1;
+}
+
+std::vector<int> MembershipManager::participants() const {
+  std::vector<int> out = active_;
+  out.insert(out.end(), dying_now_.begin(), dying_now_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ReplicaState MembershipManager::state(int replica) const {
+  LEGW_CHECK(replica >= 0 && replica < n_replicas_,
+             "MembershipManager::state: replica out of range");
+  return state_[static_cast<std::size_t>(replica)];
+}
+
+int MembershipManager::shard_owner(int shard) const {
+  LEGW_CHECK(shard >= 0 && shard < n_replicas_,
+             "MembershipManager::shard_owner: shard out of range");
+  if (state_[static_cast<std::size_t>(shard)] == ReplicaState::kActive) {
+    return shard;
+  }
+  // A replica dying this step keeps its home shard: the engine is about to
+  // detect the death and degrade around it.
+  for (int d : dying_now_) {
+    if (d == shard) return shard;
+  }
+  if (policy_ != MembershipPolicy::kReassign) return -1;
+  // Round-robin orphans over the actives: the k-th orphaned shard (by
+  // index) goes to the k-th active (mod n_active) — deterministic, and
+  // balanced when several shards are orphaned.
+  int orphan_rank = 0;
+  for (int s = 0; s < shard; ++s) {
+    const bool active =
+        state_[static_cast<std::size_t>(s)] == ReplicaState::kActive;
+    bool dying = false;
+    for (int d : dying_now_) dying = dying || d == s;
+    if (!active && !dying) ++orphan_rank;
+  }
+  return active_[static_cast<std::size_t>(orphan_rank) % active_.size()];
+}
+
+std::vector<std::vector<int>> MembershipManager::shard_assignment() const {
+  const std::vector<int> parts = participants();
+  std::vector<std::vector<int>> out(parts.size());
+  for (int s = 0; s < n_replicas_; ++s) {
+    const int owner = shard_owner(s);
+    if (owner < 0) continue;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i] == owner) {
+        out[i].push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace legw::dist

@@ -1,0 +1,133 @@
+// Elastic membership: replicas joining and leaving a data-parallel run.
+//
+// The fixed-replica engines assume the replica set chosen at construction
+// lives for the whole run; a dead node can only be *averaged around*
+// (TimeoutPolicy::kDegradeToSurvivors), silently shrinking the global batch.
+// This layer makes the membership itself a first-class, step-indexed state
+// machine so the training loop can react instead:
+//
+//                    join (checkpoint hand-off)
+//          kStandby  ────────────────────────▶  kActive
+//             ▲                                   │  │
+//             └───────────────────────────────────┘  │ die (FaultPlan)
+//                    leave (graceful)                ▼
+//                                                 kDead (terminal)
+//
+// Events are planned per step (MembershipPlan — seeded generation mirrors
+// dist::FaultPlan), so every run replays identically and composes with
+// checkpoint crash+resume: MembershipManager::fast_forward re-applies the
+// history below the resume step without hand-offs (the checkpoint restore
+// already re-synchronised every replica).
+//
+// Shard policy. The global batch is always cut into n_replicas shards so
+// the data order never depends on membership. A shard whose home replica is
+// inactive is an *orphan*; MembershipPolicy decides its fate:
+//   kFailFast — any death fails the step (leaves/joins are still fine);
+//   kDegrade  — orphans are dropped: the step trains on a smaller batch
+//               (the old averaged-around behaviour, made explicit);
+//   kReassign — orphans are dealt round-robin to the surviving actives, so
+//               the effective batch (and the LEGW schedule's batch-size
+//               assumptions) survive the failure. The gradient stays the
+//               mean over *all* shards, each survivor contributing its
+//               assigned shards scaled by n_active / n_shards.
+//
+// A kDie event at step s is detected *during* step s through the overlap
+// engine's timeout machinery (the runner injects a FaultPlan for the dying
+// replica), so the death step itself degrades to the survivor mean — exactly
+// what a real cluster sees — and re-sharding takes effect from step s+1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace legw::dist {
+
+enum class MembershipPolicy { kFailFast, kDegrade, kReassign };
+const char* membership_policy_name(MembershipPolicy p);
+
+struct MembershipEvent {
+  enum class Kind { kJoin, kLeave, kDie };
+  i64 step = 0;
+  int replica = 0;
+  Kind kind = Kind::kLeave;
+};
+
+struct MembershipPlan {
+  // Must be sorted by step; replica 0 must never leave or die (it anchors
+  // checkpointing and hand-offs). validate() enforces both.
+  std::vector<MembershipEvent> events;
+
+  // Seeded random plan over [1, steps): `n_events` leave/join/die events on
+  // replicas 1..n_replicas-1, internally consistent (only an active replica
+  // leaves or dies, only a standby replica joins, dead stays dead). Same
+  // seed, same plan.
+  static MembershipPlan seeded(u64 seed, i64 steps, int n_replicas,
+                               int n_events);
+
+  // Aborts (LEGW_CHECK) on an inconsistent plan: unsorted events, replica
+  // out of range, events on replica 0, join of a never-absent replica,
+  // leave/die of an absent replica, or anything after a death.
+  void validate(int n_replicas) const;
+};
+
+enum class ReplicaState { kActive, kStandby, kDead };
+
+class MembershipManager {
+ public:
+  // All `n_replicas` replicas start active. `plan` is not owned and may be
+  // nullptr (static membership: begin_step never returns a transition).
+  MembershipManager(int n_replicas, MembershipPolicy policy,
+                    const MembershipPlan* plan);
+
+  struct Transition {
+    std::vector<int> joined;  // activated this step — hand-off required
+    std::vector<int> left;    // gracefully out as of this step
+    std::vector<int> died;    // dying *during* this step: keep them in the
+                              // participant set with an injected dead fault
+  };
+
+  // Applies every event with event.step == step (steps must be visited in
+  // nondecreasing order). Joins and leaves are effective immediately; a
+  // dying replica is reported in `died` and stays in participants() for
+  // this one step so the engine's timeout machinery detects it.
+  Transition begin_step(i64 step);
+
+  // Replays all events with event.step < resume_step without reporting
+  // transitions — the checkpoint-resume path.
+  void fast_forward(i64 resume_step);
+
+  // Sorted global ids of the active replicas.
+  const std::vector<int>& active() const { return active_; }
+  // active() plus the replicas dying this step (sorted) — the set the
+  // engine should run with for the current step.
+  std::vector<int> participants() const;
+
+  ReplicaState state(int replica) const;
+  MembershipPolicy policy() const { return policy_; }
+  int n_replicas() const { return n_replicas_; }
+
+  // Owner of shard s under the current active set: the home replica when
+  // active; otherwise round-robin over the actives (kReassign) or -1
+  // (kDegrade / kFailFast — orphan dropped). A replica dying this step
+  // still owns its home shard (the engine degrades around it).
+  int shard_owner(int shard) const;
+
+  // shards assigned to each participant, aligned with participants().
+  std::vector<std::vector<int>> shard_assignment() const;
+
+ private:
+  void apply(const MembershipEvent& e, Transition* out);
+
+  int n_replicas_ = 0;
+  MembershipPolicy policy_ = MembershipPolicy::kFailFast;
+  const MembershipPlan* plan_ = nullptr;  // not owned
+  std::size_t next_event_ = 0;
+  i64 current_step_ = -1;
+  std::vector<ReplicaState> state_;
+  std::vector<int> active_;        // sorted, rebuilt on every transition
+  std::vector<int> dying_now_;     // kDie events applied at current_step_
+};
+
+}  // namespace legw::dist

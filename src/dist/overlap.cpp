@@ -12,7 +12,9 @@
 #include "core/flags.hpp"
 #include "core/mutex.hpp"
 #include "core/rng.hpp"
+#include "dist/algorithms.hpp"
 #include "dist/allreduce.hpp"
+#include "dist/compression.hpp"
 #include "dist/data_parallel.hpp"
 #include "mem/alloc.hpp"
 #include "obs/trace.hpp"
@@ -69,6 +71,61 @@ double WireModel::bucket_us(i64 bytes) const {
   return us;
 }
 
+namespace {
+
+double hop_us(double latency_us, double gbytes_per_sec, double bytes) {
+  double us = latency_us;
+  if (gbytes_per_sec > 0.0) us += bytes / (gbytes_per_sec * 1e3);
+  return us;
+}
+
+double ceil_log2(int n) {
+  int rounds = 0;
+  for (int span = 1; span < n; span *= 2) ++rounds;
+  return static_cast<double>(rounds);
+}
+
+}  // namespace
+
+double WireModel::allreduce_us(DistAlgo resolved, int n_shards, i64 bytes,
+                               WireFormat wire, int group_size) const {
+  if (n_shards <= 1) return 0.0;
+  // The bandwidth term scales with the wire format's element width; the
+  // per-hop latency does not.
+  const double fmt = static_cast<double>(wire_elem_bytes(wire)) / 4.0;
+  const double payload = static_cast<double>(bytes) * fmt;
+  const double n = static_cast<double>(n_shards);
+  switch (resolved) {
+    case DistAlgo::kTree:
+    case DistAlgo::kAuto: {
+      // Reduce + broadcast: ceil(log2 n) rounds each, full payload per hop.
+      const double rounds = 2.0 * ceil_log2(n_shards);
+      return rounds * hop_us(latency_us, gbytes_per_sec, payload);
+    }
+    case DistAlgo::kRing: {
+      // 2*(n-1) hops of payload/n: the bandwidth term stays ~2*payload.
+      const double hops = 2.0 * (n - 1.0);
+      return hops * hop_us(latency_us, gbytes_per_sec, payload / n);
+    }
+    case DistAlgo::kHier: {
+      const int g = group_size > 0 ? std::min(group_size, n_shards)
+                                   : hier_group_size(n_shards);
+      const int n_groups = (n_shards + g - 1) / g;
+      const double intra_lat =
+          intra_latency_us > 0.0 ? intra_latency_us : latency_us;
+      const double intra_bw =
+          intra_gbytes_per_sec > 0.0 ? intra_gbytes_per_sec : gbytes_per_sec;
+      // Intra reduce + intra broadcast on the island link, inter exchange
+      // over the leaders on the fabric.
+      const double intra_rounds = 2.0 * ceil_log2(g);
+      const double inter_rounds = 2.0 * ceil_log2(n_groups);
+      return intra_rounds * hop_us(intra_lat, intra_bw, payload) +
+             inter_rounds * hop_us(latency_us, gbytes_per_sec, payload);
+    }
+  }
+  return 0.0;
+}
+
 std::vector<std::vector<std::size_t>> plan_buckets(
     const std::vector<ag::Variable>& params, i64 bucket_bytes) {
   LEGW_CHECK(bucket_bytes > 0, "plan_buckets: bucket_bytes must be positive");
@@ -87,18 +144,30 @@ std::vector<std::vector<std::size_t>> plan_buckets(
   return buckets;
 }
 
+namespace {
+
+i64 positive_int_env(const char* name, i64 def) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
+  const char* env = std::getenv(name);
+  if (env == nullptr) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  LEGW_CHECK(end != nullptr && *end == '\0' && v > 0,
+             std::string(name) + " must be a positive integer, got '" + env +
+                 "'");
+  return static_cast<i64>(v);
+}
+
+}  // namespace
+
 OverlapConfig default_overlap_config() {
   OverlapConfig config;
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
-  if (const char* env = std::getenv("LEGW_DIST_BUCKET_KB")) {
-    char* end = nullptr;
-    const long long kb = std::strtoll(env, &end, 10);
-    LEGW_CHECK(end != nullptr && *end == '\0' && kb > 0,
-               std::string("LEGW_DIST_BUCKET_KB must be a positive integer, "
-                           "got '") +
-                   env + "'");
-    config.bucket_bytes = static_cast<i64>(kb) * 1024;
-  }
+  config.bucket_bytes = positive_int_env("LEGW_DIST_BUCKET_KB", 256) * 1024;
+  config.algo = core::dist_algo();
+  config.wire_format = core::dist_wire();
+  config.hier_group = static_cast<int>(positive_int_env("LEGW_DIST_GROUP", 0));
+  config.comm_threads =
+      static_cast<int>(positive_int_env("LEGW_DIST_COMM_THREADS", 1));
   return config;
 }
 
@@ -136,6 +205,10 @@ class OverlapEngine {
       : replica_params_(replica_params), loss_fn_(loss_fn), config_(config) {
     n_replicas_ = static_cast<int>(replica_params_.size());
     LEGW_CHECK(n_replicas_ >= 1, "overlapped_backward: need >= 1 replica");
+    LEGW_CHECK(config_.replica_ids == nullptr ||
+                   config_.replica_ids->size() ==
+                       static_cast<std::size_t>(n_replicas_),
+               "overlapped_backward: replica_ids must align with replicas");
     n_params_ = replica_params_[0].size();
     for (const auto& params : replica_params_) {
       LEGW_CHECK(params.size() == n_params_,
@@ -173,8 +246,8 @@ class OverlapEngine {
     excluded_.assign(static_cast<std::size_t>(n_replicas_), 0);
     if (config_.faults != nullptr) {
       for (int r = 0; r < n_replicas_; ++r) {
-        if (config_.faults->is_dead(r)) {
-          result_.stats.dead_replicas.push_back(r);
+        if (config_.faults->is_dead(global_id(r))) {
+          result_.stats.dead_replicas.push_back(global_id(r));
         }
       }
     }
@@ -201,28 +274,46 @@ class OverlapEngine {
   }
 
   OverlapResult run() {
-    // Replicas model independent cluster nodes and the reducer models the
+    // Replicas model independent cluster nodes and the reducers model the
     // NIC-side communication engine; both run full graph passes that
     // internally submit to the ThreadPool, so neither can be a pool task.
     // lint-allow: raw-thread
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n_replicas_));
     for (int r = 0; r < n_replicas_; ++r) {
-      if (config_.faults != nullptr && config_.faults->is_dead(r)) continue;
+      if (config_.faults != nullptr && config_.faults->is_dead(global_id(r))) {
+        continue;
+      }
       threads.emplace_back([this, r] { replica_body(r); });
     }
 
+    // Buckets are disjoint and each is claimed exactly once, so the worker
+    // count changes only the wall-clock cost of the wire sleeps, never a
+    // value.
+    const int workers = std::max(1, config_.comm_threads);
+    // lint-allow: raw-thread — see above.
+    std::vector<std::thread> reducers;
+    const auto spawn_reducers = [this, workers, &reducers] {
+      reducers.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        reducers.emplace_back([this] { reduce_worker(); });
+      }
+    };
     if (config_.overlap) {
-      // lint-allow: raw-thread — see above.
-      std::thread reducer([this] { reduce_loop(); });
+      spawn_reducers();
       for (auto& t : threads) t.join();
-      reducer.join();
+      for (auto& t : reducers) t.join();
     } else {
       // Synchronous baseline: identical buckets, identical reduction order,
       // identical wire bill — but nothing reduces until every replica
       // joined.
       for (auto& t : threads) t.join();
-      reduce_loop();
+      if (workers == 1) {
+        reduce_worker();
+      } else {
+        spawn_reducers();
+        for (auto& t : reducers) t.join();
+      }
     }
 
     float loss_sum = 0.0f;
@@ -233,19 +324,26 @@ class OverlapEngine {
         ++loss_count;
       }
     }
+    // The threads are joined, but the guarded fields keep their contract:
+    // take the lock rather than waive the analysis.
+    core::MutexLock lock(mu_);
     result_.mean_loss =
         loss_count > 0 ? loss_sum / static_cast<float>(loss_count) : 0.0f;
-    {
-      // The threads are joined, but the guarded fields keep their contract:
-      // take the lock rather than waive the analysis.
-      core::MutexLock lock(mu_);
-      result_.ok = !failed_;
-      result_.error = error_;
-    }
+    result_.ok = !failed_;
+    result_.error = error_;
     return result_;
   }
 
  private:
+  // Engine index -> global replica id (identity without replica_ids). Fault
+  // plans and error-feedback residuals are keyed by global ids so an elastic
+  // run over a participant subset composes with both.
+  int global_id(int r) const {
+    return config_.replica_ids != nullptr
+               ? (*config_.replica_ids)[static_cast<std::size_t>(r)]
+               : r;
+  }
+
   std::atomic<int>& bucket_pending(std::size_t b, int r) {
     // pending_[b * n_replicas + r]: gradients replica r still owes bucket b.
     return pending_[b * static_cast<std::size_t>(n_replicas_) +
@@ -278,7 +376,7 @@ class OverlapEngine {
 
   void replica_body(int r) LEGW_EXCLUDES(mu_) {
     if (config_.faults != nullptr) {
-      const double delay = config_.faults->delay_ms_for(r);
+      const double delay = config_.faults->delay_ms_for(global_id(r));
       if (delay > 0.0) {
         obs::Span span("fault_straggler");
         sleep_us(delay * 1000.0);
@@ -331,18 +429,22 @@ class OverlapEngine {
         }
       }
     }
+    std::vector<int> blocker_gids;
+    blocker_gids.reserve(blockers.size());
+    for (int r : blockers) blocker_gids.push_back(global_id(r));
     if (config_.timeout_policy == TimeoutPolicy::kFailFast) {
       failed_ = true;
       error_ = "overlapped_backward: bucket all-reduce timed out after " +
                std::to_string(config_.bucket_timeout_ms) +
-               " ms waiting on replica(s) [" + join_ints(blockers) + "]";
+               " ms waiting on replica(s) [" + join_ints(blocker_gids) + "]";
+      cv_.notify_all();
       return false;
     }
     // Degrade: drop the blockers, then re-scan — buckets that are now
     // complete over the survivors become reducible.
-    for (int r : blockers) {
-      excluded_[static_cast<std::size_t>(r)] = 1;
-      result_.stats.excluded_replicas.push_back(r);
+    for (std::size_t i = 0; i < blockers.size(); ++i) {
+      excluded_[static_cast<std::size_t>(blockers[i])] = 1;
+      result_.stats.excluded_replicas.push_back(blocker_gids[i]);
       obs::count("replica_timeout", 1);
     }
     int live = 0;
@@ -352,24 +454,26 @@ class OverlapEngine {
     if (live == 0) {
       failed_ = true;
       error_ = "overlapped_backward: degraded until no replica survived";
+      cv_.notify_all();
       return false;
     }
     for (std::size_t b = 0; b < n_buckets_; ++b) try_enqueue(b);
     return true;
   }
 
-  // Reducer: service completed buckets in completion order. Values cannot
-  // depend on that order because buckets are disjoint and each bucket
-  // reduces parameter by parameter in replica-index order.
-  void reduce_loop() LEGW_EXCLUDES(mu_) {
-    std::size_t processed = 0;
+  // Reduce worker: claim completed buckets in completion order until every
+  // bucket is claimed or the step fails. Values cannot depend on claim order
+  // or worker count because buckets are disjoint and each bucket reduces
+  // parameter by parameter in replica-index order.
+  void reduce_worker() LEGW_EXCLUDES(mu_) {
     std::vector<int> participants;
+    std::vector<int> participant_gids;
     std::vector<core::Tensor*> shards;
-    while (processed < n_buckets_) {
+    while (true) {
       std::size_t b = 0;
       {
         core::MutexLock lock(mu_);
-        while (ready_.empty()) {
+        while (ready_.empty() && !failed_ && claimed_ < n_buckets_) {
           const auto t0 = std::chrono::steady_clock::now();
           bool got = true;
           {
@@ -380,53 +484,93 @@ class OverlapEngine {
                            std::chrono::steady_clock::duration>(
                            std::chrono::duration<double, std::milli>(
                                config_.bucket_timeout_ms));
-              while (ready_.empty() && cv_.wait_until(mu_, deadline) !=
-                                           std::cv_status::timeout) {
+              while (ready_.empty() && !failed_ && claimed_ < n_buckets_ &&
+                     cv_.wait_until(mu_, deadline) !=
+                         std::cv_status::timeout) {
               }
               got = !ready_.empty();
             } else {
-              while (ready_.empty()) cv_.wait(mu_);
+              while (ready_.empty() && !failed_ && claimed_ < n_buckets_) {
+                cv_.wait(mu_);
+              }
+              got = !ready_.empty();
             }
           }
           result_.stats.idle_ns +=
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
-          if (got) break;
+          if (got || failed_ || claimed_ == n_buckets_) break;
           if (!handle_timeout()) return;
         }
+        if (ready_.empty()) return;  // failed, or every bucket claimed
         b = ready_.front();
         ready_.pop_front();
+        ++claimed_;
+        if (claimed_ == n_buckets_) cv_.notify_all();
         // Participant set snapshot: every currently-live replica delivered
         // this bucket in full (guaranteed by try_enqueue; exclusion only
         // shrinks the set and excluded replicas never rejoin).
         participants.clear();
+        participant_gids.clear();
         for (int r = 0; r < n_replicas_; ++r) {
           if (excluded_[static_cast<std::size_t>(r)]) continue;
           if (bucket_pending(b, r).load(std::memory_order_acquire) == 0) {
             participants.push_back(r);
+            participant_gids.push_back(global_id(r));
           }
         }
       }
-      // Reduce outside the lock so replica threads keep signalling.
-      i64 bytes = 0;
+      // Reduce outside the lock so replica threads keep signalling and other
+      // workers keep claiming. The algorithm resolves once per bucket from
+      // its fp32 payload; the wire sleep models that algorithm's critical
+      // path at the configured format's width.
+      i64 payload = 0;
+      for (std::size_t p : buckets_[b]) {
+        payload += replica_params_[0][p].numel() *
+                   static_cast<i64>(sizeof(float));
+      }
+      const int n_parts = static_cast<int>(participants.size());
+      const DistAlgo resolved =
+          choose_algorithm(config_.algo, payload, n_parts);
+      i64 wire_bytes = 0;
       {
         obs::Span span("bucket_reduce");
+        obs::Span algo_span(resolved == DistAlgo::kRing
+                                ? "bucket_reduce.ring"
+                                : (resolved == DistAlgo::kHier
+                                       ? "bucket_reduce.hier"
+                                       : "bucket_reduce.tree"));
         shards.resize(participants.size());
         for (std::size_t p : buckets_[b]) {
           for (std::size_t i = 0; i < participants.size(); ++i) {
             shards[i] = grads_[static_cast<std::size_t>(participants[i])][p];
           }
-          tree_allreduce_mean(shards);
-          bytes += shards.empty() ? 0
-                                  : shards[0]->numel() *
-                                        static_cast<i64>(sizeof(float));
+          quantize_contributions(shards, config_.wire_format,
+                                 config_.wire_state, &participant_gids, p);
+          allreduce_mean(shards, resolved, config_.hier_group);
+          quantize_broadcast(shards, config_.wire_format);
+          wire_bytes += shards.empty()
+                            ? 0
+                            : allreduce_wire_bytes(n_parts, shards[0]->numel(),
+                                                   config_.wire_format);
         }
-        sleep_us(config_.wire.bucket_us(bytes));
+        sleep_us(config_.wire.allreduce_us(resolved, n_parts, payload,
+                                           config_.wire_format,
+                                           config_.hier_group));
       }
       obs::count("bucket_reduce", 1);
-      ++result_.stats.buckets_reduced;
-      ++processed;
+      obs::count("dist.wire_bytes", wire_bytes);
+      {
+        core::MutexLock lock(mu_);
+        ++result_.stats.buckets_reduced;
+        result_.stats.wire_bytes += wire_bytes;
+        switch (resolved) {
+          case DistAlgo::kRing: ++result_.stats.buckets_ring; break;
+          case DistAlgo::kHier: ++result_.stats.buckets_hier; break;
+          default: ++result_.stats.buckets_tree; break;
+        }
+      }
     }
   }
 
@@ -447,18 +591,21 @@ class OverlapEngine {
   std::unique_ptr<std::atomic<int>[]> pending_;
 
   // Per-replica slots written only by that replica's thread, read after
-  // join; and the reducer-owned result (stats mutated by the reducer only).
+  // join.
   std::vector<float> losses_;
   std::vector<char> ran_;
-  OverlapResult result_;
 
   core::Mutex mu_;
   core::CondVar cv_;
   std::deque<std::size_t> ready_ LEGW_GUARDED_BY(mu_);  // completion order
   std::vector<char> enqueued_ LEGW_GUARDED_BY(mu_);
   std::vector<char> excluded_ LEGW_GUARDED_BY(mu_);
+  std::size_t claimed_ LEGW_GUARDED_BY(mu_) = 0;  // buckets taken by workers
   bool failed_ LEGW_GUARDED_BY(mu_) = false;
   std::string error_ LEGW_GUARDED_BY(mu_);
+  // Shared between reduce workers (stats) and the finaliser; the pre-thread
+  // constructor fills n_buckets/dead_replicas before any worker exists.
+  OverlapResult result_ LEGW_GUARDED_BY(mu_);
 };
 
 }  // namespace
@@ -481,6 +628,20 @@ float replica_backward(
     return res.mean_loss;
   }
   return synchronous_backward(replica_params, loss_fn);
+}
+
+OverlapResult replica_backward_ex(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    const ReplicaStepOptions& options) {
+  OverlapConfig config = default_overlap_config();
+  config.overlap = core::dist_mode() == core::DistMode::kOverlap;
+  config.wire_state = options.wire_state;
+  config.faults = options.faults;
+  config.replica_ids = options.replica_ids;
+  config.bucket_timeout_ms = options.bucket_timeout_ms;
+  config.timeout_policy = options.timeout_policy;
+  return overlapped_backward(replica_params, loss_fn, config);
 }
 
 }  // namespace legw::dist

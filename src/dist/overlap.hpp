@@ -34,8 +34,14 @@
 #include <vector>
 
 #include "ag/variable.hpp"
+#include "core/flags.hpp"
 
 namespace legw::dist {
+
+class WireState;  // compression.hpp — error-feedback residuals
+
+using core::DistAlgo;
+using core::WireFormat;
 
 // A deterministic, seeded set of injected replica faults.
 struct FaultPlan {
@@ -67,14 +73,32 @@ enum class TimeoutPolicy {
 };
 
 // Simulated wire cost of shipping one bucket through the all-reduce: the
-// communication thread sleeps latency + bytes/bandwidth per bucket. Sleeping
-// releases the core, so overlap genuinely hides this time under backward
-// compute even on a single-core host; bench/dist_scaling.cpp uses it for a
-// fair sync-vs-overlap A/B in which both modes pay the identical wire bill.
+// communication thread sleeps the modelled critical-path time per bucket.
+// Sleeping releases the core, so overlap genuinely hides this time under
+// backward compute even on a single-core host; bench/dist_scaling.cpp uses
+// it for a fair sync-vs-overlap A/B in which both modes pay the identical
+// wire bill.
+//
+// allreduce_us models the critical path per algorithm (`bytes` is the
+// fp32-payload size; the wire format's element width scales the bandwidth
+// term):
+//   tree — 2*ceil(log2 n) hops, each carrying the full payload;
+//   ring — 2*(n-1) hops, each carrying payload/n: latency grows with n but
+//          the bandwidth term stays ~2*payload (bandwidth-optimal);
+//   hier — intra-group hops at the (faster) intra latency/bandwidth,
+//          inter-group hops over the leaders at fabric cost — the two-level
+//          island topology (NVLink within a node, fabric between).
 struct WireModel {
   double latency_us = 0.0;
   double gbytes_per_sec = 0.0;  // 0 = infinite bandwidth
+  // Intra-group link for the hierarchical algorithm; unset (0) fall back to
+  // the fabric numbers above.
+  double intra_latency_us = 0.0;
+  double intra_gbytes_per_sec = 0.0;
+  // Legacy flat cost: latency + bytes/bandwidth, one hop.
   double bucket_us(i64 bytes) const;
+  double allreduce_us(DistAlgo resolved, int n_shards, i64 bytes,
+                      WireFormat wire, int group_size) const;
 };
 
 struct OverlapConfig {
@@ -96,6 +120,30 @@ struct OverlapConfig {
   TimeoutPolicy timeout_policy = TimeoutPolicy::kFailFast;
   WireModel wire;
   const FaultPlan* faults = nullptr;  // not owned; nullptr = fault-free
+  // Which all-reduce algorithm reduces each bucket; kAuto resolves per
+  // bucket from its payload size (dist::choose_algorithm). Env default:
+  // LEGW_DIST_ALGO.
+  DistAlgo algo = DistAlgo::kAuto;
+  // Group size for the hierarchical algorithm (0 = hier_group_size(n)).
+  // Env default: LEGW_DIST_GROUP.
+  int hier_group = 0;
+  // On-the-wire gradient format (env default: LEGW_DIST_WIRE). Non-fp32
+  // formats quantize each replica's contribution at the sender edge, sum in
+  // fp32, and re-quantize the mean for the broadcast.
+  WireFormat wire_format = WireFormat::kFp32;
+  // Error-feedback residual state for the quantized wire; not owned.
+  // nullptr = plain quantization (no feedback). Must outlive the call and
+  // be shaped like replica_params (WireState's constructor).
+  WireState* wire_state = nullptr;
+  // Communication threads servicing completed buckets. Buckets are disjoint
+  // and each is reduced exactly once, so values are unchanged by the worker
+  // count — only the wall-clock cost of the wire sleeps is. Env default:
+  // LEGW_DIST_COMM_THREADS (1).
+  int comm_threads = 1;
+  // Global replica ids aligned with replica_params, for runs over a subset
+  // of an elastic membership (dist/membership.hpp): fault-plan lookups and
+  // error-feedback residuals are indexed by these ids. nullptr = identity.
+  const std::vector<int>* replica_ids = nullptr;
 };
 
 struct OverlapStats {
@@ -105,6 +153,10 @@ struct OverlapStats {
   std::vector<int> dead_replicas;      // from the plan: never launched
   std::vector<int> excluded_replicas;  // dead + degraded-away stragglers
   i64 idle_ns = 0;  // reducer time spent waiting for a completed bucket
+  i64 wire_bytes = 0;      // simulated bytes on the wire (format-scaled)
+  i64 buckets_tree = 0;    // buckets reduced per resolved algorithm
+  i64 buckets_ring = 0;
+  i64 buckets_hier = 0;
 };
 
 struct OverlapResult {
@@ -121,7 +173,10 @@ struct OverlapResult {
 std::vector<std::vector<std::size_t>> plan_buckets(
     const std::vector<ag::Variable>& params, i64 bucket_bytes);
 
-// Config with bucket_bytes taken from LEGW_DIST_BUCKET_KB (default 256).
+// Config from the environment: bucket_bytes from LEGW_DIST_BUCKET_KB
+// (default 256), algo from LEGW_DIST_ALGO, wire_format from LEGW_DIST_WIRE,
+// hier_group from LEGW_DIST_GROUP, comm_threads from
+// LEGW_DIST_COMM_THREADS.
 OverlapConfig default_overlap_config();
 
 // One overlapped data-parallel backward pass. Contract matches
@@ -143,5 +198,26 @@ OverlapResult overlapped_backward(
 float replica_backward(
     const std::vector<std::vector<ag::Variable>>& replica_params,
     const std::function<ag::Variable(int replica)>& loss_fn);
+
+// Per-step options the training loop threads through the dispatcher when it
+// runs an elastic membership: injected faults for replicas dying this step,
+// global replica ids for a participant subset, and the persistent
+// error-feedback state for the quantized wire.
+struct ReplicaStepOptions {
+  WireState* wire_state = nullptr;
+  const FaultPlan* faults = nullptr;
+  const std::vector<int>* replica_ids = nullptr;
+  double bucket_timeout_ms = 0.0;
+  TimeoutPolicy timeout_policy = TimeoutPolicy::kFailFast;
+};
+
+// replica_backward with full result reporting and per-step options. Both
+// dist modes run through the engine (kSync = overlap disabled: identical
+// buckets, identical values, barrier schedule), so fault handling and the
+// quantized wire behave identically under either LEGW_DIST setting.
+OverlapResult replica_backward_ex(
+    const std::vector<std::vector<ag::Variable>>& replica_params,
+    const std::function<ag::Variable(int replica)>& loss_fn,
+    const ReplicaStepOptions& options);
 
 }  // namespace legw::dist

@@ -7,9 +7,11 @@
 #include <memory>
 #include <optional>
 
+#include "ag/ops.hpp"
 #include "check/check.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "core/flags.hpp"
+#include "dist/compression.hpp"
 #include "dist/overlap.hpp"
 #include "mem/alloc.hpp"
 #include "obs/trace.hpp"
@@ -214,6 +216,20 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
   data::IndexBatcher batcher(dataset.n_train(), run.batch_size,
                              run.seed * 1000003ull + 5);
 
+  LEGW_CHECK(run.membership == nullptr || n_replicas > 1,
+             "train_mnist: membership plans need replicas > 1");
+  std::optional<dist::MembershipManager> membership;
+  if (run.membership != nullptr) {
+    membership.emplace(static_cast<int>(n_replicas), run.membership_policy,
+                       run.membership);
+  }
+  // Error-feedback residuals for a quantized wire (LEGW_DIST_WIRE), shared
+  // across steps and checkpointed so resume stays bit-identical.
+  std::unique_ptr<dist::WireState> wire_state;
+  if (n_replicas > 1 && core::dist_wire() != core::WireFormat::kFp32) {
+    wire_state = std::make_unique<dist::WireState>(replica_params);
+  }
+
   RunResult result;
   StepLoop loop{{}, &run, batcher.batches_per_epoch()};
   for (auto& o : opts) loop.opts.push_back(o.get());
@@ -223,12 +239,20 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
       state.models.push_back(replicas[static_cast<std::size_t>(r)].get());
       state.optimizers.push_back(opts[static_cast<std::size_t>(r)].get());
     }
+    if (wire_state != nullptr) {
+      for (auto& [name, tensor] : wire_state->named_residuals()) {
+        state.extra.emplace_back(name, tensor);
+      }
+    }
   });
   const i64 start_step = ck.maybe_restore(&result);
   // The batcher is seeded and deterministic: replaying it to the resume
   // point reproduces the exact shuffle sequence of the uninterrupted run.
   for (i64 i = 0; i < start_step; ++i) batcher.next();
   loop.step = start_step;
+  // The checkpoint restore re-synchronised every replica, so the membership
+  // history below the resume step replays without hand-offs.
+  if (membership.has_value()) membership->fast_forward(start_step);
   const i64 start_epoch = start_step / loop.steps_per_epoch;
 
   auto evaluate = [&]() {
@@ -255,6 +279,50 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
     const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
+      dist::MembershipManager::Transition tr;
+      if (membership.has_value()) {
+        tr = membership->begin_step(loop.step);
+        if (!tr.joined.empty()) {
+          // Joining replicas receive the anchor's full state through an
+          // in-memory checkpoint image — the cluster hand-off, minus the
+          // filesystem.
+          obs::Span span("membership_handoff");
+          ckpt::TrainState src;
+          src.models.push_back(replicas[0].get());
+          src.optimizers.push_back(opts[0].get());
+          const std::string image = ckpt::encode(src);
+          for (int j : tr.joined) {
+            ckpt::TrainState dst;
+            dst.models.push_back(replicas[static_cast<std::size_t>(j)].get());
+            dst.optimizers.push_back(opts[static_cast<std::size_t>(j)].get());
+            const ckpt::Result handed =
+                ckpt::load_image(dst, image, "membership hand-off");
+            LEGW_CHECK(handed.ok(),
+                       "train_mnist: membership hand-off failed: " +
+                           handed.message);
+            // A joiner starts with clean error-feedback state: its stale
+            // residual belongs to gradients that were never shipped.
+            if (wire_state != nullptr) {
+              for (std::size_t p = 0; p < replica_params[0].size(); ++p) {
+                wire_state->residual(j, p).zero_();
+              }
+            }
+            obs::count("dist.member_join", 1);
+          }
+        }
+        if (!tr.left.empty()) {
+          obs::count("dist.member_leave", static_cast<i64>(tr.left.size()));
+        }
+        if (!tr.died.empty()) {
+          obs::count("dist.member_dead", static_cast<i64>(tr.died.size()));
+        }
+        // Only the active replicas clip and step this round; absentees
+        // rejoin through the hand-off above, never by optimizer drift.
+        loop.opts.clear();
+        for (int gid : membership->active()) {
+          loop.opts.push_back(opts[static_cast<std::size_t>(gid)].get());
+        }
+      }
       loop.begin_step();
       double loss_value = 0.0;
       if (n_replicas == 1) {
@@ -283,10 +351,11 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
           ag::backward(loss);
         }
       } else {
-        // Shard the global batch, gather every shard up front (the batcher
+        // Shard the global batch by home shard id (the data order never
+        // depends on membership), gather every shard up front (the batcher
         // and dataset stay single-threaded), then let the dist engine run
-        // the per-replica forward/backward concurrently and leave the
-        // replica-mean gradient in every replica.
+        // the participants' forward/backward concurrently and leave the
+        // participant-mean gradient in every participant.
         const i64 shard = run.batch_size / n_replicas;
         std::vector<core::Tensor> images(static_cast<std::size_t>(n_replicas));
         std::vector<std::vector<i32>> labels(
@@ -303,11 +372,73 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
                 dataset.gather_labels(sh, true);
           }
         }
-        loss_value = dist::replica_backward(replica_params, [&](int r) {
-          return replicas[static_cast<std::size_t>(r)]->loss(
-              images[static_cast<std::size_t>(r)],
-              labels[static_cast<std::size_t>(r)]);
-        });
+        // Participant view: global replica ids plus their assigned shards.
+        // Static membership is the identity assignment.
+        std::vector<int> parts;
+        std::vector<std::vector<int>> assignment;
+        if (membership.has_value()) {
+          parts = membership->participants();
+          assignment = membership->shard_assignment();
+        } else {
+          for (i64 r = 0; r < n_replicas; ++r) {
+            parts.push_back(static_cast<int>(r));
+            assignment.push_back({static_cast<int>(r)});
+          }
+        }
+        std::vector<std::vector<ag::Variable>> part_params;
+        part_params.reserve(parts.size());
+        for (int gid : parts) {
+          part_params.push_back(replica_params[static_cast<std::size_t>(gid)]);
+        }
+        // Each participant's loss is scaled so the allreduce mean over the
+        // participants equals the mean over every *assigned* shard — with
+        // kReassign that is the full global batch despite the absences.
+        const float factor = static_cast<float>(parts.size()) /
+                             static_cast<float>(n_replicas);
+        const auto loss_fn = [&](int i) {
+          const auto gid = static_cast<std::size_t>(
+              parts[static_cast<std::size_t>(i)]);
+          const std::vector<int>& mine =
+              assignment[static_cast<std::size_t>(i)];
+          ag::Variable total =
+              replicas[gid]->loss(images[static_cast<std::size_t>(mine[0])],
+                                  labels[static_cast<std::size_t>(mine[0])]);
+          for (std::size_t k = 1; k < mine.size(); ++k) {
+            total = ag::add(
+                total,
+                replicas[gid]->loss(images[static_cast<std::size_t>(mine[k])],
+                                    labels[static_cast<std::size_t>(mine[k])]));
+          }
+          return factor == 1.0f && mine.size() == 1 ? total
+                                                    : ag::scale(total, factor);
+        };
+        if (!membership.has_value() && wire_state == nullptr) {
+          loss_value = dist::replica_backward(replica_params, loss_fn);
+        } else {
+          dist::FaultPlan faults;
+          for (int d : tr.died) {
+            faults.faults.push_back({d, dist::FaultPlan::Kind::kDead, 0.0});
+          }
+          dist::ReplicaStepOptions step_opts;
+          step_opts.wire_state = wire_state.get();
+          step_opts.replica_ids = &parts;
+          if (!faults.faults.empty()) step_opts.faults = &faults;
+          step_opts.bucket_timeout_ms = run.membership_timeout_ms;
+          step_opts.timeout_policy =
+              run.membership_policy == dist::MembershipPolicy::kFailFast
+                  ? dist::TimeoutPolicy::kFailFast
+                  : dist::TimeoutPolicy::kDegradeToSurvivors;
+          const dist::OverlapResult res =
+              dist::replica_backward_ex(part_params, loss_fn, step_opts);
+          if (!res.ok) {
+            // Fail-fast membership: a death ends the run cleanly, exactly
+            // as a real scheduler would tear the job down.
+            std::fprintf(stderr, "train_mnist: %s\n", res.error.c_str());
+            result.interrupted = true;
+            break;
+          }
+          loss_value = res.mean_loss;
+        }
       }
       if (!finish_step(run, loop, loss_value, &result)) break;
       if (!ck.after_step(loop.step, epoch, &result)) break;

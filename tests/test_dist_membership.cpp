@@ -1,0 +1,286 @@
+// Elastic-membership battery (dist/membership): the step-indexed state
+// machine (join/leave/die, shard ownership under the three policies, seeded
+// plan determinism, fast_forward replay), then the end-to-end fault matrix —
+// membership events x all-reduce algorithm x policy through train_mnist,
+// composed with checkpoint crash+resume, which must stay bit-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/flags.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "dist/membership.hpp"
+#include "models/mnist_lstm.hpp"
+#include "sched/schedule.hpp"
+#include "train/recorder.hpp"
+#include "train/runners.hpp"
+
+namespace legw::dist {
+namespace {
+
+MembershipPlan leave_join_die_plan() {
+  // r2 leaves at step 2 and rejoins at step 5; r3 dies at step 8.
+  MembershipPlan plan;
+  plan.events.push_back({2, 2, MembershipEvent::Kind::kLeave});
+  plan.events.push_back({5, 2, MembershipEvent::Kind::kJoin});
+  plan.events.push_back({8, 3, MembershipEvent::Kind::kDie});
+  return plan;
+}
+
+// ---- state machine ----------------------------------------------------------
+
+TEST(MembershipPlanTest, SeededIsDeterministicAndConsistent) {
+  const MembershipPlan a = MembershipPlan::seeded(99, 40, 6, 10);
+  const MembershipPlan b = MembershipPlan::seeded(99, 40, 6, 10);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_FALSE(a.events.empty());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].step, b.events[i].step);
+    EXPECT_EQ(a.events[i].replica, b.events[i].replica);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    // Replica 0 anchors checkpointing and never appears in a plan.
+    EXPECT_GE(a.events[i].replica, 1);
+  }
+  a.validate(6);  // aborts on an inconsistent plan
+  const MembershipPlan c = MembershipPlan::seeded(100, 40, 6, 10);
+  bool differs = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = c.events[i].step != a.events[i].step ||
+              c.events[i].replica != a.events[i].replica;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the identical plan";
+}
+
+TEST(MembershipManagerTest, TransitionsFollowThePlan) {
+  const MembershipPlan plan = leave_join_die_plan();
+  MembershipManager mgr(4, MembershipPolicy::kReassign, &plan);
+  EXPECT_EQ(mgr.active(), (std::vector<int>{0, 1, 2, 3}));
+
+  auto tr = mgr.begin_step(0);
+  EXPECT_TRUE(tr.joined.empty() && tr.left.empty() && tr.died.empty());
+
+  tr = mgr.begin_step(2);
+  ASSERT_EQ(tr.left, (std::vector<int>{2}));
+  EXPECT_EQ(mgr.active(), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(mgr.state(2), ReplicaState::kStandby);
+  // A graceful leave is effective immediately: not a participant.
+  EXPECT_EQ(mgr.participants(), (std::vector<int>{0, 1, 3}));
+
+  tr = mgr.begin_step(5);
+  ASSERT_EQ(tr.joined, (std::vector<int>{2}));
+  EXPECT_EQ(mgr.active(), (std::vector<int>{0, 1, 2, 3}));
+
+  tr = mgr.begin_step(8);
+  ASSERT_EQ(tr.died, (std::vector<int>{3}));
+  EXPECT_EQ(mgr.state(3), ReplicaState::kDead);
+  // Dying replicas stay in the participant set for the death step — the
+  // engine must *detect* the death — but leave the active set.
+  EXPECT_EQ(mgr.participants(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(mgr.active(), (std::vector<int>{0, 1, 2}));
+
+  tr = mgr.begin_step(9);
+  EXPECT_TRUE(tr.died.empty());
+  EXPECT_EQ(mgr.participants(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MembershipManagerTest, ShardOwnershipPerPolicy) {
+  const MembershipPlan plan = leave_join_die_plan();
+  for (MembershipPolicy policy :
+       {MembershipPolicy::kFailFast, MembershipPolicy::kDegrade,
+        MembershipPolicy::kReassign}) {
+    MembershipManager mgr(4, policy, &plan);
+    mgr.begin_step(2);  // r2 standby
+    EXPECT_EQ(mgr.shard_owner(0), 0);
+    EXPECT_EQ(mgr.shard_owner(1), 1);
+    EXPECT_EQ(mgr.shard_owner(3), 3);
+    if (policy == MembershipPolicy::kReassign) {
+      // The first orphan goes to the first active replica.
+      EXPECT_EQ(mgr.shard_owner(2), 0);
+      const auto assignment = mgr.shard_assignment();
+      ASSERT_EQ(assignment.size(), 3u);  // participants 0,1,3
+      EXPECT_EQ(assignment[0], (std::vector<int>{0, 2}));
+      EXPECT_EQ(assignment[1], (std::vector<int>{1}));
+      EXPECT_EQ(assignment[2], (std::vector<int>{3}));
+    } else {
+      // Degrade / fail-fast: the orphaned shard is dropped.
+      EXPECT_EQ(mgr.shard_owner(2), -1);
+    }
+  }
+}
+
+TEST(MembershipManagerTest, DyingReplicaKeepsItsShardForTheDeathStep) {
+  const MembershipPlan plan = leave_join_die_plan();
+  MembershipManager mgr(4, MembershipPolicy::kReassign, &plan);
+  mgr.begin_step(5);
+  mgr.begin_step(8);  // r3 dies this step
+  EXPECT_EQ(mgr.shard_owner(3), 3);  // the engine degrades around it
+  mgr.begin_step(9);  // from the next step the orphan is reassigned
+  EXPECT_EQ(mgr.shard_owner(3), 0);
+  const auto assignment = mgr.shard_assignment();
+  ASSERT_EQ(assignment.size(), 3u);
+  EXPECT_EQ(assignment[0], (std::vector<int>{0, 3}));
+}
+
+TEST(MembershipManagerTest, FastForwardMatchesStepByStepReplay) {
+  const MembershipPlan plan = MembershipPlan::seeded(1234, 30, 5, 8);
+  for (i64 resume = 1; resume < 30; resume += 7) {
+    MembershipManager slow(5, MembershipPolicy::kReassign, &plan);
+    for (i64 s = 0; s < resume; ++s) slow.begin_step(s);
+    MembershipManager fast(5, MembershipPolicy::kReassign, &plan);
+    fast.fast_forward(resume);
+    for (i64 s = resume; s < 30; ++s) {
+      slow.begin_step(s);
+      fast.begin_step(s);
+      ASSERT_EQ(fast.active(), slow.active()) << "resume " << resume
+                                              << " step " << s;
+      ASSERT_EQ(fast.participants(), slow.participants());
+    }
+  }
+}
+
+// ---- end-to-end fault matrix ------------------------------------------------
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path("/tmp/legw_membership_" + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+train::RunConfig base_run(const sched::LrSchedule* lr,
+                          const MembershipPlan* plan,
+                          MembershipPolicy policy) {
+  train::RunConfig run;
+  run.batch_size = 16;
+  run.epochs = 3;  // 4 steps/epoch on the 64-sample set = 12 steps
+  run.replicas = 4;
+  run.schedule = lr;
+  run.final_eval_only = true;
+  run.capture_final_params = true;
+  run.membership = plan;
+  run.membership_policy = policy;
+  run.membership_timeout_ms = 300.0;  // generous: a live replica must never
+                                      // be mistaken for the dead one
+  return run;
+}
+
+struct MatrixCase {
+  core::DistAlgo algo;
+  MembershipPolicy policy;
+};
+
+class MembershipMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(MembershipMatrix, RunSurvivesLeaveJoinAndDeath) {
+  const MatrixCase c = GetParam();
+  const core::DistAlgo saved = core::dist_algo();
+  core::set_dist_algo(c.algo);
+  data::SyntheticMnist dataset(64, 16, 7);
+  models::MnistLstmConfig mc;
+  mc.transform_dim = 8;
+  mc.hidden_dim = 8;
+  sched::ConstantLr lr(0.05f);
+  const MembershipPlan plan = leave_join_die_plan();
+  const train::RunConfig run = base_run(&lr, &plan, c.policy);
+  const train::RunResult result = train::train_mnist(dataset, mc, run);
+  core::set_dist_algo(saved);
+
+  ASSERT_FALSE(result.diverged);
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.steps, 12);
+  ASSERT_FALSE(result.final_params.empty());
+  for (const core::Tensor& p : result.final_params) {
+    for (i64 i = 0; i < p.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(p[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoXPolicy, MembershipMatrix,
+    ::testing::Values(
+        MatrixCase{core::DistAlgo::kTree, MembershipPolicy::kDegrade},
+        MatrixCase{core::DistAlgo::kTree, MembershipPolicy::kReassign},
+        MatrixCase{core::DistAlgo::kRing, MembershipPolicy::kDegrade},
+        MatrixCase{core::DistAlgo::kRing, MembershipPolicy::kReassign},
+        MatrixCase{core::DistAlgo::kHier, MembershipPolicy::kReassign},
+        MatrixCase{core::DistAlgo::kAuto, MembershipPolicy::kReassign}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return std::string(core::dist_algo_name(info.param.algo)) + "_" +
+             (info.param.policy == MembershipPolicy::kDegrade ? "degrade"
+                                                              : "reassign");
+    });
+
+TEST(MembershipFailFast, DeathStopsTheRunCleanly) {
+  data::SyntheticMnist dataset(64, 16, 7);
+  models::MnistLstmConfig mc;
+  mc.transform_dim = 8;
+  mc.hidden_dim = 8;
+  sched::ConstantLr lr(0.05f);
+  const MembershipPlan plan = leave_join_die_plan();
+  const train::RunConfig run =
+      base_run(&lr, &plan, MembershipPolicy::kFailFast);
+  const train::RunResult result = train::train_mnist(dataset, mc, run);
+  EXPECT_TRUE(result.interrupted) << "fail-fast death did not stop the run";
+  EXPECT_FALSE(result.diverged);
+  // The death is planned for step 8: leaves and joins before it are fine.
+  EXPECT_EQ(result.steps, 8);
+}
+
+TEST(MembershipResume, CrashAndResumeIsBitIdenticalUnderElasticity) {
+  // The membership promise that makes elasticity auditable: a crash+resume
+  // replays the remaining membership history (fast_forward) and reproduces
+  // the uninterrupted run's parameters bit for bit.
+  TempDir dir("resume");
+  data::SyntheticMnist dataset(64, 16, 7);
+  models::MnistLstmConfig mc;
+  mc.transform_dim = 8;
+  mc.hidden_dim = 8;
+  sched::ConstantLr lr(0.05f);
+  const MembershipPlan plan = leave_join_die_plan();
+
+  const train::RunConfig straight =
+      base_run(&lr, &plan, MembershipPolicy::kReassign);
+  const train::RunResult ref = train::train_mnist(dataset, mc, straight);
+  ASSERT_FALSE(ref.diverged);
+
+  // Same run, killed mid-step at step 6 (between the rejoin and the death),
+  // checkpointing every 2 steps. A mid-step kill fires before that step's
+  // checkpoint write, so the resume point is step 4 — before the rejoin,
+  // which the resumed run must replay (including the hand-off).
+  const ckpt::CrashPlan crash = ckpt::CrashPlan::mid_step(6);
+  train::RunConfig killed = straight;
+  killed.checkpoint_dir = dir.path;
+  killed.checkpoint_every_steps = 2;
+  killed.crash_plan = &crash;
+  const train::RunResult dead = train::train_mnist(dataset, mc, killed);
+  ASSERT_TRUE(dead.interrupted);
+
+  train::RunConfig resumed = straight;
+  resumed.checkpoint_dir = dir.path;
+  resumed.checkpoint_every_steps = 2;
+  resumed.resume = true;
+  const train::RunResult completed = train::train_mnist(dataset, mc, resumed);
+  ASSERT_FALSE(completed.diverged);
+  EXPECT_EQ(completed.resumed_from_step, 4);
+
+  ASSERT_EQ(completed.final_params.size(), ref.final_params.size());
+  for (std::size_t p = 0; p < ref.final_params.size(); ++p) {
+    const core::Tensor& a = ref.final_params[p];
+    const core::Tensor& b = completed.final_params[p];
+    ASSERT_EQ(a.numel(), b.numel());
+    for (i64 i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "param " << p << " elem " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace legw::dist
