@@ -115,9 +115,9 @@ int main(int argc, char** argv) {
       "}\n",
       static_cast<long long>(baseline.steps), base_step_ms, ckpt_step_ms,
       overhead_pct, static_cast<long long>(image_bytes), save_ms, restore_ms);
-  std::string err;
-  LEGW_CHECK(legw::core::atomic_write_file(out_path, std::string(body), &err),
-             "ckpt_overhead: " + err);
+  const legw::core::Status st =
+      legw::core::atomic_write_file(out_path, std::string(body));
+  LEGW_CHECK(st.ok(), "ckpt_overhead: " + st.message());
   std::printf("wrote %s\n", out_path.c_str());
 
   std::filesystem::remove_all(dir);

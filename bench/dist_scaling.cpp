@@ -325,8 +325,8 @@ int main(int argc, char** argv) {
                  static_cast<long long>(v), ++ci < ctrs.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
-  std::string publish_err;
-  LEGW_CHECK(out.commit(&publish_err), "dist_scaling: " + publish_err);
+  const legw::core::Status publish = out.commit();
+  LEGW_CHECK(publish.ok(), "dist_scaling: " + publish.message());
   if (!was_enabled) rec.clear();
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

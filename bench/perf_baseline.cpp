@@ -367,8 +367,8 @@ int main(int argc, char** argv) {
                  static_cast<long long>(v), ++ci < ctrs.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
-  std::string publish_err;
-  LEGW_CHECK(out.commit(&publish_err), "perf_baseline: " + publish_err);
+  const legw::core::Status publish = out.commit();
+  LEGW_CHECK(publish.ok(), "perf_baseline: " + publish.message());
   if (!was_enabled) rec.clear();
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

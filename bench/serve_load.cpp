@@ -198,9 +198,8 @@ int main(int argc, char** argv) {
   }
   body += "]\n";
 
-  std::string err;
-  LEGW_CHECK(legw::core::atomic_write_file(out_path, body, &err),
-             "serve_load: " + err);
+  const legw::core::Status st = legw::core::atomic_write_file(out_path, body);
+  LEGW_CHECK(st.ok(), "serve_load: " + st.message());
   std::printf("wrote %s\n", out_path.c_str());
 
   std::filesystem::remove_all(dir);

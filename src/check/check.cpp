@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/mutex.hpp"
+
 namespace legw::check {
 
 namespace {
@@ -25,6 +27,35 @@ std::atomic<bool>& tripwire_state() {
 std::atomic<i64>& step_state() {
   static std::atomic<i64> state{-1};
   return state;
+}
+
+std::atomic<bool>& recoverable_state() {
+  static std::atomic<bool> state{false};
+  return state;
+}
+
+// First-violation report for recoverable mode. A mutex (not an atomic)
+// because the payload is a string; contention is nil — the lock is only
+// taken when a tripwire actually fires or the sentinel polls.
+struct ReportSlot {
+  core::Mutex mu;
+  TripwireReport report LEGW_GUARDED_BY(mu);
+};
+ReportSlot& report_slot() {
+  static ReportSlot slot;
+  return slot;
+}
+
+// Records the violation; keeps the first one (later ones are downstream
+// noise from the same poisoned value). Returns nothing — the caller returns
+// to the training loop, which consults take_tripwire_report().
+void record_violation(const std::string& message) {
+  ReportSlot& slot = report_slot();
+  core::MutexLock lock(slot.mu);
+  if (slot.report.fired) return;
+  slot.report.fired = true;
+  slot.report.message = message;
+  slot.report.step = step_index();
 }
 
 }  // namespace
@@ -69,7 +100,34 @@ void assert_finite(const core::Tensor& t, const std::string& tensor_name,
      << tensor_name << " shape " << core::shape_to_string(t.shape())
      << " during " << context;
   if (step_index() >= 0) os << " (step " << step_index() << ")";
+  if (tripwires_recoverable()) {
+    record_violation(os.str());
+    return;
+  }
   LEGW_CHECK(idx < 0, os.str());
 }
+
+bool tripwires_recoverable() {
+  return recoverable_state().load(std::memory_order_relaxed);
+}
+
+void set_tripwires_recoverable(bool on) {
+  recoverable_state().store(on, std::memory_order_relaxed);
+}
+
+TripwireReport take_tripwire_report() {
+  ReportSlot& slot = report_slot();
+  core::MutexLock lock(slot.mu);
+  TripwireReport out = slot.report;
+  slot.report = TripwireReport{};
+  return out;
+}
+
+RecoverableScope::RecoverableScope(bool on) : prev_(tripwires_recoverable()) {
+  set_tripwires_recoverable(on);
+  (void)take_tripwire_report();  // drop any stale report from a prior scope
+}
+
+RecoverableScope::~RecoverableScope() { set_tripwires_recoverable(prev_); }
 
 }  // namespace legw::check

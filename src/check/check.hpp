@@ -63,8 +63,47 @@ bool all_finite(const core::Tensor& t);
 // Aborts with full blame if `t` contains a NaN or Inf:
 //   non-finite tripwire: <value> at elem <i> of <tensor_name> shape [..]
 //   during <context> (step <n>)
-// Unconditional: callers gate on tripwires_enabled().
+// Unconditional: callers gate on tripwires_enabled(). In recoverable mode
+// (below) the blame is recorded instead of raised and the call returns.
 void assert_finite(const core::Tensor& t, const std::string& tensor_name,
                    const std::string& context);
+
+// ---- recoverable mode -------------------------------------------------------
+//
+// By default a firing tripwire aborts through LEGW_CHECK: the value is
+// corrupt and there is nothing to continue with. The stability sentinel
+// (src/guard/) changes that calculus — it can roll the run back to a blessed
+// checkpoint — so it needs a *report*, not an abort. RecoverableScope flips
+// the tripwires into record-first-violation mode for its lifetime:
+// assert_finite stores the blame message it would have raised (first one
+// wins; later violations in the same step are downstream noise) and returns,
+// and the sentinel consumes the report at the end of the step via
+// take_tripwire_report(). Thread-safe: replica-backward worker threads may
+// trip concurrently.
+
+struct TripwireReport {
+  bool fired = false;
+  std::string message;  // the abort message that would have been raised
+  i64 step = -1;        // step index at firing time (-1 = no step context)
+};
+
+bool tripwires_recoverable();
+void set_tripwires_recoverable(bool on);
+
+// Returns the pending report (fired == false when none) and clears it.
+TripwireReport take_tripwire_report();
+
+// RAII recoverable-mode guard; clears any stale pending report on entry and
+// restores the previous mode on exit.
+class RecoverableScope {
+ public:
+  explicit RecoverableScope(bool on = true);
+  ~RecoverableScope();
+  RecoverableScope(const RecoverableScope&) = delete;
+  RecoverableScope& operator=(const RecoverableScope&) = delete;
+
+ private:
+  bool prev_;
+};
 
 }  // namespace legw::check

@@ -315,9 +315,9 @@ Result save(const TrainState& state, const std::string& path) {
     return fail(Status::kWriteFailed, "ckpt::save: no model in state");
   }
   const std::string image = encode(state);
-  std::string err;
-  if (!core::atomic_write_file(path, image, &err)) {
-    return fail(Status::kWriteFailed, "ckpt::save: " + err);
+  const core::Status st = core::atomic_write_file(path, image);
+  if (!st.ok()) {
+    return fail(Status::kWriteFailed, "ckpt::save: " + st.message());
   }
   obs::count("ckpt_writes", 1);
   obs::count("ckpt_bytes", static_cast<i64>(image.size()));
@@ -846,6 +846,25 @@ std::vector<std::string> CheckpointManager::list_checkpoints(
   return out;
 }
 
+i64 CheckpointManager::step_of(const std::string& path) {
+  const std::string name = std::filesystem::path(path).filename().string();
+  if (name.size() <= 10 || name.rfind("ckpt-", 0) != 0 ||
+      name.substr(name.size() - 5) != ".legw") {
+    return -1;
+  }
+  const std::string digits = name.substr(5, name.size() - 10);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::stoll(digits);
+}
+
+bool CheckpointManager::is_blessed(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path + ".blessed", ec);
+}
+
 Result CheckpointManager::maybe_save(const TrainState& state) {
   if (!due(state.step)) return {};
   return save_now(state);
@@ -886,14 +905,17 @@ Result CheckpointManager::save_now(const TrainState& state) {
   return r;
 }
 
-CheckpointManager::RestoreOutcome CheckpointManager::restore_latest(
-    TrainState& state) {
-  core::MutexLock lock(io_mu_);
-  RestoreOutcome out;
-  const auto files = list_checkpoints(config_.dir);
+namespace {
+
+// Shared newest→oldest restore walk over `files`; `label` distinguishes the
+// latest/blessed variants in error messages.
+CheckpointManager::RestoreOutcome restore_walk(
+    TrainState& state, const std::vector<std::string>& files,
+    const std::string& dir, const std::string& label) {
+  CheckpointManager::RestoreOutcome out;
   if (files.empty()) {
     out.status =
-        fail(Status::kNoCheckpoint, "no checkpoints in " + config_.dir);
+        fail(Status::kNoCheckpoint, "no " + label + " checkpoints in " + dir);
     return out;
   }
   for (auto it = files.rbegin(); it != files.rend(); ++it) {
@@ -902,21 +924,117 @@ CheckpointManager::RestoreOutcome CheckpointManager::restore_latest(
       out.restored = true;
       out.path = *it;
       out.status = std::move(r);
+      if (!out.skipped.empty()) {
+        // The newest file(s) were corrupt and an older one restored — that
+        // fallback is the incident a post-mortem needs to see.
+        obs::TraceRecorder::global().add_event(
+            "ckpt_fallback",
+            {{"restored", out.path},
+             {"skipped", std::to_string(out.skipped.size())}});
+      }
       return out;
     }
-    out.skipped.push_back(*it);
-    out.status = std::move(r);
+    out.skipped.push_back(
+        CheckpointManager::SkippedCheckpoint{*it, r.status, r.message});
     obs::count("ckpt_corrupt_skipped", 1);
+    obs::TraceRecorder::global().add_event(
+        "ckpt_corrupt_skipped",
+        {{"path", *it},
+         {"status", status_name(r.status)},
+         {"error", r.message}});
+    out.status = std::move(r);
   }
   return out;
+}
+
+}  // namespace
+
+CheckpointManager::RestoreOutcome CheckpointManager::restore_latest(
+    TrainState& state) {
+  core::MutexLock lock(io_mu_);
+  return restore_walk(state, list_checkpoints(config_.dir), config_.dir,
+                      "candidate");
+}
+
+CheckpointManager::RestoreOutcome CheckpointManager::restore_blessed(
+    TrainState& state) {
+  core::MutexLock lock(io_mu_);
+  std::vector<std::string> blessed;
+  for (const auto& path : list_checkpoints(config_.dir)) {
+    if (is_blessed(path)) blessed.push_back(path);
+  }
+  return restore_walk(state, blessed, config_.dir, "blessed");
+}
+
+Result CheckpointManager::bless(i64 step) {
+  core::MutexLock lock(io_mu_);
+  const std::string path = step_path(config_.dir, step);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return fail(Status::kNoCheckpoint, "bless: no checkpoint at " + path);
+  }
+  // The marker is existence-only metadata: is_blessed() never reads the
+  // content, and a marker lost to power loss merely ages the rollback
+  // target by one blessing. Skipping the atomic-write fsync keeps blessing
+  // off the step's critical path (one fsync per cadence would dominate the
+  // sentinel's healthy overhead).
+  // lint-allow: atomic-write — existence-only marker, loss is safe
+  std::FILE* f = std::fopen((path + ".blessed").c_str(), "wb");
+  if (f == nullptr) {
+    return fail(Status::kWriteFailed, "bless: cannot create marker for " + path);
+  }
+  std::fputs("blessed\n", f);
+  if (std::fclose(f) != 0) {
+    return fail(Status::kWriteFailed, "bless: marker close failed for " + path);
+  }
+  return {};
+}
+
+i64 CheckpointManager::newest_blessed_step() {
+  core::MutexLock lock(io_mu_);
+  const auto files = list_checkpoints(config_.dir);
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    if (is_blessed(*it)) return step_of(*it);
+  }
+  return -1;
+}
+
+void CheckpointManager::invalidate_after(i64 step) {
+  core::MutexLock lock(io_mu_);
+  for (const auto& path : list_checkpoints(config_.dir)) {
+    if (step_of(path) > step && !is_blessed(path)) {
+      std::remove(path.c_str());
+    }
+  }
 }
 
 void CheckpointManager::apply_retention() {
   if (config_.keep_last <= 0) return;
   auto files = list_checkpoints(config_.dir);
-  while (files.size() > static_cast<std::size_t>(config_.keep_last)) {
-    std::remove(files.front().c_str());
-    files.erase(files.begin());
+  // The newest blessed checkpoint is the run's only known-good rollback
+  // target while newer (still-unblessed) files exist ahead of it; retention
+  // must not reap it to make room for exactly the files a divergence would
+  // invalidate.
+  std::string protect;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    if (is_blessed(*it)) {
+      if (it != files.rbegin()) protect = *it;  // unblessed files exist ahead
+      break;
+    }
+  }
+  // The protected file rides above the budget: the run still keeps its
+  // keep_last newest checkpoints for normal resume.
+  const std::size_t budget = static_cast<std::size_t>(config_.keep_last) +
+                             (protect.empty() ? 0u : 1u);
+  std::size_t i = 0;
+  while (files.size() > budget && i < files.size()) {
+    if (files[i] == protect) {
+      ++i;
+      continue;
+    }
+    std::remove(files[i].c_str());
+    std::remove((files[i] + ".blessed").c_str());  // stale marker, if any
+    files.erase(files.begin() + static_cast<std::ptrdiff_t>(i));
   }
 }
 

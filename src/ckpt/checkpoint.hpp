@@ -67,7 +67,9 @@ enum class Status {
 
 const char* status_name(Status s);
 
-struct Result {
+// [[nodiscard]]: every function returning a Result by value inherits the
+// must-check contract (a dropped checkpoint error is silent data loss).
+struct [[nodiscard]] Result {
   Status status = Status::kOk;
   std::string message;  // empty when ok
   bool ok() const { return status == Status::kOk; }
@@ -154,6 +156,16 @@ struct ManagerConfig {
 
 // Cadence + naming + retention + fallback policy over save()/load().
 // Files are `<dir>/ckpt-<step, zero-padded>.legw`.
+//
+// Blessing: the stability sentinel (src/guard/) marks a checkpoint "blessed"
+// only after N further healthy steps survive past it — a blessed checkpoint
+// is a known-good rollback target, not merely the newest bytes on disk. The
+// mark is a sidecar file `<ckpt>.blessed` (atomic to create, survives
+// crashes, invisible to list_checkpoints' name filter). Retention will never
+// reap the newest blessed checkpoint while unblessed ones exist ahead of it:
+// those newer files are exactly the ones a divergence would invalidate, so
+// deleting the last known-good state to make room for them would destroy the
+// only safe rollback target.
 class CheckpointManager {
  public:
   explicit CheckpointManager(ManagerConfig config);
@@ -162,8 +174,12 @@ class CheckpointManager {
 
   static std::string step_path(const std::string& dir, i64 step);
   // Checkpoint files in `dir`, sorted oldest → newest by step. Ignores
-  // .tmp leftovers and foreign files.
+  // .tmp leftovers, .blessed markers and foreign files.
   static std::vector<std::string> list_checkpoints(const std::string& dir);
+  // Step number parsed from a step_path-shaped filename, or -1.
+  static i64 step_of(const std::string& path);
+  // True when `path` carries a .blessed sidecar marker.
+  static bool is_blessed(const std::string& path);
 
   // True when the cadence says `step` should be persisted.
   bool due(i64 step) const { return config_.every_steps > 0 && step > 0 &&
@@ -176,17 +192,44 @@ class CheckpointManager {
   // Unconditional save + retention (also the maybe_save workhorse).
   Result save_now(const TrainState& state) LEGW_EXCLUDES(io_mu_);
 
+  // A candidate file rejected during a restore walk, with the structured
+  // load failure (the message names the failing section).
+  struct SkippedCheckpoint {
+    std::string path;
+    Status status = Status::kOk;
+    std::string message;
+  };
+
   struct RestoreOutcome {
     bool restored = false;
-    std::string path;                   // the file that restored
-    std::vector<std::string> skipped;   // corrupted candidates, newest first
+    std::string path;  // the file that restored
+    // Corrupted candidates, newest first.
+    std::vector<SkippedCheckpoint> skipped;
     Result status;  // kOk on success; kNoCheckpoint when dir has none; the
                     // last failure when every candidate was rejected
   };
   // Walks checkpoints newest → oldest, restoring the first one that loads
-  // cleanly; corrupted/torn/truncated files are skipped (and counted on the
-  // `ckpt_corrupt_skipped` obs counter), never fatal.
+  // cleanly; corrupted/torn/truncated files are skipped, never fatal. Every
+  // skip bumps the `ckpt_corrupt_skipped` obs counter and records a
+  // `ckpt_corrupt_skipped` telemetry event carrying the path and the failing
+  // section; a restore that had to fall past corrupt files also records a
+  // `ckpt_fallback` event naming the file that finally restored.
   RestoreOutcome restore_latest(TrainState& state) LEGW_EXCLUDES(io_mu_);
+
+  // ---- blessing (known-good rollback targets) -------------------------------
+
+  // Marks the checkpoint at `step` blessed (atomic sidecar write). Fails with
+  // kNoCheckpoint when no file exists for that step.
+  Result bless(i64 step) LEGW_EXCLUDES(io_mu_);
+  // Step of the newest blessed checkpoint on disk, or -1 when none.
+  i64 newest_blessed_step() LEGW_EXCLUDES(io_mu_);
+  // restore_latest restricted to blessed candidates (same skip semantics).
+  RestoreOutcome restore_blessed(TrainState& state) LEGW_EXCLUDES(io_mu_);
+  // Deletes every UNBLESSED checkpoint with step > `step`. Called after a
+  // rollback: files ahead of the rollback target belong to the abandoned
+  // (diverged) trajectory, and a crash before the next save must not resume
+  // from them.
+  void invalidate_after(i64 step) LEGW_EXCLUDES(io_mu_);
 
  private:
   void apply_retention() LEGW_REQUIRES(io_mu_);

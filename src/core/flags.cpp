@@ -82,6 +82,21 @@ std::atomic<WireFormat>& dist_wire_state() {
   return state;
 }
 
+std::atomic<GuardMode>& guard_mode_state() {
+  static std::atomic<GuardMode> state{[] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe, no setenv
+    if (const char* env = std::getenv("LEGW_GUARD")) {
+      const std::string v(env);
+      if (v == "on" || v == "observe" || v == "1") return GuardMode::kObserve;
+      LEGW_CHECK(v == "off" || v == "0" || v.empty(),
+                 "LEGW_GUARD must be 'on', 'observe', '1', 'off' or '0', "
+                 "got '" + v + "'");
+    }
+    return GuardMode::kOff;
+  }()};
+  return state;
+}
+
 }  // namespace
 
 GemmKernel gemm_kernel() {
@@ -209,6 +224,18 @@ const char* wire_format_name(WireFormat w) {
     case WireFormat::kInt8: return "int8";
   }
   return "fp32";
+}
+
+GuardMode guard_mode() {
+  return guard_mode_state().load(std::memory_order_relaxed);
+}
+
+void set_guard_mode(GuardMode m) {
+  guard_mode_state().store(m, std::memory_order_relaxed);
+}
+
+const char* guard_mode_name(GuardMode m) {
+  return m == GuardMode::kObserve ? "observe" : "off";
 }
 
 Flags::Flags(int argc, char** argv) {

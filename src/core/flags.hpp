@@ -93,6 +93,22 @@ void set_dist_wire(WireFormat w);
 bool set_dist_wire(const std::string& name);
 const char* wire_format_name(WireFormat w);
 
+// Whether the stability sentinel (src/guard/) runs in observe-only mode:
+//   kOff     — sentinel fully out of the loop (default).
+//   kObserve — health signals are computed and guard.* counters emitted every
+//              step, but nothing else changes: no rollbacks, no mitigation,
+//              no checkpoint-schema change. Safe to flip on any existing run
+//              without perturbing its trajectory — the CI leg relies on this.
+// Full protect mode (rollback + mitigation) is NOT reachable from the
+// environment; it requires an explicit RunConfig::sentinel opt-in because it
+// changes what a run does. Initial selection comes from LEGW_GUARD ("off"/
+// "0"/"" -> off, "on"/"observe"/"1" -> observe), read once on first use.
+enum class GuardMode { kOff, kObserve };
+
+GuardMode guard_mode();
+void set_guard_mode(GuardMode m);
+const char* guard_mode_name(GuardMode m);
+
 class Flags {
  public:
   // Parses argv; aborts with usage on malformed input (a flag without a

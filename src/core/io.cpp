@@ -31,12 +31,10 @@ bool AtomicFile::write(const void* data, std::size_t n) {
   return true;
 }
 
-bool AtomicFile::commit(std::string* error) {
+Status AtomicFile::commit() {
   if (f_ == nullptr) {
-    if (error != nullptr) {
-      *error = "AtomicFile: cannot open " + tmp_path_ + ": " + errno_string();
-    }
-    return false;
+    return Status::error("AtomicFile: cannot open " + tmp_path_ + ": " +
+                         errno_string());
   }
   bool ok = !failed_;
   std::string why = failed_ ? "short write" : "";
@@ -61,11 +59,9 @@ bool AtomicFile::commit(std::string* error) {
   }
   if (!ok) {
     std::remove(tmp_path_.c_str());
-    if (error != nullptr) {
-      *error = "AtomicFile: " + why + " (" + path_ + ")";
-    }
+    return Status::error("AtomicFile: " + why + " (" + path_ + ")");
   }
-  return ok;
+  return {};
 }
 
 void AtomicFile::discard() {
@@ -76,16 +72,15 @@ void AtomicFile::discard() {
   }
 }
 
-bool atomic_write_file(const std::string& path, const void* data,
-                       std::size_t n, std::string* error) {
+Status atomic_write_file(const std::string& path, const void* data,
+                         std::size_t n) {
   AtomicFile f(path);
   f.write(data, n);
-  return f.commit(error);
+  return f.commit();
 }
 
-bool atomic_write_file(const std::string& path, const std::string& content,
-                       std::string* error) {
-  return atomic_write_file(path, content.data(), content.size(), error);
+Status atomic_write_file(const std::string& path, const std::string& content) {
+  return atomic_write_file(path, content.data(), content.size());
 }
 
 }  // namespace legw::core

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/common.hpp"
+#include "core/status.hpp"
 
 namespace legw::core {
 
@@ -40,10 +41,10 @@ class AtomicFile {
   bool write(const void* data, std::size_t n);
 
   // Flushes, fsyncs, closes and renames the temp file over `path`. Returns
-  // false (setting *error) on any failure, in which case the temp file is
-  // removed and `path` keeps its previous contents. Calling commit() twice
-  // is an error.
-  [[nodiscard]] bool commit(std::string* error = nullptr);
+  // an error Status on any failure, in which case the temp file is removed
+  // and `path` keeps its previous contents. Calling commit() twice is an
+  // error.
+  Status commit();
 
   // Closes and deletes the temp file without publishing (also what the
   // destructor does for an uncommitted file). Used by the checkpoint crash
@@ -57,13 +58,10 @@ class AtomicFile {
   bool failed_ = false;
 };
 
-// Writes `n` bytes to `path` atomically (temp + fsync + rename). Returns
-// false and sets *error on failure; `path` is untouched then.
-[[nodiscard]] bool atomic_write_file(const std::string& path, const void* data,
-                                     std::size_t n,
-                                     std::string* error = nullptr);
-[[nodiscard]] bool atomic_write_file(const std::string& path,
-                                     const std::string& content,
-                                     std::string* error = nullptr);
+// Writes `n` bytes to `path` atomically (temp + fsync + rename). Returns an
+// error Status on failure; `path` is untouched then.
+Status atomic_write_file(const std::string& path, const void* data,
+                         std::size_t n);
+Status atomic_write_file(const std::string& path, const std::string& content);
 
 }  // namespace legw::core

@@ -1,0 +1,36 @@
+// Minimal status type for fallible operations whose failure the caller must
+// handle (file publication, telemetry appends, ...). The class itself is
+// [[nodiscard]]: every function returning core::Status by value inherits the
+// must-check contract, so a silently dropped error is a compiler warning
+// (-Werror on CI) — and the `discarded-status` lint rule (tools/lint.py)
+// additionally bans bare-statement calls to the status-returning entry
+// points. Use `(void)` plus a justifying comment where dropping is genuinely
+// intended.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace legw::core {
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is success.
+  Status() = default;
+
+  static Status error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace legw::core

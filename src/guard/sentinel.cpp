@@ -1,0 +1,376 @@
+#include "guard/sentinel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sched/schedule.hpp"
+
+namespace legw::guard {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kHealthy: return "healthy";
+    case Verdict::kLossSpike: return "loss_spike";
+    case Verdict::kGradExplosion: return "grad_explosion";
+    case Verdict::kNonFinite: return "non_finite";
+  }
+  return "healthy";
+}
+
+Verdict reduce_verdicts(const std::vector<Verdict>& verdicts) {
+  Verdict out = Verdict::kHealthy;
+  for (Verdict v : verdicts) {
+    if (static_cast<int>(v) > static_cast<int>(out)) out = v;
+  }
+  return out;
+}
+
+// ---- AnomalyPlan ------------------------------------------------------------
+
+AnomalyPlan AnomalyPlan::nan_at(i64 step) {
+  AnomalyPlan plan;
+  plan.anomalies.push_back({step, Kind::kNaN, 0.0f});
+  return plan;
+}
+
+AnomalyPlan AnomalyPlan::loss_spike_at(i64 step, float magnitude) {
+  AnomalyPlan plan;
+  plan.anomalies.push_back({step, Kind::kLossSpike, magnitude});
+  return plan;
+}
+
+AnomalyPlan AnomalyPlan::grad_explosion_at(i64 step, float magnitude) {
+  AnomalyPlan plan;
+  plan.anomalies.push_back({step, Kind::kGradExplosion, magnitude});
+  return plan;
+}
+
+AnomalyPlan& AnomalyPlan::add(i64 step, Kind kind, float magnitude) {
+  anomalies.push_back({step, kind, magnitude});
+  return *this;
+}
+
+const AnomalyPlan::Anomaly* AnomalyPlan::at(i64 step) const {
+  for (const auto& a : anomalies) {
+    if (a.at_step == step) return &a;
+  }
+  return nullptr;
+}
+
+// ---- StabilitySentinel ------------------------------------------------------
+
+StabilitySentinel::StabilitySentinel(SentinelConfig config,
+                                     MitigationPolicy policy)
+    : config_(config), policy_(policy) {
+  LEGW_CHECK(config_.window >= 1, "StabilitySentinel: window must be >= 1");
+  LEGW_CHECK(config_.min_history >= 1,
+             "StabilitySentinel: min_history must be >= 1");
+  LEGW_CHECK(config_.ledger_capacity >= 1,
+             "StabilitySentinel: ledger_capacity must be >= 1");
+  LEGW_CHECK(policy_.lr_backoff > 0.0f && policy_.lr_backoff <= 1.0f,
+             "StabilitySentinel: lr_backoff must be in (0, 1]");
+  loss_window_.assign(static_cast<std::size_t>(config_.window), 0.0f);
+  grad_window_.assign(static_cast<std::size_t>(config_.window), 0.0f);
+}
+
+double StabilitySentinel::median_loss() const {
+  const i64 n = std::min(loss_count_, config_.window);
+  if (n == 0) return 0.0;
+  std::vector<float> v(loss_window_.begin(), loss_window_.begin() + n);
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  return static_cast<double>(v[static_cast<std::size_t>(n / 2)]);
+}
+
+float StabilitySentinel::median_grad() const {
+  const i64 n = std::min(grad_count_, config_.window);
+  if (n == 0) return 0.0f;
+  std::vector<float> v(grad_window_.begin(), grad_window_.begin() + n);
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  return v[static_cast<std::size_t>(n / 2)];
+}
+
+Verdict StabilitySentinel::assess(const HealthSignals& s) const {
+  // Descending severity: the worst applicable verdict wins.
+  if (s.non_finite || !std::isfinite(s.loss) || !std::isfinite(s.grad_norm)) {
+    return Verdict::kNonFinite;
+  }
+  if (grad_count_ >= config_.min_history) {
+    const float baseline = std::max(median_grad(), config_.grad_noise_floor);
+    if (baseline > 0.0f &&
+        s.grad_norm > config_.grad_spike_factor * baseline) {
+      return Verdict::kGradExplosion;
+    }
+  }
+  if (s.loss > static_cast<double>(config_.loss_abs_limit)) {
+    return Verdict::kLossSpike;
+  }
+  if (loss_count_ >= config_.min_history) {
+    const double baseline =
+        std::max(median_loss(),
+                 static_cast<double>(config_.loss_noise_floor));
+    if (baseline > 0.0 &&
+        s.loss > static_cast<double>(config_.loss_spike_factor) * baseline) {
+      return Verdict::kLossSpike;
+    }
+  }
+  return Verdict::kHealthy;
+}
+
+Decision StabilitySentinel::observe(i64 step, Verdict verdict,
+                                    const HealthSignals& s) {
+  Decision d;
+  if (verdict == Verdict::kHealthy) {
+    loss_window_[static_cast<std::size_t>(loss_count_ % config_.window)] =
+        static_cast<float>(s.loss);
+    ++loss_count_;
+    grad_window_[static_cast<std::size_t>(grad_count_ % config_.window)] =
+        s.grad_norm;
+    ++grad_count_;
+    for (auto& p : pending_) ++p.healthy_seen;
+    if (in_recovery_ && step > last_anomaly_step_) {
+      // The episode closes once the run is past the anomaly AND the
+      // re-warmup ramp (levels >= 2 only) has returned LR to the schedule.
+      const bool ramp_done =
+          level_ < 2 || rollback_step_ < 0 ||
+          step - rollback_step_ >= policy_.rewarm_steps;
+      if (ramp_done) {
+        in_recovery_ = false;
+        level_ = 0;
+        rollback_step_ = -1;
+      }
+    }
+    d.level = in_recovery_ ? level_ : 0;
+    return d;
+  }
+
+  // Anomaly: checkpoints written since the last blessing belong to a
+  // trajectory we are about to abandon — they must never become rollback
+  // targets.
+  pending_.clear();
+  level_ = in_recovery_ ? level_ + 1 : 1;
+  in_recovery_ = true;
+  last_anomaly_step_ = step;
+  pending_verdict_ = verdict;
+  std::ostringstream os;
+  os << verdict_name(verdict) << " at step " << step << " (loss " << s.loss
+     << ", grad_norm " << s.grad_norm << ")";
+  if (!s.detail.empty()) os << ": " << s.detail;
+  d.level = level_;
+  d.reason = os.str();
+  if (level_ > policy_.max_escalations) {
+    d.action = Decision::Action::kFail;
+    LedgerEntry e;
+    e.step = step;
+    e.verdict = verdict;
+    e.level = level_;
+    e.rollback_to = -1;
+    ledger_.push_back(e);
+    if (static_cast<i64>(ledger_.size()) > config_.ledger_capacity) {
+      ledger_.erase(ledger_.begin());
+    }
+  } else {
+    d.action = Decision::Action::kRollback;
+  }
+  return d;
+}
+
+float StabilitySentinel::lr_factor(i64 step) const {
+  if (!in_recovery_ || level_ < 2 || rollback_step_ < 0) return 1.0f;
+  const float backoff =
+      std::pow(policy_.lr_backoff, static_cast<float>(level_ - 1));
+  return sched::rewarmup_factor(step - rollback_step_, policy_.rewarm_steps,
+                                backoff);
+}
+
+float StabilitySentinel::clip_factor() const {
+  if (!in_recovery_ || level_ < 3) return 1.0f;
+  return policy_.clip_tighten;
+}
+
+void StabilitySentinel::note_checkpoint(i64 step) {
+  if (static_cast<i64>(pending_.size()) >= kPendingCap) {
+    pending_.erase(pending_.begin());
+  }
+  pending_.push_back(PendingBless{step, 0});
+}
+
+std::vector<i64> StabilitySentinel::take_bless_ready() {
+  std::vector<i64> ready;
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->healthy_seen >= config_.bless_after) {
+      ready.push_back(it->step);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ready;
+}
+
+void StabilitySentinel::on_rollback(i64 restored_step) {
+  rollback_step_ = restored_step;
+  LedgerEntry e;
+  e.step = last_anomaly_step_;
+  e.verdict = pending_verdict_;
+  e.level = level_;
+  e.rollback_to = restored_step;
+  ledger_.push_back(e);
+  if (static_cast<i64>(ledger_.size()) > config_.ledger_capacity) {
+    ledger_.erase(ledger_.begin());
+  }
+}
+
+bool StabilitySentinel::injection_fired(i64 step) const {
+  return std::find(injected_.begin(), injected_.end(), step) !=
+         injected_.end();
+}
+
+void StabilitySentinel::mark_injection_fired(i64 step) {
+  if (injection_fired(step)) return;
+  if (static_cast<i64>(injected_.size()) >= kInjectedCap) {
+    injected_.erase(injected_.begin());
+  }
+  injected_.push_back(step);
+}
+
+std::string StabilitySentinel::report() const {
+  std::ostringstream os;
+  os << "stability sentinel: level " << level_ << "/"
+     << policy_.max_escalations << (in_recovery_ ? " (in recovery)" : "")
+     << ", " << ledger_.size() << " anomalies\n";
+  for (const auto& e : ledger_) {
+    os << "  step " << e.step << ": " << verdict_name(e.verdict)
+       << ", escalation level " << e.level;
+    if (e.rollback_to >= 0) {
+      os << ", rolled back to step " << e.rollback_to;
+    } else {
+      os << ", no rollback (ladder exhausted)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---- persistence ------------------------------------------------------------
+//
+// Layout (floats; step indices are exact below 2^24, far beyond any run this
+// codebase executes):
+//   [0]  version (1)
+//   [1]  in_recovery          [2] level           [3] rollback_step
+//   [4]  last_anomaly_step    [5] loss_count      [6] grad_count
+//   [7]  n_pending            [8] n_injected      [9] n_ledger
+//   [10] pending_verdict      [11..15] reserved
+//   [16, 16+W)                loss window ring
+//   [16+W, 16+2W)             grad window ring
+//   ... 2*kPendingCap         pending {step, healthy_seen} pairs
+//   ... kInjectedCap          fired injection steps
+//   ... 4*ledger_capacity     ledger {step, verdict, level, rollback_to}
+
+namespace {
+constexpr i64 kHeader = 16;
+constexpr float kStateVersion = 1.0f;
+}  // namespace
+
+std::vector<i64> StabilitySentinel::state_shape(const SentinelConfig& config) {
+  return {kHeader + 2 * config.window + 2 * kPendingCap + kInjectedCap +
+          4 * config.ledger_capacity};
+}
+
+void StabilitySentinel::export_state_into(core::Tensor& t) const {
+  const auto shape = state_shape(config_);
+  LEGW_CHECK(t.dim() == 1 && t.size(0) == shape[0],
+             "StabilitySentinel::export_state_into: shape mismatch");
+  t.zero_();
+  t[0] = kStateVersion;
+  t[1] = in_recovery_ ? 1.0f : 0.0f;
+  t[2] = static_cast<float>(level_);
+  t[3] = static_cast<float>(rollback_step_);
+  t[4] = static_cast<float>(last_anomaly_step_);
+  t[5] = static_cast<float>(loss_count_);
+  t[6] = static_cast<float>(grad_count_);
+  t[7] = static_cast<float>(pending_.size());
+  t[8] = static_cast<float>(injected_.size());
+  t[9] = static_cast<float>(ledger_.size());
+  t[10] = static_cast<float>(pending_verdict_);
+  i64 at = kHeader;
+  for (i64 i = 0; i < config_.window; ++i) {
+    t[at + i] = loss_window_[static_cast<std::size_t>(i)];
+  }
+  at += config_.window;
+  for (i64 i = 0; i < config_.window; ++i) {
+    t[at + i] = grad_window_[static_cast<std::size_t>(i)];
+  }
+  at += config_.window;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    t[at + static_cast<i64>(2 * i)] = static_cast<float>(pending_[i].step);
+    t[at + static_cast<i64>(2 * i) + 1] =
+        static_cast<float>(pending_[i].healthy_seen);
+  }
+  at += 2 * kPendingCap;
+  for (std::size_t i = 0; i < injected_.size(); ++i) {
+    t[at + static_cast<i64>(i)] = static_cast<float>(injected_[i]);
+  }
+  at += kInjectedCap;
+  for (std::size_t i = 0; i < ledger_.size(); ++i) {
+    const i64 base = at + static_cast<i64>(4 * i);
+    t[base] = static_cast<float>(ledger_[i].step);
+    t[base + 1] = static_cast<float>(ledger_[i].verdict);
+    t[base + 2] = static_cast<float>(ledger_[i].level);
+    t[base + 3] = static_cast<float>(ledger_[i].rollback_to);
+  }
+}
+
+void StabilitySentinel::import_state(const core::Tensor& t) {
+  const auto shape = state_shape(config_);
+  LEGW_CHECK(t.dim() == 1 && t.size(0) == shape[0],
+             "StabilitySentinel::import_state: shape mismatch (sentinel "
+             "config differs from the checkpointed run?)");
+  LEGW_CHECK(t[0] == kStateVersion,
+             "StabilitySentinel::import_state: unknown state version");
+  in_recovery_ = t[1] != 0.0f;
+  level_ = static_cast<int>(t[2]);
+  rollback_step_ = static_cast<i64>(t[3]);
+  last_anomaly_step_ = static_cast<i64>(t[4]);
+  loss_count_ = static_cast<i64>(t[5]);
+  grad_count_ = static_cast<i64>(t[6]);
+  const auto n_pending = static_cast<i64>(t[7]);
+  const auto n_injected = static_cast<i64>(t[8]);
+  const auto n_ledger = static_cast<i64>(t[9]);
+  pending_verdict_ = static_cast<Verdict>(static_cast<int>(t[10]));
+  i64 at = kHeader;
+  for (i64 i = 0; i < config_.window; ++i) {
+    loss_window_[static_cast<std::size_t>(i)] = t[at + i];
+  }
+  at += config_.window;
+  for (i64 i = 0; i < config_.window; ++i) {
+    grad_window_[static_cast<std::size_t>(i)] = t[at + i];
+  }
+  at += config_.window;
+  pending_.clear();
+  for (i64 i = 0; i < std::min(n_pending, kPendingCap); ++i) {
+    PendingBless p;
+    p.step = static_cast<i64>(t[at + 2 * i]);
+    p.healthy_seen = static_cast<i64>(t[at + 2 * i + 1]);
+    pending_.push_back(p);
+  }
+  at += 2 * kPendingCap;
+  injected_.clear();
+  for (i64 i = 0; i < std::min(n_injected, kInjectedCap); ++i) {
+    injected_.push_back(static_cast<i64>(t[at + i]));
+  }
+  at += kInjectedCap;
+  ledger_.clear();
+  for (i64 i = 0; i < std::min(n_ledger, config_.ledger_capacity); ++i) {
+    const i64 base = at + 4 * i;
+    LedgerEntry e;
+    e.step = static_cast<i64>(t[base]);
+    e.verdict = static_cast<Verdict>(static_cast<int>(t[base + 1]));
+    e.level = static_cast<int>(t[base + 2]);
+    e.rollback_to = static_cast<i64>(t[base + 3]);
+    ledger_.push_back(e);
+  }
+}
+
+}  // namespace legw::guard

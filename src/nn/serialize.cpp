@@ -79,10 +79,10 @@ SerializeResult save_checkpoint(const Module& module, const std::string& path) {
     buf.append(reinterpret_cast<const char*>(t.data()),
                static_cast<std::size_t>(t.numel()) * sizeof(float));
   }
-  std::string err;
-  if (!core::atomic_write_file(path, buf, &err)) {
+  const core::Status st = core::atomic_write_file(path, buf);
+  if (!st.ok()) {
     return fail(SerializeStatus::kShortWrite,
-                "checkpoint: cannot write " + path + " (" + err + ")");
+                "checkpoint: cannot write " + path + " (" + st.message() + ")");
   }
   return {};
 }

@@ -38,7 +38,7 @@ enum class SerializeStatus {
 
 const char* serialize_status_name(SerializeStatus s);
 
-struct SerializeResult {
+struct [[nodiscard]] SerializeResult {
   SerializeStatus status = SerializeStatus::kOk;
   std::string message;  // empty when ok
   i64 restored = 0;     // parameters restored (load only)

@@ -87,7 +87,27 @@ std::string render_run_telemetry(const RunRecord& record,
     first = false;
     os << json_escape(name) << ":" << v;
   }
-  os << "}}";
+  os << "}";
+
+  // Structured incident events (corrupt checkpoints skipped, sentinel
+  // rollbacks, ...): emitted only when present so the common-case record
+  // stays compact.
+  const auto events = recorder.events();
+  if (!events.empty()) {
+    os << ",\"events\":[";
+    first = true;
+    for (const auto& ev : events) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"kind\":" << json_escape(ev.kind);
+      for (const auto& [key, value] : ev.fields) {
+        os << "," << json_escape(key) << ":" << json_escape(value);
+      }
+      os << "}";
+    }
+    os << "]";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -93,6 +93,7 @@ struct TraceRecorder::Impl {
   mutable core::Mutex mu;
   std::vector<SpanRecord> spans LEGW_GUARDED_BY(mu);
   std::map<std::string, i64> counters LEGW_GUARDED_BY(mu);
+  std::vector<Event> events LEGW_GUARDED_BY(mu);
   i64 epoch_ns LEGW_GUARDED_BY(mu) = now_ns();
 };
 
@@ -128,6 +129,23 @@ void TraceRecorder::counter_add(const std::string& name, i64 delta) {
   Impl& im = impl();
   core::MutexLock lock(im.mu);
   im.counters[name] += delta;
+}
+
+void TraceRecorder::add_event(
+    std::string kind, std::vector<std::pair<std::string, std::string>> fields) {
+  Impl& im = impl();
+  core::MutexLock lock(im.mu);
+  if (static_cast<i64>(im.events.size()) >= kMaxEvents) {
+    im.counters["events_dropped"] += 1;
+    return;
+  }
+  im.events.push_back(Event{std::move(kind), std::move(fields)});
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  Impl& im = impl();
+  core::MutexLock lock(im.mu);
+  return im.events;
 }
 
 std::vector<TraceRecorder::SpanRecord> TraceRecorder::spans() const {
@@ -290,7 +308,9 @@ bool TraceRecorder::write_chrome_trace(const std::string& path,
 
   // Atomic publication so a crash mid-export cannot tear a trace a viewer
   // (or CI artifact collector) already had.
-  return core::atomic_write_file(path, os.str(), error);
+  const core::Status st = core::atomic_write_file(path, os.str());
+  if (!st.ok() && error != nullptr) *error = st.message();
+  return st.ok();
 }
 
 void TraceRecorder::clear() {
@@ -298,6 +318,7 @@ void TraceRecorder::clear() {
   core::MutexLock lock(im.mu);
   im.spans.clear();
   im.counters.clear();
+  im.events.clear();
   im.epoch_ns = now_ns();
   core::reset_dispatch_counters();
 }

@@ -21,6 +21,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/common.hpp"
@@ -65,6 +66,17 @@ class TraceRecorder {
     double p95_ms = 0.0;
   };
 
+  // A rare, high-signal occurrence (a corrupt checkpoint skipped at restore,
+  // a sentinel rollback, ...) with structured key/value detail. Unlike spans
+  // and counters, events are recorded even when tracing is disabled: they
+  // are cheap by construction (bounded at kMaxEvents per window) and losing
+  // one hides an incident, not a timing.
+  struct Event {
+    std::string kind;
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+  static constexpr i64 kMaxEvents = 256;
+
   // Process-wide recorder used by `Span` and all instrumentation sites.
   static TraceRecorder& global();
 
@@ -78,11 +90,21 @@ class TraceRecorder {
   // Adds `delta` to the named aggregate counter (creates it at zero first).
   void counter_add(const std::string& name, i64 delta);
 
+  // Appends a structured event (see Event). Beyond kMaxEvents per window the
+  // event is dropped and the `events_dropped` counter incremented instead —
+  // an incident log must never balloon a long run's memory.
+  void add_event(std::string kind,
+                 std::vector<std::pair<std::string, std::string>> fields);
+
   // ---- views ---------------------------------------------------------------
   // All views snapshot under the recorder lock and are safe to call while
   // other threads keep recording (the snapshot is simply a prefix).
 
   std::vector<SpanRecord> spans() const;
+
+  // Recorded events in arrival order (cleared by clear() like everything
+  // else).
+  std::vector<Event> events() const;
 
   // Recorder counters merged with the core dispatch-counter snapshot.
   std::map<std::string, i64> counters() const;

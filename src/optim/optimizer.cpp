@@ -245,13 +245,17 @@ void Lamb::apply_step() {
   }
 }
 
-float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm) {
+float global_grad_norm(const std::vector<ag::Variable>& params) {
   double total = 0.0;
   for (const auto& p : params) {
     const float n = p.grad().l2_norm();
     total += static_cast<double>(n) * n;
   }
-  const float norm = static_cast<float>(std::sqrt(total));
+  return static_cast<float>(std::sqrt(total));
+}
+
+float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm) {
+  const float norm = global_grad_norm(params);
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (const auto& p : params) {

@@ -259,6 +259,13 @@ class Lamb final : public Optimizer {
 // Global-norm gradient clipping. Returns the pre-clip norm.
 float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm);
 
+// Global L2 norm over all parameter gradients — the measurement half of
+// clip_grad_norm, exposed so the stability sentinel can inspect gradient
+// health before the optimizer consumes the step. Uses the exact same
+// accumulation order as clip_grad_norm, so a run that clips at norm X and a
+// sentinel that reads norm X agree bitwise.
+float global_grad_norm(const std::vector<ag::Variable>& params);
+
 // Factory by name: "sgd", "momentum", "nesterov", "adagrad", "rmsprop",
 // "adam", "adadelta", "lars". Aborts on unknown names.
 std::unique_ptr<Optimizer> make_optimizer(const std::string& name,

@@ -17,6 +17,16 @@ float sqrt_scaling(float base_lr, i64 base_batch, i64 batch) {
                              static_cast<float>(base_batch));
 }
 
+float rewarmup_factor(i64 steps_since_rollback, i64 ramp_steps, float backoff) {
+  LEGW_CHECK(backoff > 0.0f && backoff <= 1.0f,
+             "rewarmup_factor: backoff must be in (0, 1]");
+  const i64 steps = std::max<i64>(steps_since_rollback, 0);
+  if (ramp_steps <= 0) return backoff;
+  const double frac =
+      std::min(1.0, static_cast<double>(steps) / static_cast<double>(ramp_steps));
+  return backoff + (1.0f - backoff) * static_cast<float>(frac);
+}
+
 std::string ConstantLr::describe() const {
   std::ostringstream os;
   os << "constant(peak=" << peak_ << ")";

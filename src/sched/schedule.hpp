@@ -96,6 +96,16 @@ class CosineLr final : public LrSchedule {
   double total_epochs_;
 };
 
+// Post-rollback learning-rate factor for the stability sentinel's mitigation
+// ladder (src/guard/): after a rollback with LR backoff, the effective LR is
+// schedule_lr * rewarmup_factor(steps_since_rollback, ramp_steps, backoff).
+// Starts at `backoff` and ramps linearly back to 1.0 over `ramp_steps` —
+// the LEGW warmup insight applied in miniature: re-enter the high-LR regime
+// gradually rather than at full step size right after a divergence.
+// steps_since_rollback < 0 is clamped to 0; ramp_steps <= 0 means no ramp
+// (factor == backoff forever until the episode closes).
+float rewarmup_factor(i64 steps_since_rollback, i64 ramp_steps, float backoff);
+
 // Gradual warmup (Goyal et al. 2017): linear ramp from 0 to the inner
 // schedule's value over `warmup_epochs`, then the inner schedule verbatim.
 // The ramp targets inner->lr(epoch) rather than a fixed peak so warmup

@@ -42,7 +42,9 @@ enum class Status {
 
 const char* status_name(Status s);
 
-struct Result {
+// [[nodiscard]]: a dropped serve status silently serves a stale or broken
+// model image.
+struct [[nodiscard]] Result {
   Status status = Status::kOk;
   std::string message;  // empty when ok
   bool ok() const { return status == Status::kOk; }

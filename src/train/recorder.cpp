@@ -47,7 +47,9 @@ std::string Recorder::to_csv() const {
 bool Recorder::write_csv(const std::string& path, std::string* error) const {
   // Atomic publication: a crash (or injected kill) mid-export never leaves a
   // torn CSV where a previous complete one stood.
-  return core::atomic_write_file(path, to_csv(), error);
+  const core::Status st = core::atomic_write_file(path, to_csv());
+  if (!st.ok() && error != nullptr) *error = st.message();
+  return st.ok();
 }
 
 }  // namespace legw::train

@@ -1,9 +1,11 @@
 #include "train/runners.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -44,11 +46,14 @@ struct StepLoop {
   i64 step = 0;
 
   // Sets the schedule LR for the current step and advances. Returns the
-  // fractional epoch used.
-  double begin_step() {
+  // fractional epoch used. `lr_scale` is the sentinel's post-rollback
+  // mitigation factor; exactly 1.0f skips the multiply so a guard-less step
+  // stays bitwise identical.
+  double begin_step(float lr_scale = 1.0f) {
     const double epoch =
         static_cast<double>(step) / static_cast<double>(steps_per_epoch);
-    const auto lr = run->schedule->lr(epoch);
+    auto lr = run->schedule->lr(epoch);
+    if (lr_scale != 1.0f) lr *= lr_scale;
     for (optim::Optimizer* opt : opts) opt->set_lr(lr);
     // Publish the step so a non-finite tripwire firing anywhere in this
     // step's forward/backward/update blames *when*, not just where.
@@ -61,9 +66,11 @@ struct StepLoop {
 // Shared post-forward tail of one training step: divergence check, backward,
 // clip, optimizer update, bookkeeping. Returns false when the run diverged.
 // With multiple replicas every optimizer clips and steps on the identical
-// replica-mean gradients, so the updates are identical too.
+// replica-mean gradients, so the updates are identical too. `clip_norm` is
+// the effective clip (the sentinel may tighten it mid-episode; equals
+// run.clip_norm whenever the guard is inactive).
 bool finish_step(const RunConfig& run, StepLoop& loop, double loss_value,
-                 RunResult* result) {
+                 RunResult* result, float clip_norm) {
   result->final_train_loss = loss_value;
   if (run.recorder != nullptr) {
     run.recorder->record("train_loss", loop.step - 1, loss_value);
@@ -72,10 +79,10 @@ bool finish_step(const RunConfig& run, StepLoop& loop, double loss_value,
     result->diverged = true;
     return false;
   }
-  if (run.clip_norm > 0.0f) {
+  if (clip_norm > 0.0f) {
     obs::Span span("clip");
     for (optim::Optimizer* opt : loop.opts) {
-      optim::clip_grad_norm(opt->params(), run.clip_norm);
+      optim::clip_grad_norm(opt->params(), clip_norm);
     }
   }
   {
@@ -117,9 +124,10 @@ struct CkptHook {
     ckpt::TrainState state;
     fill(state);
     const auto outcome = mgr->restore_latest(state);
-    for (const std::string& path : outcome.skipped) {
-      std::fprintf(stderr, "checkpoint: skipping corrupt %s (%s)\n",
-                   path.c_str(), ckpt::status_name(outcome.status.status));
+    for (const auto& skip : outcome.skipped) {
+      std::fprintf(stderr, "checkpoint: skipping corrupt %s (%s: %s)\n",
+                   skip.path.c_str(), ckpt::status_name(skip.status),
+                   skip.message.c_str());
     }
     if (!outcome.restored) return 0;
     result->resumed_from_step = state.step;
@@ -152,6 +160,243 @@ struct CkptHook {
       std::fprintf(stderr, "checkpoint write failed: %s\n", r.message.c_str());
     }
     return true;
+  }
+};
+
+// Stability-sentinel glue shared by the four runners (guard/sentinel.hpp).
+// Construction order matters: the runner builds the GuardHook first so its
+// state tensor can be registered inside the CkptHook fill lambda (protect
+// mode adds "guard.sentinel" to the checkpoint `extra` schema), then
+// attaches the CkptHook. Modes:
+//   protect — RunConfig::sentinel.enabled && checkpoint_dir set: detection,
+//             rollback to the newest blessed checkpoint, and the escalating
+//             mitigation ladder; the check:: tripwires run in recoverable
+//             mode for the run's duration so a non-finite value becomes a
+//             report the sentinel consumes instead of an abort.
+//   observe — LEGW_GUARD=on (and not protect): signals, guard.* counters and
+//             events only; the trajectory, abort behaviour and checkpoint
+//             schema are bit-for-bit those of a guard-less run.
+struct GuardHook {
+  enum class Action { kProceed, kRestart, kStop };
+
+  const RunConfig* run;
+  bool protect = false;
+  bool observe = false;
+  std::optional<guard::StabilitySentinel> sentinel;
+  core::Tensor state;  // the persisted "guard.sentinel" extra (protect mode)
+  std::optional<check::RecoverableScope> recoverable;
+  CkptHook* ck = nullptr;
+  i64 steps_per_epoch = 1;
+  i64 restart_step = 0;  // valid after inspect() returns kRestart
+
+  explicit GuardHook(const RunConfig& r) : run(&r) {
+    protect = r.sentinel.enabled && !r.checkpoint_dir.empty();
+    observe = protect || core::guard_mode() == core::GuardMode::kObserve;
+    if (observe) sentinel.emplace(r.sentinel, r.mitigation);
+    if (protect) {
+      state = core::Tensor(guard::StabilitySentinel::state_shape(r.sentinel));
+      recoverable.emplace(true);
+    }
+  }
+
+  // Registered inside the CkptHook fill lambda: every save carries a fresh
+  // export of the sentinel state, every restore deposits the file's copy
+  // into `state`.
+  void fill_extra(ckpt::TrainState& s) {
+    if (!protect) return;
+    sentinel->export_state_into(state);
+    s.extra.emplace_back("guard.sentinel", &state);
+  }
+
+  void attach(CkptHook* hook, i64 spe) {
+    ck = hook;
+    steps_per_epoch = spe;
+  }
+
+  float lr_scale(i64 step) const {
+    return protect ? sentinel->lr_factor(step) : 1.0f;
+  }
+
+  float effective_clip() const {
+    if (!protect) return run->clip_norm;
+    const float f = sentinel->clip_factor();
+    if (f == 1.0f) return run->clip_norm;
+    return run->clip_norm > 0.0f ? run->clip_norm * f
+                                 : run->mitigation.fallback_clip_norm;
+  }
+
+  // After CkptHook::maybe_restore: adopt the persisted sentinel state, or on
+  // a fresh protect-mode start persist + bless the step-0 checkpoint so a
+  // rollback target exists from the first step. Returns false when the run
+  // must stop (injected crash during the step-0 write).
+  bool after_restore(i64 start_step, RunResult* result) {
+    if (!protect) return true;
+    if (start_step > 0) {
+      sentinel->import_state(state);
+      return true;
+    }
+    ckpt::TrainState s;
+    ck->fill(s);
+    s.step = 0;
+    s.epoch = 0;
+    const ckpt::Result w = ck->mgr->save_now(s);
+    if (w.status == ckpt::Status::kSimulatedCrash) {
+      result->interrupted = true;
+      return false;
+    }
+    LEGW_CHECK(w.ok(),
+               "guard: cannot write the step-0 rollback target: " + w.message);
+    const ckpt::Result b = ck->mgr->bless(0);
+    LEGW_CHECK(b.ok(),
+               "guard: cannot bless the step-0 checkpoint: " + b.message);
+    return true;
+  }
+
+  // One-shot seeded anomaly injection, applied identically on every active
+  // replica so the synchrony invariant holds through the anomaly itself.
+  // Runs post-backward: the poisoned values are exactly what the sentinel
+  // inspects, and a detected anomaly never reaches the optimizer.
+  void maybe_inject(i64 step, double* loss_value,
+                    const std::vector<optim::Optimizer*>& opts) {
+    if (!protect || run->anomaly_plan == nullptr) return;
+    const guard::AnomalyPlan::Anomaly* a = run->anomaly_plan->at(step);
+    if (a == nullptr || sentinel->injection_fired(step)) return;
+    sentinel->mark_injection_fired(step);
+    const char* kind = "nan";
+    switch (a->kind) {
+      case guard::AnomalyPlan::Kind::kLossSpike:
+        kind = "loss_spike";
+        *loss_value *= static_cast<double>(a->magnitude);
+        break;
+      case guard::AnomalyPlan::Kind::kNaN:
+        for (optim::Optimizer* opt : opts) {
+          if (opt->params().empty()) continue;
+          ag::Variable handle = opt->params()[0];
+          handle.mutable_grad()[0] = std::numeric_limits<float>::quiet_NaN();
+        }
+        break;
+      case guard::AnomalyPlan::Kind::kGradExplosion:
+        kind = "grad_explosion";
+        for (optim::Optimizer* opt : opts) {
+          for (const ag::Variable& p : opt->params()) {
+            ag::Variable handle = p;
+            handle.mutable_grad().scale_(a->magnitude);
+          }
+        }
+        break;
+    }
+    obs::TraceRecorder::global().add_event(
+        "guard_injected", {{"step", std::to_string(step)}, {"kind", kind}});
+  }
+
+  // Post-backward / pre-optimizer health inspection. kProceed: the step goes
+  // on (always, outside protect mode). kRestart: rolled back — the runner
+  // repositions its data pipeline at `restart_step` and replays. kStop: the
+  // ladder is exhausted (guard_failed + diverged) or an injected crash fired
+  // during recovery (interrupted).
+  Action inspect(i64 step, double loss_value,
+                 const std::vector<optim::Optimizer*>& opts,
+                 RunResult* result) {
+    if (!observe) return Action::kProceed;
+    const check::TripwireReport rep =
+        protect ? check::take_tripwire_report() : check::TripwireReport{};
+    guard::HealthSignals signals;
+    signals.loss = loss_value;
+    signals.non_finite = rep.fired;
+    signals.detail = rep.message;
+    // Rank-consistent decision: one verdict per active replica, reduced by
+    // max severity — every rank then takes the identical action.
+    std::vector<guard::Verdict> verdicts;
+    verdicts.reserve(opts.size());
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+      guard::HealthSignals s = signals;
+      s.grad_norm = optim::global_grad_norm(opts[i]->params());
+      if (i == 0) signals.grad_norm = s.grad_norm;  // replica-0 view
+      verdicts.push_back(sentinel->assess(s));
+    }
+    const guard::Verdict verdict = guard::reduce_verdicts(verdicts);
+    obs::count("guard.steps", 1);
+    const guard::Decision d = sentinel->observe(step, verdict, signals);
+    if (verdict == guard::Verdict::kHealthy) return Action::kProceed;
+    ++result->guard_anomalies;
+    obs::count("guard.anomalies", 1);
+    obs::TraceRecorder::global().add_event(
+        "guard_anomaly", {{"step", std::to_string(step)},
+                          {"verdict", guard::verdict_name(verdict)},
+                          {"level", std::to_string(d.level)}});
+    if (!protect) return Action::kProceed;  // observe-only: no intervention
+    if (d.action == guard::Decision::Action::kFail) {
+      result->guard_failed = true;
+      result->diverged = true;
+      result->guard_report = sentinel->report();
+      obs::count("guard.failures", 1);
+      std::fprintf(stderr, "guard: mitigation ladder exhausted: %s\n%s",
+                   d.reason.c_str(), result->guard_report.c_str());
+      return Action::kStop;
+    }
+    return rollback(d, result);
+  }
+
+  // After CkptHook::after_step: feed the blessing pipeline.
+  void after_save(i64 step) {
+    if (!protect) return;
+    if (ck->mgr->due(step)) sentinel->note_checkpoint(step);
+    for (const i64 bstep : sentinel->take_bless_ready()) {
+      const ckpt::Result b = ck->mgr->bless(bstep);
+      // Retention may have reaped the file before it earned its blessing;
+      // losing a would-be target is fine, losing the run is not.
+      if (b.ok()) obs::count("guard.blessed", 1);
+    }
+  }
+
+ private:
+  Action rollback(const guard::Decision& d, RunResult* result) {
+    obs::Span span("rollback");
+    ckpt::TrainState s;
+    ck->fill(s);
+    const auto outcome = ck->mgr->restore_blessed(s);
+    if (!outcome.restored) {
+      // No blessed checkpoint loads: unrecoverable. (The step-0 blessing
+      // makes this unreachable short of on-disk corruption of every target.)
+      result->guard_failed = true;
+      result->diverged = true;
+      result->guard_report = sentinel->report() +
+                             "rollback failed: " + outcome.status.message;
+      return Action::kStop;
+    }
+    const i64 restored = s.step;
+    // Order matters: the restore clobbered the in-memory `state` tensor with
+    // the blessed file's stale copy; on_rollback now, and the fill-time
+    // re-export below, make the updated ledger win.
+    sentinel->on_rollback(restored);
+    ++result->guard_rollbacks;
+    result->guard_escalation_max =
+        std::max(result->guard_escalation_max, d.level);
+    obs::count("guard.rollbacks", 1);
+    obs::TraceRecorder::global().add_event(
+        "guard_rollback", {{"to_step", std::to_string(restored)},
+                           {"level", std::to_string(d.level)},
+                           {"reason", d.reason}});
+    {
+      // Publication: drop the abandoned trajectory's unblessed checkpoints
+      // (a crash before the next save must not resume from them), then
+      // re-save the blessed step with the updated sentinel ledger so a crash
+      // mid-recovery resumes with the escalation history intact. Same model
+      // bytes, newer ledger; the on-disk .blessed marker survives.
+      obs::Span mspan("mitigate");
+      ck->mgr->invalidate_after(restored);
+      ckpt::TrainState s2;
+      ck->fill(s2);
+      s2.step = restored;
+      s2.epoch = restored / steps_per_epoch;
+      const ckpt::Result w = ck->mgr->save_now(s2);
+      if (w.status == ckpt::Status::kSimulatedCrash) {
+        result->interrupted = true;
+        return Action::kStop;
+      }
+    }
+    restart_step = restored;
+    return Action::kRestart;
   }
 };
 
@@ -219,10 +464,6 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
   LEGW_CHECK(run.membership == nullptr || n_replicas > 1,
              "train_mnist: membership plans need replicas > 1");
   std::optional<dist::MembershipManager> membership;
-  if (run.membership != nullptr) {
-    membership.emplace(static_cast<int>(n_replicas), run.membership_policy,
-                       run.membership);
-  }
   // Error-feedback residuals for a quantized wire (LEGW_DIST_WIRE), shared
   // across steps and checkpointed so resume stays bit-identical.
   std::unique_ptr<dist::WireState> wire_state;
@@ -234,6 +475,7 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
   StepLoop loop{{}, &run, batcher.batches_per_epoch()};
   for (auto& o : opts) loop.opts.push_back(o.get());
 
+  GuardHook gd(run);
   CkptHook ck(run, [&](ckpt::TrainState& state) {
     for (i64 r = 0; r < n_replicas; ++r) {
       state.models.push_back(replicas[static_cast<std::size_t>(r)].get());
@@ -244,16 +486,10 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
         state.extra.emplace_back(name, tensor);
       }
     }
+    gd.fill_extra(state);
   });
-  const i64 start_step = ck.maybe_restore(&result);
-  // The batcher is seeded and deterministic: replaying it to the resume
-  // point reproduces the exact shuffle sequence of the uninterrupted run.
-  for (i64 i = 0; i < start_step; ++i) batcher.next();
-  loop.step = start_step;
-  // The checkpoint restore re-synchronised every replica, so the membership
-  // history below the resume step replays without hand-offs.
-  if (membership.has_value()) membership->fast_forward(start_step);
-  const i64 start_epoch = start_step / loop.steps_per_epoch;
+  gd.attach(&ck, loop.steps_per_epoch);
+  i64 start_step = ck.maybe_restore(&result);
 
   auto evaluate = [&]() {
     obs::Span span("eval");
@@ -273,6 +509,27 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
     }
     return static_cast<double>(correct_weighted) / static_cast<double>(total);
   };
+
+  // The outer restart loop re-enters training after a sentinel rollback:
+  // the data pipeline and membership history are deterministically replayed
+  // to the restored step, exactly like a checkpoint resume.
+  bool restart = gd.after_restore(start_step, &result);
+  while (restart) {
+    restart = false;
+    // The batcher is seeded and deterministic: replaying it to the start
+    // point reproduces the exact shuffle sequence of the uninterrupted run.
+    batcher = data::IndexBatcher(dataset.n_train(), run.batch_size,
+                                 run.seed * 1000003ull + 5);
+    for (i64 i = 0; i < start_step; ++i) batcher.next();
+    loop.step = start_step;
+    // The checkpoint restore re-synchronised every replica, so the
+    // membership history below the start step replays without hand-offs.
+    if (run.membership != nullptr) {
+      membership.emplace(static_cast<int>(n_replicas), run.membership_policy,
+                         run.membership);
+      membership->fast_forward(start_step);
+    }
+    const i64 start_epoch = start_step / loop.steps_per_epoch;
 
   for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
        ++epoch) {
@@ -323,7 +580,7 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
           loop.opts.push_back(opts[static_cast<std::size_t>(gid)].get());
         }
       }
-      loop.begin_step();
+      loop.begin_step(gd.lr_scale(loop.step));
       double loss_value = 0.0;
       if (n_replicas == 1) {
         // Arena mode: every tensor below (batch, activations, interior
@@ -440,10 +697,21 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
           loss_value = res.mean_loss;
         }
       }
-      if (!finish_step(run, loop, loss_value, &result)) break;
+      gd.maybe_inject(loop.step - 1, &loss_value, loop.opts);
+      const GuardHook::Action act =
+          gd.inspect(loop.step - 1, loss_value, loop.opts, &result);
+      if (act == GuardHook::Action::kRestart) {
+        start_step = gd.restart_step;
+        restart = true;
+        break;
+      }
+      if (act == GuardHook::Action::kStop) break;
+      if (!finish_step(run, loop, loss_value, &result, gd.effective_clip()))
+        break;
       if (!ck.after_step(loop.step, epoch, &result)) break;
+      gd.after_save(loop.step);
     }
-    if (result.interrupted) break;
+    if (restart || result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
     if (eval_now) {
@@ -455,6 +723,7 @@ RunResult train_mnist(const data::SyntheticMnist& dataset,
                   static_cast<long long>(epoch + 1), result.final_train_loss,
                   acc);
     }
+  }
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
@@ -485,6 +754,7 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
   StepLoop loop{{opt.get()}, &run, batcher.chunks_per_epoch()};
   models::PtbModel::CarriedState carried = model.zero_carried(run.batch_size);
 
+  GuardHook gd(run);
   CkptHook ck(run, [&](ckpt::TrainState& state) {
     state.models.push_back(&model);
     state.optimizers.push_back(opt.get());
@@ -497,21 +767,31 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
       state.extra.emplace_back("carried.c[" + std::to_string(l) + "]",
                                &carried.c[l]);
     }
+    gd.fill_extra(state);
   });
-  const i64 start_step = ck.maybe_restore(&result);
-  for (i64 i = 0; i < start_step; ++i) batcher.next_chunk();
-  loop.step = start_step;
-  const i64 start_epoch = start_step / loop.steps_per_epoch;
+  gd.attach(&ck, loop.steps_per_epoch);
+  i64 start_step = ck.maybe_restore(&result);
 
   // Validation batch geometry: modest so evaluation stays cheap.
   const i64 eval_batch = std::min<i64>(20, run.batch_size);
+
+  bool restart = gd.after_restore(start_step, &result);
+  while (restart) {
+    restart = false;
+    // Replay the deterministic chunk stream to the start point; the carried
+    // BPTT state and dropout RNG came back through the checkpoint restore.
+    batcher = data::BpttBatcher(corpus.train_tokens(), run.batch_size,
+                                mc.bptt_len);
+    for (i64 i = 0; i < start_step; ++i) batcher.next_chunk();
+    loop.step = start_step;
+    const i64 start_epoch = start_step / loop.steps_per_epoch;
 
   for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
        ++epoch) {
     const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
-      loop.begin_step();
+      loop.begin_step(gd.lr_scale(loop.step));
       double loss_value = 0.0;
       {
         mem::TrainStepScope arena_scope;
@@ -539,10 +819,21 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
           ag::backward(out.loss);
         }
       }
-      if (!finish_step(run, loop, loss_value, &result)) break;
+      gd.maybe_inject(loop.step - 1, &loss_value, loop.opts);
+      const GuardHook::Action act =
+          gd.inspect(loop.step - 1, loss_value, loop.opts, &result);
+      if (act == GuardHook::Action::kRestart) {
+        start_step = gd.restart_step;
+        restart = true;
+        break;
+      }
+      if (act == GuardHook::Action::kStop) break;
+      if (!finish_step(run, loop, loss_value, &result, gd.effective_clip()))
+        break;
       if (!ck.after_step(loop.step, epoch, &result)) break;
+      gd.after_save(loop.step);
     }
-    if (result.interrupted) break;
+    if (restart || result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     double ppl = 0.0;
     if (result.diverged) {
@@ -561,6 +852,7 @@ RunResult train_ptb(const data::SyntheticCorpus& corpus,
                   static_cast<long long>(epoch + 1), result.final_train_loss,
                   ppl);
     }
+  }
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 1e9 : result.per_epoch_metric.back();
@@ -591,15 +883,15 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
   RunResult result;
   StepLoop loop{{opt.get()}, &run, batcher.batches_per_epoch()};
 
+  GuardHook gd(run);
   CkptHook ck(run, [&](ckpt::TrainState& state) {
     state.models.push_back(&model);
     state.optimizers.push_back(opt.get());
     state.rngs.emplace_back("dropout", &dropout_rng);
+    gd.fill_extra(state);
   });
-  const i64 start_step = ck.maybe_restore(&result);
-  for (i64 i = 0; i < start_step; ++i) batcher.next();
-  loop.step = start_step;
-  const i64 start_epoch = start_step / loop.steps_per_epoch;
+  gd.attach(&ck, loop.steps_per_epoch);
+  i64 start_step = ck.maybe_restore(&result);
 
   auto evaluate_bleu = [&]() {
     obs::Span span("eval");
@@ -624,12 +916,21 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
     return corpus_bleu(hyps, refs);
   };
 
+  bool restart = gd.after_restore(start_step, &result);
+  while (restart) {
+    restart = false;
+    batcher = data::IndexBatcher(static_cast<i64>(dataset.train().size()),
+                                 run.batch_size, run.seed * 104729ull + 11);
+    for (i64 i = 0; i < start_step; ++i) batcher.next();
+    loop.step = start_step;
+    const i64 start_epoch = start_step / loop.steps_per_epoch;
+
   for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
        ++epoch) {
     const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
-      loop.begin_step();
+      loop.begin_step(gd.lr_scale(loop.step));
       double loss_value = 0.0;
       {
         mem::TrainStepScope arena_scope;
@@ -651,10 +952,21 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
           ag::backward(loss);
         }
       }
-      if (!finish_step(run, loop, loss_value, &result)) break;
+      gd.maybe_inject(loop.step - 1, &loss_value, loop.opts);
+      const GuardHook::Action act =
+          gd.inspect(loop.step - 1, loss_value, loop.opts, &result);
+      if (act == GuardHook::Action::kRestart) {
+        start_step = gd.restart_step;
+        restart = true;
+        break;
+      }
+      if (act == GuardHook::Action::kStop) break;
+      if (!finish_step(run, loop, loss_value, &result, gd.effective_clip()))
+        break;
       if (!ck.after_step(loop.step, epoch, &result)) break;
+      gd.after_save(loop.step);
     }
-    if (result.interrupted) break;
+    if (restart || result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double bleu = (result.diverged || !eval_now) ? 0.0 : evaluate_bleu();
     if (eval_now || result.diverged) {
@@ -666,6 +978,7 @@ RunResult train_gnmt(const data::SyntheticTranslation& dataset,
                   static_cast<long long>(epoch + 1), result.final_train_loss,
                   bleu);
     }
+  }
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
@@ -693,15 +1006,15 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
   RunResult result;
   StepLoop loop{{opt.get()}, &run, batcher.batches_per_epoch()};
 
+  GuardHook gd(run);
   CkptHook ck(run, [&](ckpt::TrainState& state) {
     state.models.push_back(&model);
     state.optimizers.push_back(opt.get());
     // BatchNorm running stats travel as named module buffers.
+    gd.fill_extra(state);
   });
-  const i64 start_step = ck.maybe_restore(&result);
-  for (i64 i = 0; i < start_step; ++i) batcher.next();
-  loop.step = start_step;
-  const i64 start_epoch = start_step / loop.steps_per_epoch;
+  gd.attach(&ck, loop.steps_per_epoch);
+  i64 start_step = ck.maybe_restore(&result);
 
   auto evaluate = [&]() {
     obs::Span span("eval");
@@ -720,12 +1033,21 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
     return static_cast<double>(correct_weighted) / static_cast<double>(total);
   };
 
+  bool restart = gd.after_restore(start_step, &result);
+  while (restart) {
+    restart = false;
+    batcher = data::IndexBatcher(dataset.n_train(), run.batch_size,
+                                 run.seed * 49157ull + 9);
+    for (i64 i = 0; i < start_step; ++i) batcher.next();
+    loop.step = start_step;
+    const i64 start_epoch = start_step / loop.steps_per_epoch;
+
   for (i64 epoch = start_epoch; epoch < run.epochs && !result.diverged;
        ++epoch) {
     const i64 s0 = epoch == start_epoch ? start_step % loop.steps_per_epoch : 0;
     for (i64 s = s0; s < loop.steps_per_epoch; ++s) {
       obs::Span step_span("step");
-      loop.begin_step();
+      loop.begin_step(gd.lr_scale(loop.step));
       double loss_value = 0.0;
       {
         mem::TrainStepScope arena_scope;
@@ -749,10 +1071,21 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
           ag::backward(loss);
         }
       }
-      if (!finish_step(run, loop, loss_value, &result)) break;
+      gd.maybe_inject(loop.step - 1, &loss_value, loop.opts);
+      const GuardHook::Action act =
+          gd.inspect(loop.step - 1, loss_value, loop.opts, &result);
+      if (act == GuardHook::Action::kRestart) {
+        start_step = gd.restart_step;
+        restart = true;
+        break;
+      }
+      if (act == GuardHook::Action::kStop) break;
+      if (!finish_step(run, loop, loss_value, &result, gd.effective_clip()))
+        break;
       if (!ck.after_step(loop.step, epoch, &result)) break;
+      gd.after_save(loop.step);
     }
-    if (result.interrupted) break;
+    if (restart || result.interrupted) break;
     const bool eval_now = !run.final_eval_only || epoch + 1 == run.epochs;
     const double acc = (result.diverged || !eval_now) ? 0.0 : evaluate();
     if (eval_now) {
@@ -764,6 +1097,7 @@ RunResult train_resnet(const data::SyntheticImages& dataset,
                   static_cast<long long>(epoch + 1), result.final_train_loss,
                   acc);
     }
+  }
   }
   result.final_metric =
       result.per_epoch_metric.empty() ? 0.0 : result.per_epoch_metric.back();
@@ -787,11 +1121,24 @@ obs::RunRecord make_run_record(const std::string& name, const RunConfig& run,
                           core::gemm_kernel_name(core::gemm_kernel()));
   rec.config.emplace_back("replicas", std::to_string(run.replicas));
   rec.config.emplace_back("dist", core::dist_mode_name(core::dist_mode()));
+  const bool protect = run.sentinel.enabled && !run.checkpoint_dir.empty();
+  rec.config.emplace_back(
+      "guard", protect ? "protect"
+                       : (core::guard_mode() == core::GuardMode::kObserve
+                              ? "observe"
+                              : "off"));
   rec.metrics.emplace_back("final_metric", result.final_metric);
   rec.metrics.emplace_back("final_train_loss", result.final_train_loss);
   rec.metrics.emplace_back("diverged", result.diverged ? 1.0 : 0.0);
   rec.metrics.emplace_back("wall_seconds", result.wall_seconds);
   rec.metrics.emplace_back("steps", static_cast<double>(result.steps));
+  rec.metrics.emplace_back("guard_anomalies",
+                           static_cast<double>(result.guard_anomalies));
+  rec.metrics.emplace_back("guard_rollbacks",
+                           static_cast<double>(result.guard_rollbacks));
+  rec.metrics.emplace_back("guard_escalation_max",
+                           static_cast<double>(result.guard_escalation_max));
+  rec.metrics.emplace_back("guard_failed", result.guard_failed ? 1.0 : 0.0);
   return rec;
 }
 

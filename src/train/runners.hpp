@@ -17,6 +17,7 @@
 #include "data/synthetic_mnist.hpp"
 #include "data/translation.hpp"
 #include "dist/membership.hpp"
+#include "guard/sentinel.hpp"
 #include "models/gnmt.hpp"
 #include "models/mnist_lstm.hpp"
 #include "models/ptb_model.hpp"
@@ -89,6 +90,21 @@ struct RunConfig {
   // Engine bucket timeout used to detect dying replicas; must be > 0 when
   // the plan contains kDie events.
   double membership_timeout_ms = 0.0;
+  // --- stability sentinel (guard/sentinel.hpp, docs/STABILITY.md) ----------
+  // With sentinel.enabled AND a checkpoint_dir, the runner enters protect
+  // mode: per-step health signals (loss-spike / gradient-explosion /
+  // non-finite) drive automatic rollback to the newest blessed checkpoint
+  // and the escalating mitigation ladder. The sentinel's state (baseline
+  // windows, escalation level, anomaly ledger) is persisted in every
+  // checkpoint's `extra` section, so protect-mode checkpoints are only
+  // resumable by protect-mode runs with the same sentinel geometry. Without
+  // the explicit opt-in, LEGW_GUARD=on gives observe-only mode: guard.*
+  // counters and events, zero trajectory or schema change.
+  guard::SentinelConfig sentinel;
+  guard::MitigationPolicy mitigation;
+  // Seeded anomaly injection for recovery tests (protect mode only); not
+  // owned. Each anomaly fires once, even across rollback replay and resume.
+  const guard::AnomalyPlan* anomaly_plan = nullptr;
 };
 
 struct RunResult {
@@ -109,6 +125,14 @@ struct RunResult {
   bool interrupted = false;
   // Step the run resumed from (-1 = fresh start). Informational.
   i64 resumed_from_step = -1;
+  // --- stability sentinel outcomes (protect/observe modes) -----------------
+  i64 guard_anomalies = 0;   // anomalous verdicts observed
+  i64 guard_rollbacks = 0;   // rollbacks performed (protect mode)
+  int guard_escalation_max = 0;  // highest mitigation level reached
+  // True when the mitigation ladder was exhausted (diverged is also set);
+  // guard_report then carries the structured escalation history.
+  bool guard_failed = false;
+  std::string guard_report;
 };
 
 RunResult train_mnist(const data::SyntheticMnist& dataset,

@@ -99,8 +99,8 @@ TEST(AtomicFile, CommitPublishesExactBytes) {
   ASSERT_TRUE(f.ok());
   ASSERT_TRUE(f.write("hello", 5));
   EXPECT_FALSE(std::filesystem::exists(path));  // nothing published yet
-  std::string err;
-  ASSERT_TRUE(f.commit(&err)) << err;
+  const core::Status st = f.commit();
+  ASSERT_TRUE(st.ok()) << st.message();
   EXPECT_EQ(read_file(path), "hello");
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
@@ -108,8 +108,8 @@ TEST(AtomicFile, CommitPublishesExactBytes) {
 TEST(AtomicFile, UncommittedWriteLeavesPreviousContent) {
   TempDir dir("atomic_discard");
   const std::string path = dir.file("out.txt");
-  std::string err;
-  ASSERT_TRUE(core::atomic_write_file(path, "old", &err)) << err;
+  const core::Status st = core::atomic_write_file(path, "old");
+  ASSERT_TRUE(st.ok()) << st.message();
   {
     core::AtomicFile f(path);
     ASSERT_TRUE(f.ok());
@@ -123,8 +123,8 @@ TEST(AtomicFile, UncommittedWriteLeavesPreviousContent) {
 TEST(AtomicFile, WriteFileOverwritesAtomically) {
   TempDir dir("atomic_overwrite");
   const std::string path = dir.file("out.txt");
-  ASSERT_TRUE(core::atomic_write_file(path, "first"));
-  ASSERT_TRUE(core::atomic_write_file(path, "second"));
+  ASSERT_TRUE(core::atomic_write_file(path, "first").ok());
+  ASSERT_TRUE(core::atomic_write_file(path, "second").ok());
   EXPECT_EQ(read_file(path), "second");
 }
 
@@ -768,7 +768,9 @@ TEST(CheckpointManager, TornPublishIsSkippedOnRestore) {
   ASSERT_TRUE(outcome.restored);
   EXPECT_EQ(tgt.step, 2);  // fell back past the torn step-4 file
   ASSERT_EQ(outcome.skipped.size(), 1u);
-  EXPECT_NE(outcome.skipped[0].find("000000000004"), std::string::npos);
+  EXPECT_NE(outcome.skipped[0].path.find("000000000004"), std::string::npos);
+  EXPECT_NE(outcome.skipped[0].status, ckpt::Status::kOk);
+  EXPECT_FALSE(outcome.skipped[0].message.empty());
 }
 
 TEST(CheckpointManager, EmptyDirIsNoCheckpointNotError) {

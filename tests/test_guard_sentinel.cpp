@@ -1,0 +1,467 @@
+// Unit battery for the stability sentinel (guard/sentinel.hpp): verdict
+// classification and reduction, the escalation ladder, episode lifecycle,
+// re-warmup arithmetic, the blessing pipeline, one-shot injection
+// bookkeeping, state export/import round trips, and the checkpoint-side
+// blessing/retention contract the rollback machinery depends on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/flags.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "guard/sentinel.hpp"
+#include "nn/layers.hpp"
+#include "optim/optimizer.hpp"
+#include "sched/schedule.hpp"
+
+namespace legw::guard {
+namespace {
+
+SentinelConfig small_config() {
+  SentinelConfig c;
+  c.enabled = true;
+  c.window = 8;
+  c.min_history = 4;
+  c.loss_spike_factor = 4.0f;
+  c.grad_spike_factor = 16.0f;
+  c.loss_abs_limit = 1e4f;
+  c.bless_after = 2;
+  c.ledger_capacity = 8;
+  return c;
+}
+
+MitigationPolicy small_policy() {
+  MitigationPolicy p;
+  p.max_escalations = 3;
+  p.lr_backoff = 0.5f;
+  p.rewarm_steps = 4;
+  p.clip_tighten = 0.5f;
+  return p;
+}
+
+HealthSignals healthy(double loss, float grad) {
+  HealthSignals s;
+  s.loss = loss;
+  s.grad_norm = grad;
+  return s;
+}
+
+// Feed `n` identical healthy steps so the baselines have history.
+void warm_up(StabilitySentinel& s, i64 n, double loss = 2.0f,
+             float grad = 1.0f, i64 first_step = 0) {
+  for (i64 i = 0; i < n; ++i) {
+    const Decision d = s.observe(first_step + i, Verdict::kHealthy,
+                                 healthy(loss, grad));
+    ASSERT_EQ(d.action, Decision::Action::kContinue);
+  }
+}
+
+// ---- verdicts ---------------------------------------------------------------
+
+TEST(Verdicts, SeverityOrderAndNames) {
+  EXPECT_LT(static_cast<int>(Verdict::kHealthy),
+            static_cast<int>(Verdict::kLossSpike));
+  EXPECT_LT(static_cast<int>(Verdict::kLossSpike),
+            static_cast<int>(Verdict::kGradExplosion));
+  EXPECT_LT(static_cast<int>(Verdict::kGradExplosion),
+            static_cast<int>(Verdict::kNonFinite));
+  EXPECT_STREQ(verdict_name(Verdict::kHealthy), "healthy");
+  EXPECT_STREQ(verdict_name(Verdict::kLossSpike), "loss_spike");
+  EXPECT_STREQ(verdict_name(Verdict::kGradExplosion), "grad_explosion");
+  EXPECT_STREQ(verdict_name(Verdict::kNonFinite), "non_finite");
+}
+
+TEST(Verdicts, ReductionTakesMaxSeverity) {
+  EXPECT_EQ(reduce_verdicts({}), Verdict::kHealthy);
+  EXPECT_EQ(reduce_verdicts({Verdict::kHealthy, Verdict::kHealthy}),
+            Verdict::kHealthy);
+  EXPECT_EQ(reduce_verdicts({Verdict::kHealthy, Verdict::kLossSpike,
+                             Verdict::kHealthy}),
+            Verdict::kLossSpike);
+  EXPECT_EQ(reduce_verdicts({Verdict::kGradExplosion, Verdict::kNonFinite,
+                             Verdict::kLossSpike}),
+            Verdict::kNonFinite);
+}
+
+// ---- assess -----------------------------------------------------------------
+
+TEST(Assess, NonFiniteAlwaysDetectedWithoutHistory) {
+  StabilitySentinel s(small_config(), small_policy());
+  HealthSignals sig = healthy(2.0, 1.0f);
+  sig.non_finite = true;
+  EXPECT_EQ(s.assess(sig), Verdict::kNonFinite);
+  sig = healthy(std::numeric_limits<double>::quiet_NaN(), 1.0f);
+  EXPECT_EQ(s.assess(sig), Verdict::kNonFinite);
+  sig = healthy(2.0, std::numeric_limits<float>::infinity());
+  EXPECT_EQ(s.assess(sig), Verdict::kNonFinite);
+}
+
+TEST(Assess, RelativeSpikesNeedMinHistory) {
+  StabilitySentinel s(small_config(), small_policy());
+  // No baseline yet: even huge-but-finite signals stay sub-threshold...
+  EXPECT_EQ(s.assess(healthy(900.0, 500.0f)), Verdict::kHealthy);
+  // ...except the absolute loss ceiling, which needs no history.
+  EXPECT_EQ(s.assess(healthy(2e4, 1.0f)), Verdict::kLossSpike);
+
+  warm_up(s, 4);
+  // Baselines: median loss 2.0, median grad 1.0.
+  EXPECT_EQ(s.assess(healthy(2.1, 1.1f)), Verdict::kHealthy);
+  EXPECT_EQ(s.assess(healthy(9.0, 1.0f)), Verdict::kLossSpike);  // > 4 x 2.0
+  EXPECT_EQ(s.assess(healthy(2.0, 17.0f)),
+            Verdict::kGradExplosion);  // > 16 x 1.0
+  // Gradient explosion outranks a simultaneous loss spike.
+  EXPECT_EQ(s.assess(healthy(9.0, 17.0f)), Verdict::kGradExplosion);
+}
+
+TEST(Assess, NoiseFloorSuppressesConvergedFluctuations) {
+  StabilitySentinel s(small_config(), small_policy());
+  // A converged run: medians 0.01 / 0.004 sit below the noise floors
+  // (0.25 / 0.1), so the relative thresholds clamp to factor * floor.
+  warm_up(s, 4, 0.01, 0.004f);
+  // Several-times-the-median fluctuations are not spikes down here...
+  EXPECT_EQ(s.assess(healthy(0.06, 0.7f)), Verdict::kHealthy);
+  // ...but a real blow-up clears factor * floor regardless.
+  EXPECT_EQ(s.assess(healthy(1.5, 0.004f)), Verdict::kLossSpike);  // > 4 x 0.25
+  EXPECT_EQ(s.assess(healthy(0.01, 2.0f)),
+            Verdict::kGradExplosion);  // > 16 x 0.1
+}
+
+// ---- observe / escalation ladder --------------------------------------------
+
+TEST(Ladder, FirstAnomalyAsksForRollbackAtLevelOne) {
+  StabilitySentinel s(small_config(), small_policy());
+  warm_up(s, 4);
+  const Decision d =
+      s.observe(4, Verdict::kLossSpike, healthy(9.0, 1.0f));
+  EXPECT_EQ(d.action, Decision::Action::kRollback);
+  EXPECT_EQ(d.level, 1);
+  EXPECT_FALSE(d.reason.empty());
+  EXPECT_NE(d.reason.find("loss_spike"), std::string::npos);
+  EXPECT_TRUE(s.in_recovery());
+  // Level 1 retries as-is: no LR or clip mitigation in force.
+  s.on_rollback(2);
+  EXPECT_EQ(s.lr_factor(3), 1.0f);
+  EXPECT_EQ(s.clip_factor(), 1.0f);
+}
+
+TEST(Ladder, AnomalyDuringRecoveryEscalates) {
+  StabilitySentinel s(small_config(), small_policy());
+  warm_up(s, 4);
+  EXPECT_EQ(s.observe(4, Verdict::kLossSpike, healthy(9.0, 1.0f)).action,
+            Decision::Action::kRollback);
+  s.on_rollback(2);
+  const Decision d2 =
+      s.observe(4, Verdict::kLossSpike, healthy(9.0, 1.0f));
+  EXPECT_EQ(d2.action, Decision::Action::kRollback);
+  EXPECT_EQ(d2.level, 2);
+  s.on_rollback(2);
+  // Level 2: LR backoff with re-warmup ramp, no clip tightening yet.
+  EXPECT_EQ(s.lr_factor(2), 0.5f);          // ramp start: backoff^1
+  EXPECT_EQ(s.lr_factor(4), 0.75f);         // halfway up the 4-step ramp
+  EXPECT_EQ(s.lr_factor(6), 1.0f);          // ramp complete
+  EXPECT_EQ(s.clip_factor(), 1.0f);
+
+  const Decision d3 =
+      s.observe(4, Verdict::kGradExplosion, healthy(2.0, 50.0f));
+  EXPECT_EQ(d3.action, Decision::Action::kRollback);
+  EXPECT_EQ(d3.level, 3);
+  s.on_rollback(2);
+  // Level 3: clip tightening joins the (deeper) LR backoff.
+  EXPECT_EQ(s.clip_factor(), 0.5f);
+  EXPECT_EQ(s.lr_factor(2), 0.25f);  // backoff^2
+}
+
+TEST(Ladder, ExhaustionFailsWithLedgeredReport) {
+  StabilitySentinel s(small_config(), small_policy());  // max_escalations = 3
+  warm_up(s, 4);
+  for (int round = 1; round <= 3; ++round) {
+    const Decision d =
+        s.observe(4, Verdict::kNonFinite, healthy(2.0, 1.0f));
+    ASSERT_EQ(d.action, Decision::Action::kRollback) << round;
+    s.on_rollback(2);
+  }
+  const Decision d = s.observe(4, Verdict::kNonFinite, healthy(2.0, 1.0f));
+  EXPECT_EQ(d.action, Decision::Action::kFail);
+  EXPECT_EQ(d.level, 4);
+  ASSERT_EQ(s.ledger().size(), 4u);  // 3 rollbacks + the terminal entry
+  EXPECT_EQ(s.ledger().back().rollback_to, -1);
+  EXPECT_EQ(s.ledger().back().level, 4);
+  const std::string report = s.report();
+  EXPECT_NE(report.find("non_finite"), std::string::npos);
+  EXPECT_NE(report.find("ladder exhausted"), std::string::npos);
+}
+
+TEST(Ladder, LevelOneEpisodeClosesOnFirstHealthyStepPastAnomaly) {
+  StabilitySentinel s(small_config(), small_policy());
+  warm_up(s, 6);
+  s.observe(6, Verdict::kLossSpike, healthy(9.0, 1.0f));
+  s.on_rollback(4);
+  // Replaying the pre-anomaly span keeps the episode open...
+  s.observe(4, Verdict::kHealthy, healthy(2.0, 1.0f));
+  s.observe(5, Verdict::kHealthy, healthy(2.0, 1.0f));
+  s.observe(6, Verdict::kHealthy, healthy(2.0, 1.0f));
+  EXPECT_TRUE(s.in_recovery());
+  // ...and the first healthy step strictly past it closes a level-1 episode
+  // immediately (no ramp to wait out).
+  s.observe(7, Verdict::kHealthy, healthy(2.0, 1.0f));
+  EXPECT_FALSE(s.in_recovery());
+  EXPECT_EQ(s.escalation_level(), 0);
+}
+
+TEST(Ladder, LevelTwoEpisodeWaitsForRampCompletion) {
+  StabilitySentinel s(small_config(), small_policy());  // rewarm_steps = 4
+  warm_up(s, 6);
+  s.observe(6, Verdict::kLossSpike, healthy(9.0, 1.0f));
+  s.on_rollback(4);
+  s.observe(6, Verdict::kLossSpike, healthy(9.0, 1.0f));  // escalate: level 2
+  s.on_rollback(4);
+  // Step 7 is past the anomaly but the ramp (4..8) is not done.
+  s.observe(7, Verdict::kHealthy, healthy(2.0, 1.0f));
+  EXPECT_TRUE(s.in_recovery());
+  // Step 8 completes the ramp: the episode closes and mitigation lifts.
+  s.observe(8, Verdict::kHealthy, healthy(2.0, 1.0f));
+  EXPECT_FALSE(s.in_recovery());
+  EXPECT_EQ(s.lr_factor(9), 1.0f);
+  EXPECT_EQ(s.clip_factor(), 1.0f);
+}
+
+// ---- re-warmup arithmetic ---------------------------------------------------
+
+TEST(Rewarmup, LinearRampFromBackoffToOne) {
+  EXPECT_EQ(sched::rewarmup_factor(0, 16, 0.5f), 0.5f);
+  EXPECT_EQ(sched::rewarmup_factor(8, 16, 0.5f), 0.75f);
+  EXPECT_EQ(sched::rewarmup_factor(16, 16, 0.5f), 1.0f);
+  EXPECT_EQ(sched::rewarmup_factor(1000, 16, 0.5f), 1.0f);  // clamps
+  EXPECT_EQ(sched::rewarmup_factor(-5, 16, 0.5f), 0.5f);    // clamps below
+  EXPECT_EQ(sched::rewarmup_factor(3, 0, 0.25f), 0.25f);    // no ramp
+}
+
+// ---- blessing pipeline ------------------------------------------------------
+
+TEST(Blessing, CheckpointsRipenAfterHealthySteps) {
+  StabilitySentinel s(small_config(), small_policy());  // bless_after = 2
+  s.note_checkpoint(2);
+  EXPECT_TRUE(s.take_bless_ready().empty());
+  s.observe(2, Verdict::kHealthy, healthy(2.0, 1.0f));
+  EXPECT_TRUE(s.take_bless_ready().empty());
+  s.observe(3, Verdict::kHealthy, healthy(2.0, 1.0f));
+  const auto ready = s.take_bless_ready();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 2);
+  // take_* drains: a second call yields nothing.
+  EXPECT_TRUE(s.take_bless_ready().empty());
+}
+
+TEST(Blessing, AnomalyDropsUnripenedCheckpoints) {
+  StabilitySentinel s(small_config(), small_policy());
+  warm_up(s, 4);
+  s.note_checkpoint(4);
+  s.observe(4, Verdict::kHealthy, healthy(2.0, 1.0f));
+  // The anomaly abandons this trajectory: the pending step-4 checkpoint must
+  // never ripen into a rollback target.
+  s.observe(5, Verdict::kLossSpike, healthy(9.0, 1.0f));
+  s.on_rollback(0);
+  s.observe(0, Verdict::kHealthy, healthy(2.0, 1.0f));
+  s.observe(1, Verdict::kHealthy, healthy(2.0, 1.0f));
+  EXPECT_TRUE(s.take_bless_ready().empty());
+}
+
+// ---- injection bookkeeping --------------------------------------------------
+
+TEST(Injection, PlansAreStepIndexedAndOneShot) {
+  AnomalyPlan plan = AnomalyPlan::loss_spike_at(5, 100.0f);
+  plan.add(7, AnomalyPlan::Kind::kNaN)
+      .add(9, AnomalyPlan::Kind::kGradExplosion, 1e6f);
+  ASSERT_NE(plan.at(5), nullptr);
+  EXPECT_EQ(plan.at(5)->kind, AnomalyPlan::Kind::kLossSpike);
+  EXPECT_EQ(plan.at(5)->magnitude, 100.0f);
+  ASSERT_NE(plan.at(7), nullptr);
+  EXPECT_EQ(plan.at(7)->kind, AnomalyPlan::Kind::kNaN);
+  ASSERT_NE(plan.at(9), nullptr);
+  EXPECT_EQ(plan.at(6), nullptr);
+
+  StabilitySentinel s(small_config(), small_policy());
+  EXPECT_FALSE(s.injection_fired(5));
+  s.mark_injection_fired(5);
+  EXPECT_TRUE(s.injection_fired(5));
+  s.mark_injection_fired(5);  // idempotent
+  EXPECT_TRUE(s.injection_fired(5));
+  EXPECT_FALSE(s.injection_fired(7));
+}
+
+// ---- state persistence ------------------------------------------------------
+
+TEST(State, ExportImportRoundTripIsBitwise) {
+  StabilitySentinel a(small_config(), small_policy());
+  warm_up(a, 6, 2.5, 1.5f);
+  a.note_checkpoint(4);
+  a.observe(6, Verdict::kHealthy, healthy(2.5, 1.5f));
+  a.observe(7, Verdict::kGradExplosion, healthy(2.5, 80.0f));
+  a.on_rollback(4);
+  a.mark_injection_fired(7);
+  a.note_checkpoint(8);
+
+  core::Tensor t(StabilitySentinel::state_shape(small_config()));
+  a.export_state_into(t);
+
+  StabilitySentinel b(small_config(), small_policy());
+  b.import_state(t);
+  EXPECT_EQ(b.in_recovery(), a.in_recovery());
+  EXPECT_EQ(b.escalation_level(), a.escalation_level());
+  EXPECT_EQ(b.rollback_step(), a.rollback_step());
+  EXPECT_TRUE(b.injection_fired(7));
+  ASSERT_EQ(b.ledger().size(), a.ledger().size());
+  for (std::size_t i = 0; i < a.ledger().size(); ++i) {
+    EXPECT_EQ(b.ledger()[i].step, a.ledger()[i].step);
+    EXPECT_EQ(b.ledger()[i].verdict, a.ledger()[i].verdict);
+    EXPECT_EQ(b.ledger()[i].level, a.ledger()[i].level);
+    EXPECT_EQ(b.ledger()[i].rollback_to, a.ledger()[i].rollback_to);
+  }
+  // The clone re-exports bit-for-bit: the layout loses nothing.
+  core::Tensor t2(StabilitySentinel::state_shape(small_config()));
+  b.export_state_into(t2);
+  ASSERT_EQ(t.numel(), t2.numel());
+  for (i64 i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], t2[i]) << "elem " << i;
+  // And both continue identically: same decision on the same signal.
+  const Decision da = a.observe(8, Verdict::kLossSpike, healthy(11.0, 1.5f));
+  const Decision db = b.observe(8, Verdict::kLossSpike, healthy(11.0, 1.5f));
+  EXPECT_EQ(da.action, db.action);
+  EXPECT_EQ(da.level, db.level);
+}
+
+TEST(State, ShapeDependsOnConfigGeometry) {
+  SentinelConfig c1 = small_config();
+  SentinelConfig c2 = small_config();
+  c2.window = 16;
+  EXPECT_NE(StabilitySentinel::state_shape(c1)[0],
+            StabilitySentinel::state_shape(c2)[0]);
+}
+
+// ---- guard mode flag --------------------------------------------------------
+
+TEST(GuardMode, SetAndName) {
+  const core::GuardMode saved = core::guard_mode();
+  core::set_guard_mode(core::GuardMode::kObserve);
+  EXPECT_EQ(core::guard_mode(), core::GuardMode::kObserve);
+  EXPECT_STREQ(core::guard_mode_name(core::GuardMode::kObserve), "observe");
+  core::set_guard_mode(core::GuardMode::kOff);
+  EXPECT_EQ(core::guard_mode(), core::GuardMode::kOff);
+  EXPECT_STREQ(core::guard_mode_name(core::GuardMode::kOff), "off");
+  core::set_guard_mode(saved);
+}
+
+// ---- checkpoint blessing / retention contract -------------------------------
+
+struct TempDir {
+  std::string path;
+  // Pid-suffixed: ctest -j runs each test as its own process, and two
+  // processes sharing a fixture name must not tear each other down.
+  explicit TempDir(const std::string& name)
+      : path("/tmp/legw_guard_" + name + "_" + std::to_string(getpid())) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+ckpt::TrainState linear_state(nn::Linear& model, optim::Optimizer* opt,
+                              i64 step) {
+  ckpt::TrainState s;
+  s.models.push_back(&model);
+  s.optimizers.push_back(opt);
+  s.step = step;
+  return s;
+}
+
+TEST(BlessedRetention, BlessedCheckpointSurvivesRetention) {
+  TempDir dir("retention");
+  ckpt::ManagerConfig cfg;
+  cfg.dir = dir.path + "/ckpts";
+  cfg.every_steps = 2;
+  cfg.keep_last = 2;
+  ckpt::CheckpointManager mgr(cfg);
+
+  core::Rng rng(5);
+  nn::Linear model(3, 2, rng);
+  auto opt = optim::make_optimizer("momentum", model.parameters(), 0.0f);
+
+  ASSERT_TRUE(mgr.save_now(linear_state(model, opt.get(), 2)).ok());
+  ASSERT_TRUE(mgr.bless(2).ok());
+  EXPECT_TRUE(ckpt::CheckpointManager::is_blessed(
+      ckpt::CheckpointManager::step_path(cfg.dir, 2)));
+  EXPECT_EQ(mgr.newest_blessed_step(), 2);
+
+  // Keep saving far past the retention horizon: the unblessed 4 and 6 are
+  // reaped, the blessed 2 must survive while unblessed files exist ahead of
+  // it — it is the only rollback target the sentinel has.
+  for (i64 step = 4; step <= 10; step += 2) {
+    ASSERT_TRUE(mgr.save_now(linear_state(model, opt.get(), step)).ok());
+  }
+  const auto files = ckpt::CheckpointManager::list_checkpoints(cfg.dir);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(files[0]), 2);  // blessed, kept
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(files[1]), 8);
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(files[2]), 10);
+
+  // A newer blessing releases the older one to normal retention.
+  ASSERT_TRUE(mgr.bless(10).ok());
+  ASSERT_TRUE(mgr.save_now(linear_state(model, opt.get(), 12)).ok());
+  ASSERT_TRUE(mgr.save_now(linear_state(model, opt.get(), 14)).ok());
+  const auto after = ckpt::CheckpointManager::list_checkpoints(cfg.dir);
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(after[0]), 10);  // blessed, kept
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(after[1]), 12);
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(after[2]), 14);
+  EXPECT_EQ(mgr.newest_blessed_step(), 10);
+  // The reaped step-2 file took its stale .blessed marker with it.
+  EXPECT_FALSE(std::filesystem::exists(
+      ckpt::CheckpointManager::step_path(cfg.dir, 2) + ".blessed"));
+}
+
+TEST(BlessedRetention, RestoreBlessedIgnoresNewerUnblessed) {
+  TempDir dir("restore");
+  ckpt::ManagerConfig cfg;
+  cfg.dir = dir.path + "/ckpts";
+  cfg.every_steps = 2;
+  cfg.keep_last = 0;  // keep everything
+  ckpt::CheckpointManager mgr(cfg);
+
+  core::Rng rng(5);
+  nn::Linear model(3, 2, rng);
+  auto opt = optim::make_optimizer("momentum", model.parameters(), 0.0f);
+  ASSERT_TRUE(mgr.save_now(linear_state(model, opt.get(), 2)).ok());
+  ASSERT_TRUE(mgr.bless(2).ok());
+  for (const auto& p : model.parameters()) {
+    ag::Variable handle = p;
+    handle.mutable_value().fill_(3.5f);
+  }
+  ASSERT_TRUE(mgr.save_now(linear_state(model, opt.get(), 4)).ok());
+
+  core::Rng rng_b(9);
+  nn::Linear model_b(3, 2, rng_b);
+  auto opt_b = optim::make_optimizer("momentum", model_b.parameters(), 0.0f);
+  ckpt::TrainState tgt = linear_state(model_b, opt_b.get(), 0);
+  const auto outcome = mgr.restore_blessed(tgt);
+  ASSERT_TRUE(outcome.restored) << outcome.status.message;
+  EXPECT_EQ(tgt.step, 2);  // newest overall is 4, newest *blessed* is 2
+
+  // Blessing a step with no file on disk is an error, not a crash.
+  EXPECT_FALSE(mgr.bless(99).ok());
+  // invalidate_after drops unblessed successors (the abandoned trajectory)
+  // and keeps the blessed target.
+  mgr.invalidate_after(2);
+  const auto files = ckpt::CheckpointManager::list_checkpoints(cfg.dir);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(ckpt::CheckpointManager::step_of(files[0]), 2);
+}
+
+}  // namespace
+}  // namespace legw::guard

@@ -45,6 +45,15 @@ Rules:
                   goes through core::Mutex / core::MutexLock / core::CondVar
                   so the Clang thread-safety analysis (`analyze` preset) sees
                   the whole protocol. Comments may name the std types.
+  discarded-status status-returning I/O calls (AtomicFile::commit,
+                  core::atomic_write_file, ckpt save/load/load_image/
+                  maybe_save/save_now/bless) may not appear as bare
+                  expression statements in src/: a dropped Status turns a
+                  failed write into silent corruption discovered steps
+                  later. Assign it, branch on it, or discard explicitly
+                  with `(void)` plus a comment. Backs up the
+                  [[nodiscard]] attributes for builds that don't promote
+                  the warning to an error.
 
 A finding can be waived where the rule's intent is genuinely inapplicable by
 putting `lint-allow: <rule>` in a comment on the offending line or one of
@@ -94,6 +103,20 @@ RAW_MUTEX_RE = re.compile(
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock|condition_variable(?:_any)?|call_once|once_flag)\b")
 RAW_MUTEX_EXEMPT = ("src/core/mutex.hpp", "src/core/thread_annotations.hpp")
+# discarded-status: a Status/Result-returning I/O call as a bare expression
+# statement. Anchoring at the start of the (comment-stripped) line means
+# assignments (`auto r = f.commit();`), explicit discards (`(void)x.save(...)`)
+# and branches (`if (x.commit() ...)`) never match — only the
+# fire-and-forget shape does (a statement-start check filters continuation
+# lines of multi-line assignments). Checked in src/ where a dropped write
+# error silently corrupts run artifacts. `load` is special-cased to
+# namespace-qualified/free calls only, so std::atomic's `x.load(...)`
+# member never matches.
+DISCARDED_STATUS_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*"
+    r"(?:commit|atomic_write_file|save|load_image|maybe_save|save_now|"
+    r"bless)\s*\(")
+DISCARDED_LOAD_RE = re.compile(r"^\s*(?:[A-Za-z_]\w*::\s*)*load\s*\(")
 
 
 def allowed(lines: list[str], idx: int, rule: str) -> bool:
@@ -107,6 +130,19 @@ def allowed(lines: list[str], idx: int, rule: str) -> bool:
 def strip_line_comment(line: str, marker: str) -> str:
     pos = line.find(marker)
     return line if pos < 0 else line[:pos]
+
+
+def statement_start(lines: list[str], idx: int) -> bool:
+    """True when line idx begins a new statement: the previous substantive
+    line ended one (`;`, `{`, `}`). Filters continuation lines such as the
+    value half of a multi-line assignment."""
+    for back in range(idx - 1, -1, -1):
+        prev = strip_line_comment(lines[back], "//").strip()
+        if not prev or prev.startswith("#") or prev.startswith("*") \
+                or prev.startswith("/*") or prev.endswith("*/"):
+            continue
+        return prev[-1] in ";{}"
+    return True
 
 
 def iter_sources(root: Path) -> list[Path]:
@@ -163,6 +199,16 @@ def lint(root: Path = REPO) -> list[str]:
                            "raw std mutex/lock in src/; use core::Mutex / "
                            "core::MutexLock / core::CondVar (core/mutex.hpp) "
                            "so the thread-safety analysis sees the lock")
+            code = strip_line_comment(line, "//")
+            if (rel.startswith("src/")
+                    and (DISCARDED_STATUS_RE.search(code)
+                         or DISCARDED_LOAD_RE.search(code))
+                    and statement_start(lines, i)):
+                if not allowed(lines, i, "discarded-status"):
+                    report(path, lineno, "discarded-status",
+                           "status-returning I/O call discarded; assign or "
+                           "branch on the result, or discard explicitly "
+                           "with (void) and a justification")
             if in_serve:
                 if SERVE_INCLUDE_RE.search(line):
                     if not allowed(lines, i, "serve-no-tape"):
@@ -260,6 +306,23 @@ def self_test() -> int:
         (bad / "bench" / "bad_bench.cpp").write_text(
             'int main() { return 0; }\n',                          # fires
             encoding="utf-8")
+        # discarded-status ----------------------------------------------------
+        (bad / "src" / "train" / "bad_status.cpp").write_text(
+            'void f(core::AtomicFile& af, ckpt::CheckpointManager& mgr) {\n'
+            '  af.commit();\n'                                     # fires
+            '  core::atomic_write_file("p", "x");\n'               # fires
+            '  mgr.bless(3);\n'                                    # fires
+            '  const auto r = af.commit();\n'                      # quiet
+            '  (void)mgr.bless(4);\n'                              # quiet
+            '  if (af.commit() == core::Status::kOk) {}\n'         # quiet
+            '  // mgr.save_now(state); — commentary is fine\n'     # quiet
+            '  std::atomic<int> a{0};\n'
+            '  a.load();\n'                                        # quiet
+            '  const auto img =\n'
+            '      ckpt::load_image(s, image, "label");\n'         # quiet
+            '  load(s, "p");\n'                                    # fires
+            '}\n',
+            encoding="utf-8")
 
         found = lint(bad)
 
@@ -300,6 +363,26 @@ def self_test() -> int:
                'append-mode fopen "a" wrongly flagged')
         expect(fired("bench-trace", "bad_bench.cpp:1:"),
                "bench without --trace not caught")
+        expect(fired("discarded-status", "bad_status.cpp:2:"),
+               "discarded AtomicFile::commit not caught")
+        expect(fired("discarded-status", "bad_status.cpp:3:"),
+               "discarded atomic_write_file not caught")
+        expect(fired("discarded-status", "bad_status.cpp:4:"),
+               "discarded bless not caught")
+        expect(not fired("discarded-status", "bad_status.cpp:5:"),
+               "assigned commit wrongly flagged")
+        expect(not fired("discarded-status", "bad_status.cpp:6:"),
+               "(void) discard wrongly flagged")
+        expect(not fired("discarded-status", "bad_status.cpp:7:"),
+               "branched-on commit wrongly flagged")
+        expect(not fired("discarded-status", "bad_status.cpp:8:"),
+               "comment-only save_now wrongly flagged")
+        expect(not fired("discarded-status", "bad_status.cpp:10:"),
+               "std::atomic load() member wrongly flagged")
+        expect(not fired("discarded-status", "bad_status.cpp:12:"),
+               "multi-line assignment continuation wrongly flagged")
+        expect(fired("discarded-status", "bad_status.cpp:13:"),
+               "discarded free ckpt load not caught")
 
         # Clean tree: waivers and sanctioned homes must stay quiet -----------
         clean = Path(tmp) / "clean"
@@ -330,7 +413,9 @@ def self_test() -> int:
             '// lint-allow: raw-thread — dedicated watchdog, joined at exit\n'
             'void w() { std::thread t([] {}); t.join(); }\n'
             '// lint-allow: raw-mutex — interop with a C library callback\n'
-            'std::mutex g_interop_mu;\n',
+            'std::mutex g_interop_mu;\n'
+            '// lint-allow: discarded-status — best-effort cleanup on exit\n'
+            'void bye(core::AtomicFile& af) { af.commit(); }\n',
             encoding="utf-8")
         (clean / "bench" / "good_bench.cpp").write_text(
             '#include "bench_common.hpp"\n'
